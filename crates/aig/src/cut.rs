@@ -1,0 +1,414 @@
+//! K-feasible cut enumeration with truth-table computation.
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) whose values completely
+//! determine `n`; a cut is K-feasible if it has at most K leaves. Cuts are
+//! enumerated bottom-up by merging fanin cuts, and each cut carries the truth
+//! table of the node expressed over its (sorted) leaves — the machinery both
+//! ABC and this reproduction use to detect XOR3/MAJ3 roots and to match
+//! standard cells.
+
+use crate::tt;
+use crate::{Aig, Lit, NodeId};
+
+/// Maximum number of leaves a cut can have.
+pub const MAX_CUT_SIZE: usize = 6;
+
+/// A cut: sorted leaf set plus the truth table of the root over the leaves.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Cut {
+    leaves: [u32; MAX_CUT_SIZE],
+    len: u8,
+    /// Truth table of the root over `leaves()` (leaf `i` = variable `i`).
+    pub tt: u64,
+}
+
+impl Cut {
+    /// The constant cut (no leaves) with the given constant table.
+    fn constant(tt: u64) -> Cut {
+        Cut {
+            leaves: [0; MAX_CUT_SIZE],
+            len: 0,
+            tt,
+        }
+    }
+
+    /// The trivial cut `{n}` whose function is the projection on `n`.
+    pub fn trivial(n: NodeId) -> Cut {
+        let mut leaves = [0; MAX_CUT_SIZE];
+        leaves[0] = n.as_u32();
+        Cut {
+            leaves,
+            len: 1,
+            tt: tt::var(0) & tt::mask(1),
+        }
+    }
+
+    /// The sorted leaf node indices.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the constant cut (no leaves).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is a trivial single-leaf cut of `n`.
+    pub fn is_trivial_of(&self, n: NodeId) -> bool {
+        self.len == 1 && self.leaves[0] == n.as_u32()
+    }
+
+    /// Whether every leaf of `self` is also a leaf of `other`.
+    pub fn subsumes(&self, other: &Cut) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j == b.len() || b[j] != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Merges two sorted leaf sets if the union fits in `k` leaves.
+    fn merge_leaves(a: &Cut, b: &Cut, k: usize) -> Option<([u32; MAX_CUT_SIZE], u8)> {
+        let mut out = [0u32; MAX_CUT_SIZE];
+        let (la, lb) = (a.leaves(), b.leaves());
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < la.len() || j < lb.len() {
+            let next = if j == lb.len() || (i < la.len() && la[i] <= lb[j]) {
+                if j < lb.len() && la[i] == lb[j] {
+                    j += 1;
+                }
+                let v = la[i];
+                i += 1;
+                v
+            } else {
+                let v = lb[j];
+                j += 1;
+                v
+            };
+            if n == k {
+                return None;
+            }
+            out[n] = next;
+            n += 1;
+        }
+        Some((out, n as u8))
+    }
+}
+
+/// Expands `tt` (a table over `pos.len()` variables) onto a `k`-variable
+/// table where original variable `i` sits at position `pos[i]`.
+fn expand(tt_small: u64, pos: &[usize], k: usize) -> u64 {
+    let mut out = 0u64;
+    for m in 0..(1u64 << k) {
+        let mut fm = 0usize;
+        for (i, &p) in pos.iter().enumerate() {
+            fm |= (((m >> p) & 1) as usize) << i;
+        }
+        out |= ((tt_small >> fm) & 1) << m;
+    }
+    out
+}
+
+/// Parameters controlling cut enumeration.
+#[derive(Copy, Clone, Debug)]
+pub struct CutParams {
+    /// Maximum leaves per cut (K), at most [`MAX_CUT_SIZE`].
+    pub max_leaves: usize,
+    /// Maximum number of non-trivial cuts stored per node.
+    pub max_cuts: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        CutParams {
+            max_leaves: 4,
+            max_cuts: 8,
+        }
+    }
+}
+
+impl CutParams {
+    /// The configuration used for adder extraction (3-feasible cuts).
+    pub fn for_adder_extraction() -> Self {
+        CutParams {
+            max_leaves: 3,
+            max_cuts: 10,
+        }
+    }
+}
+
+/// Per-node cut sets produced by [`enumerate_cuts`].
+#[derive(Clone, Debug)]
+pub struct CutSets {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSets {
+    /// The cuts of node `n` (trivial cut included, last).
+    pub fn of(&self, n: NodeId) -> &[Cut] {
+        &self.cuts[n.index()]
+    }
+
+    /// Total number of stored cuts (diagnostic).
+    pub fn total(&self) -> usize {
+        self.cuts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Enumerates K-feasible cuts with truth tables for every node.
+///
+/// The constant node gets a single empty cut; inputs get their trivial cut;
+/// AND nodes get the pairwise merges of their fanin cuts (deduplicated,
+/// subsumption-filtered, capped at `max_cuts` preferring fewer leaves) plus
+/// their own trivial cut.
+///
+/// # Panics
+///
+/// Panics if `params.max_leaves` exceeds [`MAX_CUT_SIZE`] or is zero.
+pub fn enumerate_cuts(aig: &Aig, params: &CutParams) -> CutSets {
+    assert!(params.max_leaves >= 1 && params.max_leaves <= MAX_CUT_SIZE);
+    let k = params.max_leaves;
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    for n in aig.node_ids() {
+        let node_cuts = match aig.kind(n) {
+            crate::NodeKind::Const0 => vec![Cut::constant(0)],
+            crate::NodeKind::Input => vec![Cut::trivial(n)],
+            crate::NodeKind::And => {
+                let (f0, f1) = aig.fanins(n);
+                let mut merged: Vec<Cut> = Vec::new();
+                for c0 in &cuts[f0.var().index()] {
+                    for c1 in &cuts[f1.var().index()] {
+                        let Some((leaves, len)) = Cut::merge_leaves(c0, c1, k) else {
+                            continue;
+                        };
+                        let leaf_slice = &leaves[..len as usize];
+                        let pos0: Vec<usize> = c0
+                            .leaves()
+                            .iter()
+                            .map(|l| leaf_slice.binary_search(l).expect("leaf in union"))
+                            .collect();
+                        let pos1: Vec<usize> = c1
+                            .leaves()
+                            .iter()
+                            .map(|l| leaf_slice.binary_search(l).expect("leaf in union"))
+                            .collect();
+                        let nk = len as usize;
+                        let mut t0 = expand(c0.tt, &pos0, nk);
+                        let mut t1 = expand(c1.tt, &pos1, nk);
+                        if f0.is_complement() {
+                            t0 = !t0 & tt::mask(nk);
+                        }
+                        if f1.is_complement() {
+                            t1 = !t1 & tt::mask(nk);
+                        }
+                        merged.push(Cut {
+                            leaves,
+                            len,
+                            tt: t0 & t1,
+                        });
+                    }
+                }
+                // Prefer small cuts, dedupe identical leaf sets, drop subsumed.
+                merged.sort_by(|a, b| a.len.cmp(&b.len).then(a.leaves().cmp(b.leaves())));
+                merged.dedup_by(|a, b| a.leaves() == b.leaves());
+                let mut kept: Vec<Cut> = Vec::with_capacity(params.max_cuts + 1);
+                for c in merged {
+                    if kept.len() >= params.max_cuts {
+                        break;
+                    }
+                    if !kept.iter().any(|p| p.subsumes(&c)) {
+                        kept.push(c);
+                    }
+                }
+                kept.push(Cut::trivial(n));
+                kept
+            }
+        };
+        cuts.push(node_cuts);
+    }
+    CutSets { cuts }
+}
+
+/// Computes the truth table of `root` over an explicit ordered leaf set by
+/// propagating variable tables through the cone.
+///
+/// Returns `None` if the cone of `root` reaches a primary input that is not
+/// among `leaves` (the leaf set is not a cut), or if `leaves` has more than
+/// [`tt::MAX_VARS`] entries. Nodes listed in `leaves` are treated as opaque
+/// variables even if they are AND gates. The constant node evaluates to 0.
+pub fn cone_function(aig: &Aig, root: Lit, leaves: &[NodeId]) -> Option<u64> {
+    if leaves.len() > tt::MAX_VARS {
+        return None;
+    }
+    let k = leaves.len();
+    let mut memo: std::collections::HashMap<u32, u64, crate::hasher::FxBuildHasher> =
+        Default::default();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l.as_u32(), tt::var(i) & tt::mask(k));
+    }
+    memo.entry(0).or_insert(0);
+    // Iterative post-order evaluation.
+    let mut stack = vec![root.var()];
+    while let Some(&n) = stack.last() {
+        if memo.contains_key(&n.as_u32()) {
+            stack.pop();
+            continue;
+        }
+        if !aig.is_and(n) {
+            return None; // hit a PI outside the leaf set
+        }
+        let (f0, f1) = aig.fanins(n);
+        let m0 = memo.get(&f0.var().as_u32()).copied();
+        let m1 = memo.get(&f1.var().as_u32()).copied();
+        match (m0, m1) {
+            (Some(t0), Some(t1)) => {
+                stack.pop();
+                let t0 = if f0.is_complement() { !t0 & tt::mask(k) } else { t0 };
+                let t1 = if f1.is_complement() { !t1 & tt::mask(k) } else { t1 };
+                memo.insert(n.as_u32(), t0 & t1);
+            }
+            _ => {
+                if m0.is_none() {
+                    stack.push(f0.var());
+                }
+                if m1.is_none() {
+                    stack.push(f1.var());
+                }
+            }
+        }
+    }
+    let t = memo[&root.var().as_u32()];
+    Some(if root.is_complement() { !t & tt::mask(k) } else { t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_has_xor_cut() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a.lit(), b.lit());
+        aig.add_output(x);
+        let cuts = enumerate_cuts(&aig, &CutParams::for_adder_extraction());
+        let root_cuts = cuts.of(x.var());
+        let found = root_cuts.iter().any(|c| {
+            c.leaves() == [a.as_u32(), b.as_u32()]
+                && (if x.is_complement() { !c.tt & tt::mask(2) } else { c.tt }) == tt::XOR2
+        });
+        assert!(found, "XOR2 cut not found: {root_cuts:?}");
+    }
+
+    #[test]
+    fn full_adder_has_xor3_and_maj3_cuts() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cuts = enumerate_cuts(&aig, &CutParams::for_adder_extraction());
+        let leaf_ids: Vec<u32> = ins.iter().map(|l| l.var().as_u32()).collect();
+
+        let sum_tt = cuts
+            .of(s.var())
+            .iter()
+            .find(|cut| cut.leaves() == leaf_ids)
+            .map(|cut| if s.is_complement() { !cut.tt & tt::mask(3) } else { cut.tt });
+        assert_eq!(sum_tt, Some(tt::XOR3));
+
+        let carry_tt = cuts
+            .of(c.var())
+            .iter()
+            .find(|cut| cut.leaves() == leaf_ids)
+            .map(|cut| if c.is_complement() { !cut.tt & tt::mask(3) } else { cut.tt });
+        assert_eq!(carry_tt, Some(tt::MAJ3));
+    }
+
+    #[test]
+    fn trivial_cut_present() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a.lit(), b.lit());
+        let cuts = enumerate_cuts(&aig, &CutParams::default());
+        assert!(cuts.of(x.var()).iter().any(|c| c.is_trivial_of(x.var())));
+        assert!(cuts.of(a).iter().any(|c| c.is_trivial_of(a)));
+    }
+
+    #[test]
+    fn subsumption_filters() {
+        let a = Cut::trivial(NodeId::new(5));
+        let mut big = Cut::trivial(NodeId::new(5));
+        big.leaves[1] = 9;
+        big.len = 2;
+        assert!(a.subsumes(&big));
+        assert!(!big.subsumes(&a));
+        assert!(a.subsumes(&a));
+    }
+
+    #[test]
+    fn cone_function_matches_cut_enumeration() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, _) = aig.full_adder(ins[0], ins[1], ins[2]);
+        let leaves: Vec<NodeId> = ins.iter().map(|l| l.var()).collect();
+        let f = cone_function(&aig, s, &leaves).expect("cut");
+        assert_eq!(f, tt::XOR3);
+        // complemented root complements the function
+        let g = cone_function(&aig, !s, &leaves).expect("cut");
+        assert_eq!(g, !tt::XOR3 & tt::mask(3));
+    }
+
+    #[test]
+    fn cone_function_rejects_non_cut() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a.lit(), b.lit());
+        // b is missing from the leaf set
+        assert_eq!(cone_function(&aig, x, &[a]), None);
+    }
+
+    #[test]
+    fn constant_cone() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        assert_eq!(cone_function(&aig, Lit::FALSE, &[a]), Some(0));
+        assert_eq!(cone_function(&aig, Lit::TRUE, &[a]), Some(tt::mask(1)));
+    }
+
+    #[test]
+    fn cut_count_bounded() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(8);
+        let x = aig.xor_multi(&ins);
+        aig.add_output(x);
+        let params = CutParams {
+            max_leaves: 4,
+            max_cuts: 6,
+        };
+        let cuts = enumerate_cuts(&aig, &params);
+        for n in aig.node_ids() {
+            assert!(cuts.of(n).len() <= params.max_cuts + 1);
+            for c in cuts.of(n) {
+                assert!(c.len() <= params.max_leaves);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz DOT export for small AIGs (debugging and figures).
+
+use crate::{Aig, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Renders the AIG as a Graphviz digraph. `label` can attach an extra line
+/// (for example a predicted class) to each node; return `None` for no label.
+///
+/// Inverted fanin edges are drawn dashed, matching the paper's Figure 1.
+pub fn to_dot(aig: &Aig, mut label: impl FnMut(NodeId) -> Option<String>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph aig {{");
+    let _ = writeln!(s, "  rankdir=BT;");
+    for n in aig.node_ids() {
+        let (shape, base) = match aig.kind(n) {
+            NodeKind::Const0 => ("box", "0".to_string()),
+            NodeKind::Input => ("triangle", format!("i{}", n.index())),
+            NodeKind::And => ("ellipse", format!("{}", n.index())),
+        };
+        if aig.kind(n) == NodeKind::Const0 && aig.fanout_counts()[0] == 0 {
+            continue; // hide an unused constant
+        }
+        let text = match label(n) {
+            Some(extra) => format!("{base}\\n{extra}"),
+            None => base,
+        };
+        let _ = writeln!(s, "  n{} [shape={shape}, label=\"{text}\"];", n.index());
+    }
+    for n in aig.and_ids() {
+        let (f0, f1) = aig.fanins(n);
+        for f in [f0, f1] {
+            let style = if f.is_complement() { " [style=dashed]" } else { "" };
+            let _ = writeln!(s, "  n{} -> n{}{style};", f.var().index(), n.index());
+        }
+    }
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let style = if o.is_complement() { ", style=dashed" } else { "" };
+        let _ = writeln!(s, "  o{i} [shape=invtriangle, label=\"o{i}\"];");
+        let _ = writeln!(s, "  n{} -> o{i} [color=blue{style}];", o.var().index());
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_dashed_inverters() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let o = aig.or(a, b); // or = !(AND(!a,!b)) — dashed edges inside
+        aig.add_output(o);
+        let dot = to_dot(&aig, |_| None);
+        assert!(dot.contains("digraph aig"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("invtriangle"));
+    }
+
+    #[test]
+    fn labels_are_attached() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        aig.add_output(a);
+        let dot = to_dot(&aig, |n| (n.index() == 1).then(|| "XOR".to_string()));
+        assert!(dot.contains("XOR"));
+    }
+}

@@ -1,0 +1,100 @@
+//! A fast, non-cryptographic hasher for structural hashing tables.
+//!
+//! Building multi-million-node AIGs performs one hash-map probe per created
+//! AND gate, so the default SipHash is a measurable cost. This is a simple
+//! Fx-style multiply-xor hasher (the same construction used by rustc);
+//! it is *not* DoS-resistant and is only used for internal tables keyed by
+//! node indices we produced ourselves.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over machine words.
+#[derive(Default, Clone, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently_mostly() {
+        let mut set = FxHashSet::default();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            set.insert(h.finish());
+        }
+        // A decent hash of 10k distinct words should produce 10k distinct values.
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), i * 2);
+        }
+        assert_eq!(m.get(&(41, 42)), Some(&82));
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn write_bytes_stable() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is more than eight bytes");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is more than eight bytes");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

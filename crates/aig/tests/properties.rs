@@ -1,0 +1,138 @@
+//! Property-based tests for the AIG substrate.
+
+use gamora_aig::{aiger, cut, sim, tt, Aig, Lit};
+use proptest::prelude::*;
+
+/// Recipe for building a random AIG: each step picks an operator and two
+/// (possibly complemented) previously available literals.
+#[derive(Clone, Debug)]
+struct Recipe {
+    num_inputs: usize,
+    steps: Vec<(u8, u16, bool, u16, bool)>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..6, 1usize..40).prop_flat_map(|(num_inputs, num_steps)| {
+        let step = (0u8..6, any::<u16>(), any::<bool>(), any::<u16>(), any::<bool>());
+        proptest::collection::vec(step, num_steps).prop_map(move |steps| Recipe {
+            num_inputs,
+            steps,
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut aig = Aig::new();
+    let mut pool: Vec<Lit> = aig.add_inputs(recipe.num_inputs);
+    pool.push(Lit::FALSE);
+    for &(op, a, ac, b, bc) in &recipe.steps {
+        let la = pool[a as usize % pool.len()].complement_if(ac);
+        let lb = pool[b as usize % pool.len()].complement_if(bc);
+        let r = match op {
+            0 => aig.and(la, lb),
+            1 => aig.or(la, lb),
+            2 => aig.xor(la, lb),
+            3 => aig.nand(la, lb),
+            4 => aig.mux(la, lb, !la),
+            _ => aig.maj3(la, lb, !lb),
+        };
+        pool.push(r);
+    }
+    aig.add_output(*pool.last().unwrap());
+    aig
+}
+
+/// Reference evaluation of a recipe directly on booleans.
+fn eval_recipe(recipe: &Recipe, inputs: &[bool]) -> bool {
+    let mut pool: Vec<bool> = inputs.to_vec();
+    pool.push(false);
+    for &(op, a, ac, b, bc) in &recipe.steps {
+        let la = pool[a as usize % pool.len()] ^ ac;
+        let lb = pool[b as usize % pool.len()] ^ bc;
+        let r = match op {
+            0 => la & lb,
+            1 => la | lb,
+            2 => la ^ lb,
+            3 => !(la & lb),
+            4 => {
+                if la {
+                    lb
+                } else {
+                    !la
+                }
+            }
+            _ => (la & lb) | (la & !lb) | (lb & !lb), // maj3(la, lb, !lb) = la
+        };
+        pool.push(r);
+    }
+    *pool.last().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strashed builder computes the same function as direct boolean
+    /// evaluation of the construction recipe.
+    #[test]
+    fn builders_match_boolean_semantics(r in recipe(), pattern in any::<u64>()) {
+        let aig = build(&r);
+        let inputs: Vec<bool> = (0..r.num_inputs).map(|i| pattern >> i & 1 != 0).collect();
+        let expected = eval_recipe(&r, &inputs);
+        let got = sim::eval(&aig, &inputs)[0];
+        prop_assert_eq!(got, expected);
+    }
+
+    /// ASCII and binary AIGER round-trips preserve the function.
+    #[test]
+    fn aiger_roundtrip_equivalence(r in recipe()) {
+        let aig = build(&r);
+        for binary in [false, true] {
+            let mut buf = Vec::new();
+            if binary {
+                aiger::write_binary(&aig, &mut buf).unwrap();
+            } else {
+                aiger::write_ascii(&aig, &mut buf).unwrap();
+            }
+            let back = aiger::read(&buf[..]).unwrap();
+            prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+            prop_assert!(sim::random_equivalence_check(&aig, &back, 2, 99).is_ok());
+        }
+    }
+
+    /// Every enumerated cut's truth table agrees with independent cone
+    /// evaluation over the same leaves.
+    #[test]
+    fn cut_truth_tables_are_correct(r in recipe()) {
+        let aig = build(&r);
+        let cuts = cut::enumerate_cuts(&aig, &cut::CutParams::default());
+        for n in aig.and_ids() {
+            for c in cuts.of(n) {
+                if c.is_empty() { continue; }
+                let leaves: Vec<_> = c.leaves().iter()
+                    .map(|&l| gamora_aig::NodeId::new(l)).collect();
+                let f = cut::cone_function(&aig, n.lit(), &leaves)
+                    .expect("enumerated cut must be a cut");
+                prop_assert_eq!(f, c.tt, "node {} cut {:?}", n, c.leaves());
+            }
+        }
+    }
+
+    /// NPN canonicalisation is invariant under random NPN transforms.
+    #[test]
+    fn npn_canon_invariant(raw in any::<u16>(), neg in 0u32..16, out in any::<bool>(), p in 0usize..24) {
+        let k = 4;
+        let f = raw as u64;
+        let perms = tt::permutations(k);
+        let g = tt::transform(f, k, &perms[p % perms.len()], neg, out);
+        prop_assert_eq!(tt::npn_canon(f, k), tt::npn_canon(g, k));
+    }
+
+    /// Cleanup preserves the function while never increasing node count.
+    #[test]
+    fn cleanup_preserves_function(r in recipe()) {
+        let aig = build(&r);
+        let (clean, _) = aig.cleanup();
+        prop_assert!(clean.num_ands() <= aig.num_ands());
+        prop_assert!(sim::random_equivalence_check(&aig, &clean, 2, 5).is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! **Figure 4** — sensitivity analysis on CSA multipliers: reasoning
+//! accuracy versus (1) training multiplier bitwidth, (2) single- vs
+//! multi-task learning, (3) structural-only vs structural+functional
+//! features.
+//!
+//! Regenerate: `cargo bench -p gamora-bench --bench fig4_sensitivity`
+//! (`GAMORA_SCALE=paper` for the full sweep).
+
+use gamora::{score_predictions, FeatureMode, ModelDepth};
+use gamora_bench::{pct, time, train_reasoner, workload, Scale, Table};
+use gamora_circuits::MultiplierKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let train_widths: Vec<usize> = scale.pick(vec![2, 4], vec![2, 4, 6, 8], vec![2, 4, 6, 8, 10]);
+    let eval_widths: Vec<usize> = scale.pick(
+        vec![12, 16],
+        vec![12, 16, 32, 64],
+        vec![12, 16, 32, 64, 128, 256, 384, 512],
+    );
+    let epochs = scale.pick(120, 250, 400);
+
+    // Pre-compute eval workloads and their exact labels once.
+    let evals: Vec<_> = eval_widths
+        .iter()
+        .map(|&b| {
+            let m = workload(MultiplierKind::Csa, b);
+            let labels = gamora_exact::analyze(&m.aig).labels;
+            (b, m, labels)
+        })
+        .collect();
+
+    println!("\n=== Figure 4: sensitivity on CSA multipliers (scale {scale:?}) ===");
+    let settings = [
+        ("Single Task / Structural Info", false, FeatureMode::Structural),
+        (
+            "Single Task / Structural + Functional Info",
+            false,
+            FeatureMode::StructuralFunctional,
+        ),
+        ("Multi Task / Structural Info", true, FeatureMode::Structural),
+        (
+            "Multi Task / Structural + Functional Info",
+            true,
+            FeatureMode::StructuralFunctional,
+        ),
+    ];
+    for (name, multi_task, feature_mode) in settings {
+        println!("\n--- {name} ---");
+        let mut table = Table::new(
+            &std::iter::once("eval bits".to_string())
+                .chain(train_widths.iter().map(|w| format!("Mult{w}")))
+                .map(|s| s.leak() as &str)
+                .collect::<Vec<_>>(),
+        );
+        // Train one model per training width.
+        let mut models: Vec<_> = Vec::new();
+        for &tw in &train_widths {
+            let (model, secs) = time(|| {
+                train_reasoner(
+                    MultiplierKind::Csa,
+                    &[tw],
+                    ModelDepth::Shallow,
+                    feature_mode,
+                    multi_task,
+                    epochs,
+                )
+            });
+            eprintln!("  trained Mult{tw} in {secs:.1}s");
+            models.push(model);
+        }
+        for (bits, m, labels) in &evals {
+            let mut row = vec![bits.to_string()];
+            for model in &mut models {
+                let preds = model.predict(&m.aig);
+                let report = score_predictions(&preds, labels);
+                row.push(pct(report.mean()));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    println!("\npaper reference: multi-task + functional reaches ~100% once trained on >=8-bit;");
+    println!("single-task and structural-only settings plateau far lower (Fig. 4).");
+}

@@ -1,0 +1,69 @@
+//! **Figure 6** — model capacity on Booth multipliers: the shallow
+//! (4-layer / 32-channel) model versus the deep (8-layer / 80-channel)
+//! model across training bitwidths.
+//!
+//! Regenerate: `cargo bench -p gamora-bench --bench fig6_model_depth`
+
+use gamora::{score_predictions, FeatureMode, ModelDepth};
+use gamora_bench::{pct, time, train_reasoner, workload, Scale, Table};
+use gamora_circuits::MultiplierKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let train_widths: Vec<usize> = scale.pick(vec![6], vec![8, 12], vec![8, 12, 16, 20, 24]);
+    let eval_widths: Vec<usize> = scale.pick(
+        vec![12],
+        vec![16, 24, 32, 48],
+        vec![64, 128, 192, 256, 384, 512, 768],
+    );
+    let epochs = scale.pick(120, 220, 400);
+
+    println!("\n=== Figure 6: shallow vs deep model on Booth multipliers (scale {scale:?}) ===");
+    let evals: Vec<_> = eval_widths
+        .iter()
+        .map(|&b| {
+            let m = workload(MultiplierKind::Booth, b);
+            let labels = gamora_exact::analyze(&m.aig).labels;
+            (b, m, labels)
+        })
+        .collect();
+
+    for (name, depth) in [
+        ("Shallow model (4 layers x 32)", ModelDepth::Shallow),
+        ("Deep model (8 layers x 80)", ModelDepth::Deep),
+    ] {
+        println!("\n--- {name} ---");
+        let mut table = Table::new(
+            &std::iter::once("eval bits".to_string())
+                .chain(train_widths.iter().map(|w| format!("Mult{w}")))
+                .map(|s| s.leak() as &str)
+                .collect::<Vec<_>>(),
+        );
+        let mut models = Vec::new();
+        for &tw in &train_widths {
+            let (model, secs) = time(|| {
+                train_reasoner(
+                    MultiplierKind::Booth,
+                    &[tw],
+                    depth,
+                    FeatureMode::StructuralFunctional,
+                    true,
+                    epochs,
+                )
+            });
+            eprintln!("  trained Mult{tw} in {secs:.1}s");
+            models.push(model);
+        }
+        for (bits, m, labels) in &evals {
+            let mut row = vec![bits.to_string()];
+            for model in &mut models {
+                let report = score_predictions(&model.predict(&m.aig), labels);
+                row.push(pct(report.mean()));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    println!("\npaper reference: the deep model reaches >97% on Booth multipliers while");
+    println!("the shallow model plateaus around 90-94% (Fig. 6).");
+}

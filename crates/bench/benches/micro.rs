@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the substrate kernels: strashed
+//! construction, cut enumeration, exact analysis, GNN layers, technology
+//! mapping, simulation and algebraic verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gamora::dataset::build_graph;
+use gamora::features::{build_features, FeatureMode};
+use gamora_circuits::csa_multiplier;
+use gamora_gnn::{Direction, Matrix, ModelConfig, MultiTaskSage};
+use gamora_sca::{product_spec, verify, RewriteParams};
+use gamora_techmap::{map, Library, MapParams};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("csa_multiplier_32 (strashed build)", |b| {
+        b.iter(|| black_box(csa_multiplier(32)))
+    });
+}
+
+fn bench_cut_enumeration(c: &mut Criterion) {
+    let m = csa_multiplier(16);
+    c.bench_function("cut_enumeration_16 (K=3)", |b| {
+        b.iter(|| {
+            black_box(gamora_aig::cut::enumerate_cuts(
+                &m.aig,
+                &gamora_aig::cut::CutParams::for_adder_extraction(),
+            ))
+        })
+    });
+}
+
+fn bench_exact_analysis(c: &mut Criterion) {
+    let m = csa_multiplier(16);
+    c.bench_function("exact_analyze_16 (detect+extract+label)", |b| {
+        b.iter(|| black_box(gamora_exact::analyze(&m.aig)))
+    });
+}
+
+fn bench_gnn_forward(c: &mut Criterion) {
+    let m = csa_multiplier(32);
+    let graph = build_graph(&m.aig, Direction::Bidirectional);
+    let x = build_features(&m.aig, FeatureMode::StructuralFunctional);
+    let mut model = MultiTaskSage::new(ModelConfig {
+        in_dim: 3,
+        hidden: 32,
+        layers: 4,
+        shared_dim: 32,
+        task_classes: vec![4, 2, 2],
+        seed: 1,
+    });
+    c.bench_function("sage_forward_32 (4x32 model)", |b| {
+        b.iter(|| black_box(model.forward(&graph, &x, false)))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = Matrix::glorot(4096, 64, &mut rng);
+    let w = Matrix::glorot(64, 64, &mut rng);
+    c.bench_function("matmul_4096x64x64", |b| b.iter(|| black_box(a.matmul(&w))));
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let m = csa_multiplier(8);
+    let simple = Library::simple();
+    let complex = Library::complex7nm();
+    c.bench_function("map_8_simple", |b| {
+        b.iter(|| black_box(map(&m.aig, &simple, &MapParams::default())))
+    });
+    c.bench_function("map_8_complex", |b| {
+        b.iter(|| black_box(map(&m.aig, &complex, &MapParams::default())))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let m = csa_multiplier(32);
+    c.bench_function("random_simulation_32 (8 words)", |b| {
+        b.iter(|| black_box(gamora_aig::sim::random_simulation(&m.aig, 8, 1)))
+    });
+}
+
+fn bench_sca(c: &mut Criterion) {
+    let m = csa_multiplier(8);
+    let spec = product_spec(&m.a, &m.b);
+    let analysis = gamora_exact::analyze(&m.aig);
+    c.bench_function("sca_verify_8_tree_assisted", |b| {
+        b.iter(|| {
+            black_box(
+                verify(&m.aig, &spec, Some(&analysis.adders), &RewriteParams::default()).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_construction, bench_cut_enumeration, bench_exact_analysis,
+              bench_gnn_forward, bench_matmul, bench_mapping, bench_simulation,
+              bench_sca
+}
+criterion_main!(benches);

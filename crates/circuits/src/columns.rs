@@ -1,0 +1,188 @@
+//! Carry-save column compression and carry-propagate merging.
+//!
+//! Multiplier partial products are organised as *columns* of equal binary
+//! weight. Column compression places full/half adders until every column
+//! holds at most two bits (the carry-save adder tree that Gamora's task is
+//! to rediscover), and a final ripple carry-propagate chain merges the last
+//! two rows.
+
+use crate::types::{AdderKind, AdderRecord, Provenance};
+use gamora_aig::{Aig, Lit};
+
+/// Adds three weighted bits, recording the placed adder in `prov`.
+///
+/// Constants among the inputs fold structurally (a full adder with one
+/// constant input degenerates into a half-adder pair); the record's kind
+/// reflects the number of non-constant inputs.
+pub(crate) fn add_bits3(aig: &mut Aig, prov: &mut Provenance, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+    let (sum, carry) = aig.full_adder(a, b, c);
+    let kind = match [a, b, c].iter().filter(|l| !l.is_const()).count() {
+        3 => AdderKind::Full,
+        _ => AdderKind::Half,
+    };
+    prov.adders.push(AdderRecord {
+        kind,
+        sum,
+        carry,
+        inputs: [a, b, c],
+    });
+    (sum, carry)
+}
+
+/// Adds two equal-width bit vectors with a ripple-carry chain.
+///
+/// Returns `(sum_bits, carry_out)`. Every placed bitslice is recorded in
+/// `prov`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in width.
+pub fn ripple_merge(
+    aig: &mut Aig,
+    xs: &[Lit],
+    ys: &[Lit],
+    carry_in: Lit,
+    prov: &mut Provenance,
+) -> (Vec<Lit>, Lit) {
+    assert_eq!(xs.len(), ys.len(), "ripple_merge requires equal widths");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut carry = carry_in;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (s, c) = add_bits3(aig, prov, x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Compresses weighted bit columns into a single binary result of width
+/// `columns.len()` (arithmetic is modulo `2^width`; overflowing carries are
+/// dropped).
+///
+/// Phase 1 walks the columns from least significant weight and places a
+/// full adder for every three available bits (first-in-first-out), feeding
+/// carries into the next column. Phase 2 merges the remaining ≤2 bits per
+/// column with a ripple carry-propagate chain.
+pub fn reduce_columns(aig: &mut Aig, mut columns: Vec<Vec<Lit>>, prov: &mut Provenance) -> Vec<Lit> {
+    let width = columns.len();
+    // Phase 1: carry-save compression to at most two bits per column.
+    for w in 0..width {
+        let mut taken = 0;
+        while columns[w].len() - taken >= 3 {
+            let (a, b, c) = (
+                columns[w][taken],
+                columns[w][taken + 1],
+                columns[w][taken + 2],
+            );
+            taken += 3;
+            let (s, cy) = add_bits3(aig, prov, a, b, c);
+            columns[w].push(s);
+            if w + 1 < width {
+                columns[w + 1].push(cy);
+            }
+        }
+        columns[w].drain(..taken);
+        debug_assert!(columns[w].len() <= 2);
+    }
+    // Phase 2: final carry-propagate chain over the two remaining rows.
+    let mut out = Vec::with_capacity(width);
+    let mut carry = Lit::FALSE;
+    for col in &columns {
+        let x = col.first().copied().unwrap_or(Lit::FALSE);
+        let y = col.get(1).copied().unwrap_or(Lit::FALSE);
+        if x.is_const() && y.is_const() && carry.is_const() {
+            // Pure constants need no gates; fold by hand.
+            let bits =
+                [x, y, carry].iter().filter(|l| **l == Lit::TRUE).count() as u32;
+            out.push(if bits & 1 == 1 { Lit::TRUE } else { Lit::FALSE });
+            carry = if bits >= 2 { Lit::TRUE } else { Lit::FALSE };
+        } else {
+            let (s, c) = add_bits3(aig, prov, x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_aig::sim;
+
+    /// Reduce columns holding a known set of constant-weight input bits and
+    /// compare against direct integer addition.
+    #[test]
+    fn column_reduction_adds_correctly() {
+        // Five 3-bit numbers summed: width must cover 5 * 7 = 35 -> 6 bits.
+        let mut aig = Aig::new();
+        let width = 6;
+        let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); width];
+        let mut pins = Vec::new();
+        for _ in 0..5 {
+            let bits = aig.add_inputs(3);
+            for (w, &b) in bits.iter().enumerate() {
+                columns[w].push(b);
+            }
+            pins.push(bits);
+        }
+        let mut prov = Provenance::default();
+        let sum_bits = reduce_columns(&mut aig, columns, &mut prov);
+        for &s in &sum_bits {
+            aig.add_output(s);
+        }
+        // Try a few assignments.
+        for vals in [[1u64, 2, 3, 4, 5], [7, 7, 7, 7, 7], [0, 0, 0, 0, 0], [5, 0, 7, 1, 2]] {
+            let mut inputs = Vec::new();
+            for v in vals {
+                for i in 0..3 {
+                    inputs.push(v >> i & 1 != 0);
+                }
+            }
+            let out = sim::eval(&aig, &inputs);
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(got, vals.iter().sum::<u64>());
+        }
+        assert!(prov.real_adders().count() > 0);
+    }
+
+    #[test]
+    fn ripple_merge_is_addition_with_carry() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(4);
+        let ys = aig.add_inputs(4);
+        let mut prov = Provenance::default();
+        let (sum, cout) = ripple_merge(&mut aig, &xs, &ys, Lit::TRUE, &mut prov);
+        for s in &sum {
+            aig.add_output(*s);
+        }
+        aig.add_output(cout);
+        for (a, b) in [(0u64, 0u64), (15, 15), (9, 6), (12, 5)] {
+            let mut inputs = Vec::new();
+            for i in 0..4 {
+                inputs.push(a >> i & 1 != 0);
+            }
+            for i in 0..4 {
+                inputs.push(b >> i & 1 != 0);
+            }
+            let out = sim::eval(&aig, &inputs);
+            let got: u64 = out.iter().enumerate().map(|(i, &v)| (v as u64) << i).sum();
+            assert_eq!(got, a + b + 1, "{a} + {b} + 1");
+        }
+    }
+
+    #[test]
+    fn constant_columns_fold_without_gates() {
+        let mut aig = Aig::new();
+        let columns = vec![vec![Lit::TRUE, Lit::TRUE], vec![Lit::TRUE]]; // 1+1 + 2 = 4 mod 4 = 0
+        let mut prov = Provenance::default();
+        let out = reduce_columns(&mut aig, columns, &mut prov);
+        assert_eq!(aig.num_ands(), 0);
+        // 1 + 1 = 0b10 in column 0 -> sum bit 0 = 0, carry into col 1: 1 + 1 = 0 (mod 4)
+        assert_eq!(out, vec![Lit::FALSE, Lit::FALSE]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Composite datapath generators used by the examples: circuits that embed
+//! multiplier adder trees inside larger logic, the realistic setting for
+//! reverse engineering.
+
+use crate::columns::reduce_columns;
+use crate::types::{ArithCircuit, Provenance};
+use gamora_aig::{Aig, Lit};
+
+/// Generates a fused multiply-accumulate `a * b + c` where `a`, `b` are
+/// `bits` wide and the accumulator `c` is `2 * bits` wide; the result has
+/// `2 * bits + 1` bits.
+///
+/// The accumulator bits are injected straight into the partial-product
+/// columns, so the multiplier's carry-save tree and the accumulation share
+/// adders — hierarchy that is invisible in the flattened netlist.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// ```
+/// let mac = gamora_circuits::multiply_accumulate(6);
+/// assert_eq!(mac.eval_all(&[60, 50, 1000]), 60 * 50 + 1000);
+/// ```
+pub fn multiply_accumulate(bits: usize) -> ArithCircuit {
+    assert!(bits > 0);
+    let mut aig = Aig::with_capacity(14 * bits * bits);
+    aig.set_name(format!("mac{bits}"));
+    let a = aig.add_inputs(bits);
+    let b = aig.add_inputs(bits);
+    let c = aig.add_inputs(2 * bits);
+    let width = 2 * bits + 1;
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); width];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            let pp = aig.and(aj, bi);
+            columns[i + j].push(pp);
+        }
+    }
+    for (w, &ci) in c.iter().enumerate() {
+        columns[w].push(ci);
+    }
+    let mut provenance = Provenance::default();
+    let outputs = reduce_columns(&mut aig, columns, &mut provenance);
+    for &o in &outputs {
+        aig.add_output(o);
+    }
+    ArithCircuit {
+        aig,
+        a,
+        b,
+        extra_operands: vec![c],
+        outputs,
+        provenance,
+    }
+}
+
+/// Generates a dot product of `lanes` pairs of `bits`-wide operands:
+/// `sum_i a_i * b_i`. Operand groups are ordered
+/// `a_0, b_0, a_1, b_1, ...` (group `a_0` is `a`, `b_0` is `b`, the rest
+/// are `extra_operands`).
+///
+/// All lane partial products feed one shared carry-save tree — the typical
+/// structure of an inner-product datapath after flattening.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `lanes == 0`.
+///
+/// ```
+/// let dp = gamora_circuits::dot_product(4, 2);
+/// assert_eq!(dp.eval_all(&[3, 5, 7, 9]), 3 * 5 + 7 * 9);
+/// ```
+pub fn dot_product(bits: usize, lanes: usize) -> ArithCircuit {
+    assert!(bits > 0 && lanes > 0);
+    let mut aig = Aig::with_capacity(14 * bits * bits * lanes);
+    aig.set_name(format!("dot{lanes}x{bits}"));
+    let mut groups: Vec<Vec<Lit>> = Vec::with_capacity(2 * lanes);
+    for _ in 0..lanes {
+        groups.push(aig.add_inputs(bits));
+        groups.push(aig.add_inputs(bits));
+    }
+    // Result width: lanes * (2^bits - 1)^2 needs 2*bits + ceil(log2(lanes)).
+    let width = 2 * bits + lanes.next_power_of_two().trailing_zeros() as usize + 1;
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); width];
+    for lane in 0..lanes {
+        let (a, b) = (&groups[2 * lane], &groups[2 * lane + 1]);
+        for (i, &bi) in b.iter().enumerate() {
+            for (j, &aj) in a.iter().enumerate() {
+                let pp = aig.and(aj, bi);
+                columns[i + j].push(pp);
+            }
+        }
+    }
+    let mut provenance = Provenance::default();
+    let outputs = reduce_columns(&mut aig, columns, &mut provenance);
+    for &o in &outputs {
+        aig.add_output(o);
+    }
+    let mut iter = groups.into_iter();
+    let a = iter.next().expect("lane 0 a");
+    let b = iter.next().expect("lane 0 b");
+    ArithCircuit {
+        aig,
+        a,
+        b,
+        extra_operands: iter.collect(),
+        outputs,
+        provenance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mac_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x3AC);
+        for bits in [2usize, 4, 8, 12] {
+            let mac = multiply_accumulate(bits);
+            let mask = (1u64 << bits) - 1;
+            let cmask = (1u64 << (2 * bits)) - 1;
+            for _ in 0..10 {
+                let a = rng.gen::<u64>() & mask;
+                let b = rng.gen::<u64>() & mask;
+                let c = rng.gen::<u64>() & cmask;
+                assert_eq!(
+                    mac.eval_all(&[a, b, c]),
+                    a as u128 * b as u128 + c as u128,
+                    "{bits}-bit {a}*{b}+{c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD07);
+        for (bits, lanes) in [(3usize, 2usize), (4, 3), (4, 4), (6, 2)] {
+            let dp = dot_product(bits, lanes);
+            let mask = (1u64 << bits) - 1;
+            for _ in 0..10 {
+                let vals: Vec<u64> = (0..2 * lanes).map(|_| rng.gen::<u64>() & mask).collect();
+                let expected: u128 = vals
+                    .chunks(2)
+                    .map(|p| p[0] as u128 * p[1] as u128)
+                    .sum();
+                assert_eq!(dp.eval_all(&vals), expected, "{bits}x{lanes} {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_embeds_more_adders_than_bare_multiplier() {
+        let bits = 6;
+        let mult = crate::csa_multiplier(bits);
+        let mac = multiply_accumulate(bits);
+        assert!(mac.provenance.real_adders().count() > mult.provenance.real_adders().count());
+    }
+}

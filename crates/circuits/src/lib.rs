@@ -1,0 +1,55 @@
+//! # gamora-circuits
+//!
+//! Generators for the arithmetic workloads evaluated in the Gamora paper:
+//! carry-save-array (CSA) and radix-4 Booth-encoded integer multipliers,
+//! plus adders and small datapaths (multiply-accumulate, dot product) used
+//! by the examples.
+//!
+//! Every generator emits a plain [`gamora_aig::Aig`] — a flattened,
+//! bit-blasted netlist with no module hierarchy, mirroring the output of
+//! `abc`'s multiplier generator — together with a [`Provenance`] record of
+//! every full/half adder the constructor placed. The provenance is *not*
+//! visible to the learning pipeline; it exists to cross-validate the exact
+//! reasoning engine (`gamora-exact`), exactly as ABC's generator output
+//! validates its `&atree` extraction.
+//!
+//! ```
+//! use gamora_circuits::csa_multiplier;
+//! let m = csa_multiplier(4);
+//! assert_eq!(m.aig.num_inputs(), 8);
+//! assert_eq!(m.outputs.len(), 8);
+//! // 4-bit multiplier: check 5 * 7 = 35 by simulation.
+//! assert_eq!(m.eval(5, 7), 35);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adders;
+mod booth;
+mod columns;
+mod dadda;
+mod datapath;
+mod mult;
+mod types;
+
+pub use adders::{kogge_stone_adder, ripple_carry_adder};
+pub use booth::booth_multiplier;
+pub use columns::{reduce_columns, ripple_merge};
+pub use dadda::{carry_select_adder, dadda_multiplier};
+pub use datapath::{dot_product, multiply_accumulate};
+pub use mult::csa_multiplier;
+pub use types::{AdderKind, AdderRecord, ArithCircuit, MultiplierKind, Provenance};
+
+/// Generates a multiplier of the given kind and operand width.
+///
+/// ```
+/// use gamora_circuits::{generate_multiplier, MultiplierKind};
+/// let m = generate_multiplier(MultiplierKind::Booth, 6);
+/// assert_eq!(m.eval(63, 63), 63 * 63);
+/// ```
+pub fn generate_multiplier(kind: MultiplierKind, bits: usize) -> ArithCircuit {
+    match kind {
+        MultiplierKind::Csa => csa_multiplier(bits),
+        MultiplierKind::Booth => booth_multiplier(bits),
+    }
+}

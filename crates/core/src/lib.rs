@@ -1,0 +1,53 @@
+//! # gamora
+//!
+//! The core of the reproduction of **"Gamora: Graph Learning based Symbolic
+//! Reasoning for Large-Scale Boolean Networks"** (DAC 2023): a multi-task
+//! GraphSAGE model that annotates every node of a flattened AIG with its
+//! high-level role (adder root/leaf, XOR function, MAJ function), from
+//! which full/half adder trees are extracted structurally — replacing the
+//! expensive functional-detection step of word-level abstraction.
+//!
+//! The pipeline:
+//!
+//! 1. [`features`] — the paper's 3-bit functional node encoding;
+//! 2. [`labels`] — ground-truth targets from exact analysis
+//!    (`gamora-exact`);
+//! 3. [`GamoraReasoner`] — train on small multipliers, infer on large ones;
+//! 4. [`extract_from_predictions`] — pair predicted XOR/MAJ roots into
+//!    adders;
+//! 5. [`lsb_correction`] — the paper's post-processing fix for the
+//!    systematically-missed LSB half adder.
+//!
+//! ```
+//! use gamora::{GamoraReasoner, ReasonerConfig, ModelDepth};
+//! use gamora_gnn::TrainConfig;
+//! let train = gamora_circuits::csa_multiplier(4);
+//! let test = gamora_circuits::csa_multiplier(8);
+//! let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+//!     depth: ModelDepth::Custom { layers: 3, hidden: 16 },
+//!     ..ReasonerConfig::default()
+//! });
+//! reasoner.fit(&[&train.aig], &TrainConfig { epochs: 40, ..TrainConfig::default() });
+//! let report = reasoner.evaluate(&test.aig);
+//! assert!(report.mean() > 0.75); // quick doc run; benches train properly
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+mod extract;
+pub mod features;
+pub mod labels;
+mod postprocess;
+mod reasoner;
+
+pub use extract::{compare_extraction, extract_from_predictions, filter_candidates};
+pub use features::FeatureMode;
+pub use postprocess::{lsb_correction, lsb_correction_with};
+pub use reasoner::{
+    inference_memory_estimate, score_predictions, EvalReport, GamoraReasoner, ModelDepth,
+    Predictions, ReasonerConfig,
+};
+
+// Re-export the neighbouring layers a user needs to drive the pipeline.
+pub use gamora_gnn::{Direction, TrainConfig, TrainReport};

@@ -1,0 +1,123 @@
+//! Post-processing repair of systematic mispredictions.
+//!
+//! The paper observes that "several nodes near the least significant bit
+//! are always mispredicted due to their shallow neighborhood structure"
+//! (the LSB half adder sits one hop from the inputs, so a K-layer model
+//! cannot distinguish it from generic AND/XOR glue) and notes the miss "can
+//! be easily corrected during post-processing". This module implements that
+//! correction: structurally complete the extracted tree with HA pairs whose
+//! support is primary inputs only.
+
+use gamora_aig::{Aig, NodeId};
+use gamora_exact::{detect, extract_adders, Candidates, ExtractedAdder};
+
+/// Logic level below which an adder's leaves count as "shallow" (primary
+/// inputs are level 0; partial-product AND gates are level 1 — the support
+/// of the paper's systematically-missed LSB half adder).
+pub const SHALLOW_LEAF_LEVEL: u32 = 1;
+
+/// Adds shallow-support adders that exact pairing finds but the
+/// prediction-driven extraction missed. Returns how many were added.
+///
+/// Only pairs whose sum and carry nodes are not already roots of an
+/// extracted adder are added, so the correction never double-counts.
+pub fn lsb_correction(aig: &Aig, adders: &mut Vec<ExtractedAdder>) -> usize {
+    let cands = detect(aig);
+    lsb_correction_with(aig, &cands, adders)
+}
+
+/// [`lsb_correction`] with a pre-computed candidate index.
+pub fn lsb_correction_with(
+    aig: &Aig,
+    cands: &Candidates,
+    adders: &mut Vec<ExtractedAdder>,
+) -> usize {
+    let mut used = vec![false; aig.num_nodes()];
+    for a in adders.iter() {
+        used[a.sum.index()] = true;
+        used[a.carry.index()] = true;
+    }
+    let levels = aig.levels();
+    let exact = extract_adders(aig, cands);
+    let mut added = 0;
+    for cand in exact {
+        let shallow = cand
+            .leaf_slice()
+            .iter()
+            .all(|&l| levels[NodeId::new(l).index()] <= SHALLOW_LEAF_LEVEL);
+        if !shallow {
+            continue;
+        }
+        if used[cand.sum.index()] || used[cand.carry.index()] {
+            continue;
+        }
+        used[cand.sum.index()] = true;
+        used[cand.carry.index()] = true;
+        adders.push(cand);
+        added += 1;
+    }
+    adders.sort_by_key(|a| (a.sum, a.carry));
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_circuits::csa_multiplier;
+
+    #[test]
+    fn repairs_missing_lsb_half_adder() {
+        let m = csa_multiplier(3);
+        let analysis = gamora_exact::analyze(&m.aig);
+        let levels = m.aig.levels();
+        // Simulate the paper's Figure 3(e): drop an adder whose leaves are
+        // all shallow (the LSB HA over partial-product bits).
+        let mut adders = analysis.adders.clone();
+        let lsb_pos = adders
+            .iter()
+            .position(|a| {
+                a.leaf_slice()
+                    .iter()
+                    .all(|&l| levels[l as usize] <= SHALLOW_LEAF_LEVEL)
+            })
+            .expect("CSA multiplier has a shallow-support adder");
+        let dropped = adders.remove(lsb_pos);
+        let added = lsb_correction(&m.aig, &mut adders);
+        assert_eq!(added, 1);
+        assert!(adders.iter().any(|a| a.sum == dropped.sum && a.carry == dropped.carry));
+        assert_eq!(adders.len(), analysis.adders.len());
+    }
+
+    #[test]
+    fn complete_tree_needs_no_repair() {
+        let m = csa_multiplier(4);
+        let analysis = gamora_exact::analyze(&m.aig);
+        let mut adders = analysis.adders.clone();
+        let added = lsb_correction(&m.aig, &mut adders);
+        assert_eq!(added, 0);
+        assert_eq!(adders.len(), analysis.adders.len());
+    }
+
+    #[test]
+    fn interior_misses_are_not_touched() {
+        // Dropping a deep adder (leaves not all PIs) is *not* repaired by
+        // the LSB pass — that is the point: only the systematic shallow
+        // misses are corrected structurally.
+        let m = csa_multiplier(4);
+        let analysis = gamora_exact::analyze(&m.aig);
+        let levels = m.aig.levels();
+        let mut adders = analysis.adders.clone();
+        let deep_pos = adders
+            .iter()
+            .position(|a| {
+                a.leaf_slice()
+                    .iter()
+                    .any(|&l| levels[l as usize] > SHALLOW_LEAF_LEVEL)
+            })
+            .expect("deep adder exists");
+        adders.remove(deep_pos);
+        let added = lsb_correction(&m.aig, &mut adders);
+        assert_eq!(added, 0);
+        assert_eq!(adders.len(), analysis.adders.len() - 1);
+    }
+}

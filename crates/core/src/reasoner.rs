@@ -1,0 +1,386 @@
+//! The Gamora reasoner: train on small netlists, infer node functions on
+//! large ones (paper §III).
+
+use crate::dataset::{batch_graphs, inference_graph, labelled_graph};
+use crate::features::{FeatureMode, FEATURE_DIM};
+use crate::labels::{decode_joint, SINGLE_TASK_CLASSES, TASK_CLASSES};
+use gamora_aig::Aig;
+use gamora_gnn::loss::argmax;
+use gamora_gnn::{
+    train, Direction, Graph, GraphData, Matrix, ModelConfig, MultiTaskSage, TrainConfig,
+    TrainReport,
+};
+
+/// Model capacity presets (paper §IV-A).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ModelDepth {
+    /// 4 layers, 32 hidden channels — CSA multipliers and simple mapping.
+    #[default]
+    Shallow,
+    /// 8 layers, 80 hidden channels — Booth multipliers and complex
+    /// mapping.
+    Deep,
+    /// Explicit layer count and hidden width.
+    Custom {
+        /// Number of SAGE layers.
+        layers: usize,
+        /// Hidden channel width.
+        hidden: usize,
+    },
+}
+
+/// Configuration of a [`GamoraReasoner`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ReasonerConfig {
+    /// Model capacity preset.
+    pub depth: ModelDepth,
+    /// Feature encoding (full or structural-only ablation).
+    pub feature_mode: FeatureMode,
+    /// Message-passing direction over AIG edges.
+    pub direction: Direction,
+    /// Multi-task heads (paper default) vs collapsed single-task ablation.
+    pub multi_task: bool,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for ReasonerConfig {
+    fn default() -> Self {
+        ReasonerConfig {
+            depth: ModelDepth::Shallow,
+            feature_mode: FeatureMode::StructuralFunctional,
+            direction: Direction::Bidirectional,
+            multi_task: true,
+            seed: 0xDAC23,
+        }
+    }
+}
+
+impl ReasonerConfig {
+    fn model_config(&self) -> ModelConfig {
+        let (layers, hidden) = match self.depth {
+            ModelDepth::Shallow => (4, 32),
+            ModelDepth::Deep => (8, 80),
+            ModelDepth::Custom { layers, hidden } => (layers, hidden),
+        };
+        ModelConfig {
+            in_dim: FEATURE_DIM,
+            hidden,
+            layers,
+            shared_dim: 32,
+            task_classes: if self.multi_task {
+                TASK_CLASSES.to_vec()
+            } else {
+                vec![SINGLE_TASK_CLASSES]
+            },
+            seed: self.seed,
+        }
+    }
+}
+
+/// Per-node predictions for the three reasoning tasks.
+#[derive(Clone, Debug)]
+pub struct Predictions {
+    /// Task 1: root/leaf class index per node (see
+    /// [`gamora_exact::RootLeafClass`]).
+    pub root_leaf: Vec<u32>,
+    /// Task 2: XOR-function flag per node.
+    pub is_xor: Vec<bool>,
+    /// Task 3: MAJ-function flag per node.
+    pub is_maj: Vec<bool>,
+}
+
+impl Predictions {
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.root_leaf.len()
+    }
+}
+
+/// Node-level accuracy of a prediction against exact ground truth.
+#[derive(Copy, Clone, Debug)]
+pub struct EvalReport {
+    /// Accuracy per task (root/leaf, XOR, MAJ).
+    pub task_accuracy: [f64; 3],
+    /// Nodes evaluated.
+    pub num_nodes: usize,
+}
+
+impl EvalReport {
+    /// Mean accuracy over the three tasks — the single number the paper's
+    /// figures plot.
+    pub fn mean(&self) -> f64 {
+        self.task_accuracy.iter().sum::<f64>() / 3.0
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc: root/leaf {:.2}% | xor {:.2}% | maj {:.2}% | mean {:.2}% ({} nodes)",
+            self.task_accuracy[0] * 100.0,
+            self.task_accuracy[1] * 100.0,
+            self.task_accuracy[2] * 100.0,
+            self.mean() * 100.0,
+            self.num_nodes
+        )
+    }
+}
+
+/// The trained (or trainable) Gamora model with its preprocessing pipeline.
+#[derive(Clone, Debug)]
+pub struct GamoraReasoner {
+    config: ReasonerConfig,
+    model: MultiTaskSage,
+}
+
+impl GamoraReasoner {
+    /// Creates an untrained reasoner.
+    pub fn new(config: ReasonerConfig) -> GamoraReasoner {
+        let model = MultiTaskSage::new(config.model_config());
+        GamoraReasoner { config, model }
+    }
+
+    /// The reasoner's configuration.
+    pub fn config(&self) -> &ReasonerConfig {
+        &self.config
+    }
+
+    /// Scalar parameter count of the underlying model.
+    pub fn num_params(&self) -> usize {
+        self.model.num_params()
+    }
+
+    /// Trains on a set of netlists; ground truth comes from exact analysis
+    /// of each (the role ABC's `&atree` plays in the paper).
+    pub fn fit(&mut self, aigs: &[&Aig], cfg: &TrainConfig) -> TrainReport {
+        let data: Vec<GraphData> = aigs
+            .iter()
+            .map(|aig| {
+                labelled_graph(
+                    aig,
+                    self.config.feature_mode,
+                    self.config.direction,
+                    self.config.multi_task,
+                )
+                .0
+            })
+            .collect();
+        let cfg = self.adjust_weights(cfg);
+        train(&mut self.model, &data, &cfg)
+    }
+
+    /// Trains on pre-built graph data (used by benches that cache datasets).
+    pub fn fit_prepared(&mut self, data: &[GraphData], cfg: &TrainConfig) -> TrainReport {
+        let cfg = self.adjust_weights(cfg);
+        train(&mut self.model, data, &cfg)
+    }
+
+    fn adjust_weights(&self, cfg: &TrainConfig) -> TrainConfig {
+        let mut cfg = cfg.clone();
+        if !self.config.multi_task {
+            cfg.task_weights = vec![1.0];
+        }
+        cfg
+    }
+
+    /// Predicts node functions for a netlist.
+    pub fn predict(&mut self, aig: &Aig) -> Predictions {
+        let (graph, features) =
+            inference_graph(aig, self.config.feature_mode, self.config.direction);
+        self.predict_prepared(&graph, &features)
+    }
+
+    /// Predicts node functions on a pre-built graph (or a batch built with
+    /// [`crate::dataset::batch_graphs`]).
+    pub fn predict_prepared(&mut self, graph: &Graph, features: &Matrix) -> Predictions {
+        let logits = self.model.forward(graph, features, false);
+        self.logits_to_predictions(&logits)
+    }
+
+    /// Runs batched inference over several netlists in one forward pass
+    /// (the paper's Figure 8 batching), returning per-netlist predictions.
+    pub fn predict_batch(&mut self, aigs: &[&Aig]) -> Vec<Predictions> {
+        let feats: Vec<Matrix> = aigs
+            .iter()
+            .map(|a| crate::features::build_features(a, self.config.feature_mode))
+            .collect();
+        let parts: Vec<(&Aig, &Matrix)> =
+            aigs.iter().copied().zip(feats.iter()).collect();
+        let (graph, features, offsets) = batch_graphs(&parts, self.config.direction);
+        let merged = self.predict_prepared(&graph, &features);
+        // Split back per netlist.
+        let mut out = Vec::with_capacity(aigs.len());
+        for (i, &aig) in aigs.iter().enumerate() {
+            let start = offsets[i];
+            let end = start + aig.num_nodes();
+            out.push(Predictions {
+                root_leaf: merged.root_leaf[start..end].to_vec(),
+                is_xor: merged.is_xor[start..end].to_vec(),
+                is_maj: merged.is_maj[start..end].to_vec(),
+            });
+        }
+        out
+    }
+
+    fn logits_to_predictions(&self, logits: &[Matrix]) -> Predictions {
+        let n = logits[0].rows();
+        let mut preds = Predictions {
+            root_leaf: Vec::with_capacity(n),
+            is_xor: Vec::with_capacity(n),
+            is_maj: Vec::with_capacity(n),
+        };
+        if self.config.multi_task {
+            for r in 0..n {
+                preds.root_leaf.push(argmax(logits[0].row(r)) as u32);
+                preds.is_xor.push(argmax(logits[1].row(r)) == 1);
+                preds.is_maj.push(argmax(logits[2].row(r)) == 1);
+            }
+        } else {
+            for r in 0..n {
+                let (rl, xor, maj) = decode_joint(argmax(logits[0].row(r)) as u32);
+                preds.root_leaf.push(rl);
+                preds.is_xor.push(xor == 1);
+                preds.is_maj.push(maj == 1);
+            }
+        }
+        preds
+    }
+
+    /// Predicts and scores against exact ground truth.
+    pub fn evaluate(&mut self, aig: &Aig) -> EvalReport {
+        let preds = self.predict(aig);
+        let analysis = gamora_exact::analyze(aig);
+        score_predictions(&preds, &analysis.labels)
+    }
+}
+
+/// Scores predictions against exact labels, task by task.
+///
+/// # Panics
+///
+/// Panics if the node counts differ.
+pub fn score_predictions(preds: &Predictions, labels: &gamora_exact::Labels) -> EvalReport {
+    let n = labels.num_nodes();
+    assert_eq!(preds.num_nodes(), n, "prediction/label node count mismatch");
+    let mut correct = [0usize; 3];
+    for i in 0..n {
+        if preds.root_leaf[i] == labels.root_leaf[i].as_index() as u32 {
+            correct[0] += 1;
+        }
+        if preds.is_xor[i] == labels.is_xor[i] {
+            correct[1] += 1;
+        }
+        if preds.is_maj[i] == labels.is_maj[i] {
+            correct[2] += 1;
+        }
+    }
+    EvalReport {
+        task_accuracy: [
+            correct[0] as f64 / n.max(1) as f64,
+            correct[1] as f64 / n.max(1) as f64,
+            correct[2] as f64 / n.max(1) as f64,
+        ],
+        num_nodes: n,
+    }
+}
+
+/// Estimated peak inference memory in bytes for a graph of `num_nodes`
+/// nodes under a config — the analytic model behind the Figure 8 memory
+/// plot (feature row + two layer activations + concat buffer + logits,
+/// all `f32`, plus CSR overhead per edge).
+pub fn inference_memory_estimate(config: &ReasonerConfig, num_nodes: usize, num_edges: usize) -> usize {
+    let (_, hidden) = match config.depth {
+        ModelDepth::Shallow => (4usize, 32usize),
+        ModelDepth::Deep => (8, 80),
+        ModelDepth::Custom { layers, hidden } => (layers, hidden),
+    };
+    let per_node_f32 = FEATURE_DIM      // input features
+        + 2 * hidden                    // current + aggregated embeddings
+        + 2 * hidden                    // concat buffer
+        + hidden                        // next-layer output
+        + 32                            // shared layer
+        + 8;                            // logits
+    num_nodes * per_node_f32 * 4 + num_edges * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_circuits::csa_multiplier;
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 150,
+            lr: 1e-2,
+            task_weights: vec![0.8, 1.0, 1.0],
+            log_every: 0,
+        }
+    }
+
+    #[test]
+    fn overfits_small_multiplier() {
+        let m = csa_multiplier(4);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom { layers: 3, hidden: 16 },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(&[&m.aig], &quick_cfg());
+        let report = reasoner.evaluate(&m.aig);
+        assert!(report.mean() > 0.9, "{report}");
+    }
+
+    #[test]
+    fn generalises_across_sizes_cheaply() {
+        // Train on 4-bit, evaluate on 8-bit: even a quick run must beat
+        // the majority-class baseline by a wide margin.
+        let train_m = csa_multiplier(4);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom { layers: 3, hidden: 16 },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(&[&train_m.aig], &quick_cfg());
+        let report = reasoner.evaluate(&csa_multiplier(8).aig);
+        assert!(report.mean() > 0.8, "{report}");
+    }
+
+    #[test]
+    fn single_task_predictions_decode() {
+        let m = csa_multiplier(3);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            multi_task: false,
+            depth: ModelDepth::Custom { layers: 2, hidden: 8 },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(&[&m.aig], &TrainConfig { epochs: 5, ..quick_cfg() });
+        let preds = reasoner.predict(&m.aig);
+        assert_eq!(preds.num_nodes(), m.aig.num_nodes());
+        assert!(preds.root_leaf.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn batch_predictions_match_individual() {
+        let m1 = csa_multiplier(3);
+        let m2 = csa_multiplier(4);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom { layers: 2, hidden: 8 },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(&[&m1.aig], &TrainConfig { epochs: 10, ..quick_cfg() });
+        let batched = reasoner.predict_batch(&[&m1.aig, &m2.aig]);
+        let solo1 = reasoner.predict(&m1.aig);
+        let solo2 = reasoner.predict(&m2.aig);
+        assert_eq!(batched[0].root_leaf, solo1.root_leaf);
+        assert_eq!(batched[1].root_leaf, solo2.root_leaf);
+        assert_eq!(batched[1].is_xor, solo2.is_xor);
+    }
+
+    #[test]
+    fn memory_estimate_scales_linearly() {
+        let cfg = ReasonerConfig::default();
+        let small = inference_memory_estimate(&cfg, 1000, 2000);
+        let large = inference_memory_estimate(&cfg, 10_000, 20_000);
+        assert!(large > 9 * small && large < 11 * small);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cut-based detection of adder-relevant functions (XOR2/3, MAJ3, AND2).
+//!
+//! For every AND node we enumerate 3-feasible cuts, shrink each cut function
+//! to its true support and classify it against the NPN-widened XOR/MAJ/AND
+//! classes — the functional-propagation half of conventional symbolic
+//! reasoning (the other half, structural shape hashing, lives in
+//! [`crate::shape`]).
+
+use gamora_aig::cut::{enumerate_cuts, CutParams};
+use gamora_aig::hasher::FxHashMap;
+use gamora_aig::tt::{self, AdderFunc};
+use gamora_aig::{Aig, NodeId};
+
+/// One classified cut of a node.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Candidate {
+    /// The node whose function was classified.
+    pub node: NodeId,
+    /// Sorted cut leaves (first `len` entries used).
+    pub leaves: [u32; 3],
+    /// Number of leaves after support shrinking (2 or 3).
+    pub len: u8,
+    /// The function class of the node over the leaves.
+    pub class: AdderFunc,
+    /// The shrunken truth table over the leaves.
+    pub tt: u64,
+}
+
+impl Candidate {
+    /// The active leaf slice.
+    pub fn leaf_slice(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+}
+
+/// All adder-relevant candidates of a network, indexed for pairing.
+#[derive(Clone, Debug, Default)]
+pub struct Candidates {
+    /// Every classified (node, cut) pair.
+    pub all: Vec<Candidate>,
+    /// Per-node flag: has an XOR2- or XOR3-class cut.
+    pub is_xor: Vec<bool>,
+    /// Per-node flag: has a (full-support) MAJ3-class cut.
+    pub is_maj3: Vec<bool>,
+    /// Index of XOR3 candidates by leaf triple.
+    pub xor3_by_leaves: FxHashMap<[u32; 3], Vec<u32>>,
+    /// Index of MAJ3 candidates by leaf triple.
+    pub maj3_by_leaves: FxHashMap<[u32; 3], Vec<u32>>,
+    /// Index of XOR2 candidates by leaf pair.
+    pub xor2_by_leaves: FxHashMap<[u32; 2], Vec<u32>>,
+    /// Index of HA-carry (monotone AND/OR class) candidates by leaf pair.
+    pub and2_by_leaves: FxHashMap<[u32; 2], Vec<u32>>,
+}
+
+/// Detects and indexes all adder-relevant cut functions.
+///
+/// Functions are classified on their *true* support: a 3-feasible cut whose
+/// function only depends on two leaves is classified as a 2-input function
+/// over those leaves. Duplicate (node, leaves, class) entries are merged.
+pub fn detect(aig: &Aig) -> Candidates {
+    let cuts = enumerate_cuts(aig, &CutParams::for_adder_extraction());
+    let mut cands = Candidates {
+        is_xor: vec![false; aig.num_nodes()],
+        is_maj3: vec![false; aig.num_nodes()],
+        ..Candidates::default()
+    };
+    let mut seen: Vec<(u64, [u32; 3], u8)> = Vec::new();
+    for n in aig.and_ids() {
+        seen.clear();
+        for cut in cuts.of(n) {
+            if cut.is_trivial_of(n) || cut.is_empty() {
+                continue;
+            }
+            let k = cut.len();
+            let (stt, sk, kept) = tt::shrink(cut.tt, k);
+            if sk < 2 {
+                continue; // constants and wires are not adder functions
+            }
+            let mut leaves = [0u32; 3];
+            for (j, &orig) in kept.iter().enumerate() {
+                leaves[j] = cut.leaves()[orig];
+            }
+            let Some(class) = tt::classify_adder_func(stt, sk) else {
+                continue;
+            };
+            let key = (stt, leaves, sk as u8);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let cand = Candidate {
+                node: n,
+                leaves,
+                len: sk as u8,
+                class,
+                tt: stt,
+            };
+            match class {
+                AdderFunc::Xor2 => {
+                    cands.is_xor[n.index()] = true;
+                    cands
+                        .xor2_by_leaves
+                        .entry([leaves[0], leaves[1]])
+                        .or_default()
+                        .push(n.as_u32());
+                }
+                AdderFunc::Xor3 => {
+                    cands.is_xor[n.index()] = true;
+                    cands.xor3_by_leaves.entry(leaves).or_default().push(n.as_u32());
+                }
+                AdderFunc::Maj3 => {
+                    cands.is_maj3[n.index()] = true;
+                    cands.maj3_by_leaves.entry(leaves).or_default().push(n.as_u32());
+                }
+                AdderFunc::And2 => {
+                    // Any product of two literals can be a half-adder carry
+                    // (mixed polarities arise whenever an adder consumes a
+                    // complemented literal, which is routine in AIGs).
+                    // Structural covering during extraction prevents the
+                    // products *inside* XOR cones from pairing spuriously.
+                    cands
+                        .and2_by_leaves
+                        .entry([leaves[0], leaves[1]])
+                        .or_default()
+                        .push(n.as_u32());
+                }
+            }
+            cands.all.push(cand);
+        }
+    }
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_full_adder_functions() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        assert!(cands.is_xor[s.var().index()], "sum is XOR3");
+        assert!(cands.is_maj3[c.var().index()], "carry is MAJ3");
+        let key = [
+            ins[0].var().as_u32(),
+            ins[1].var().as_u32(),
+            ins[2].var().as_u32(),
+        ];
+        assert!(cands.xor3_by_leaves[&key].contains(&s.var().as_u32()));
+        assert!(cands.maj3_by_leaves[&key].contains(&c.var().as_u32()));
+    }
+
+    #[test]
+    fn interior_xor2_detected_with_leg_products() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let x = aig.xor(a, b);
+        aig.add_output(x);
+        let cands = detect(&aig);
+        assert!(cands.is_xor[x.var().index()]);
+        // The two internal legs compute a&!b and !a&b: indexed as AND2
+        // candidates (extraction's cover analysis keeps them from pairing
+        // with their own root).
+        let key = [a.var().as_u32(), b.var().as_u32()];
+        assert_eq!(cands.and2_by_leaves[&key].len(), 2);
+    }
+
+    #[test]
+    fn detects_ha_pair_with_constant_third_input() {
+        // Booth correction slices fold FA(a, b, TRUE) into (XNOR, OR).
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let (s, c) = aig.full_adder(a, b, gamora_aig::Lit::TRUE);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        assert!(cands.is_xor[s.var().index()], "xnor is XOR class");
+        let key = [a.var().as_u32(), b.var().as_u32()];
+        assert!(cands.and2_by_leaves.contains_key(&key), "or is carry class");
+    }
+
+    #[test]
+    fn negated_input_fa_still_detected() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(!ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        assert!(cands.is_xor[s.var().index()]);
+        assert!(cands.is_maj3[c.var().index()], "negated-input MAJ is NPN MAJ");
+    }
+
+    #[test]
+    fn plain_and_is_not_xor_or_maj() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let g = aig.and(a, b);
+        aig.add_output(g);
+        let cands = detect(&aig);
+        assert!(!cands.is_xor[g.var().index()]);
+        assert!(!cands.is_maj3[g.var().index()]);
+        // but it is an HA-carry candidate
+        let key = [a.var().as_u32(), b.var().as_u32()];
+        assert!(cands.and2_by_leaves.contains_key(&key));
+    }
+}

@@ -1,0 +1,322 @@
+//! Pairing of detected XOR/MAJ candidates into full/half adders — the
+//! reproduction of ABC's `&atree` adder-tree extraction (Yu et al.,
+//! TCAD'17), which is both the paper's ground-truth provider and its exact
+//! baseline.
+
+use crate::detect::Candidates;
+use gamora_aig::hasher::FxHashSet;
+use gamora_aig::{Aig, NodeId};
+
+/// Whether an extracted adder is a full (3-input) or half (2-input) slice.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExtractedKind {
+    /// XOR3 + MAJ3 pair.
+    Full,
+    /// XOR2 + AND2/OR2 pair.
+    Half,
+}
+
+/// An adder bitslice recovered from the netlist.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtractedAdder {
+    /// Full or half adder.
+    pub kind: ExtractedKind,
+    /// The sum root (XOR-class node).
+    pub sum: NodeId,
+    /// The carry root (MAJ/AND-class node).
+    pub carry: NodeId,
+    /// Sorted input leaves; `leaves[2]` is `u32::MAX` for half adders.
+    pub leaves: [u32; 3],
+}
+
+impl ExtractedAdder {
+    /// The active leaf slice (2 entries for half adders, 3 for full).
+    pub fn leaf_slice(&self) -> &[u32] {
+        match self.kind {
+            ExtractedKind::Full => &self.leaves,
+            ExtractedKind::Half => &self.leaves[..2],
+        }
+    }
+}
+
+/// Pairs XOR and MAJ/AND candidates with identical leaf sets into adders.
+///
+/// The pass structure mirrors ABC's extraction:
+///
+/// 1. **Full adders first**: every XOR3-class root is matched to a
+///    MAJ3-class node over the same three leaves.
+/// 2. The *interior* nodes of accepted full adders (strictly between roots
+///    and leaves) are marked covered, so the XOR2/AND2 sub-functions that
+///    necessarily exist inside every FA cannot spawn spurious half adders.
+/// 3. **Half adders second**: remaining XOR2 roots are matched to unused,
+///    uncovered AND2-class nodes over the same two leaves.
+///
+/// When several carry candidates share a leaf set (an XOR's internal legs
+/// are themselves 2-literal products, and structural hashing can even merge
+/// the true carry *with* a leg), the partner is chosen by structural role:
+/// prefer candidates that are **maximal** (not interior to another
+/// candidate's cone) and that **escape** the sum cone (have a fanout used
+/// outside the pair) — that is the node whose value the surrounding logic
+/// actually consumes as a carry. The result is deterministic.
+pub fn extract_adders(aig: &Aig, cands: &Candidates) -> Vec<ExtractedAdder> {
+    let n = aig.num_nodes();
+    let mut used = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut adders = Vec::new();
+    let (fan_off, fan_tgt) = aig.fanouts();
+    let mut drives_output = vec![false; n];
+    for o in aig.outputs() {
+        drives_output[o.var().index()] = true;
+    }
+
+    // --- Full-adder pass ---
+    let mut fa_keys: Vec<&[u32; 3]> = cands.xor3_by_leaves.keys().collect();
+    fa_keys.sort();
+    for key in fa_keys {
+        let Some(majs) = cands.maj3_by_leaves.get(key) else {
+            continue;
+        };
+        let mut xors = cands.xor3_by_leaves[key].clone();
+        xors.sort_unstable();
+        let mut majs = majs.clone();
+        majs.sort_unstable();
+        for &x in &xors {
+            if used[x as usize] {
+                continue;
+            }
+            let eligible: Vec<u32> = majs
+                .iter()
+                .copied()
+                .filter(|&m| m != x && !used[m as usize])
+                .collect();
+            let Some(m) =
+                choose_partner(aig, NodeId::new(x), key, &eligible, &fan_off, &fan_tgt, &drives_output)
+            else {
+                continue;
+            };
+            used[x as usize] = true;
+            used[m as usize] = true;
+            adders.push(ExtractedAdder {
+                kind: ExtractedKind::Full,
+                sum: NodeId::new(x),
+                carry: NodeId::new(m),
+                leaves: *key,
+            });
+            mark_covered(aig, NodeId::new(x), key, &mut covered);
+            mark_covered(aig, NodeId::new(m), key, &mut covered);
+        }
+    }
+
+    // --- Half-adder pass ---
+    let mut ha_keys: Vec<&[u32; 2]> = cands.xor2_by_leaves.keys().collect();
+    ha_keys.sort();
+    for key in ha_keys {
+        let Some(ands) = cands.and2_by_leaves.get(key) else {
+            continue;
+        };
+        let mut xors = cands.xor2_by_leaves[key].clone();
+        xors.sort_unstable();
+        let mut ands = ands.clone();
+        ands.sort_unstable();
+        for &x in &xors {
+            if used[x as usize] || covered[x as usize] {
+                continue;
+            }
+            let eligible: Vec<u32> = ands
+                .iter()
+                .copied()
+                .filter(|&c| c != x && !used[c as usize] && !covered[c as usize])
+                .collect();
+            let Some(c) =
+                choose_partner(aig, NodeId::new(x), key, &eligible, &fan_off, &fan_tgt, &drives_output)
+            else {
+                continue;
+            };
+            used[x as usize] = true;
+            used[c as usize] = true;
+            adders.push(ExtractedAdder {
+                kind: ExtractedKind::Half,
+                sum: NodeId::new(x),
+                carry: NodeId::new(c),
+                leaves: [key[0], key[1], u32::MAX],
+            });
+        }
+    }
+
+    adders.sort_by_key(|a| (a.sum, a.carry));
+    adders
+}
+
+/// Picks the carry partner for `sum` among `eligible` candidates.
+///
+/// Ranking: (1) not interior to any other eligible candidate's cone
+/// (outermost), (2) escaping — some fanout lies outside the sum cone and
+/// outside every candidate cone, i.e. the surrounding logic consumes it,
+/// (3) smallest node id for determinism.
+fn choose_partner(
+    aig: &Aig,
+    sum: NodeId,
+    leaves: &[u32],
+    eligible: &[u32],
+    fan_off: &[u32],
+    fan_tgt: &[NodeId],
+    drives_output: &[bool],
+) -> Option<u32> {
+    match eligible {
+        [] => None,
+        [only] => Some(*only),
+        _ => {
+            let sum_cone = interior_of(aig, sum, leaves);
+            let cones: Vec<FxHashSet<u32>> = eligible
+                .iter()
+                .map(|&c| interior_of(aig, NodeId::new(c), leaves))
+                .collect();
+            let mut inside_pair: FxHashSet<u32> = sum_cone.iter().copied().collect();
+            inside_pair.insert(sum.as_u32());
+            for &c in eligible {
+                inside_pair.insert(c);
+            }
+            for cone in &cones {
+                inside_pair.extend(cone.iter().copied());
+            }
+            let mut best: Option<(u32, u32)> = None; // (score, id) — lower wins
+            for (i, &c) in eligible.iter().enumerate() {
+                let maximal = !cones
+                    .iter()
+                    .enumerate()
+                    .any(|(j, cone)| j != i && cone.contains(&c));
+                let escapes = drives_output[c as usize]
+                    || fanouts_of(c, fan_off, fan_tgt)
+                        .iter()
+                        .any(|t| !inside_pair.contains(&t.as_u32()));
+                let score = match (maximal, escapes) {
+                    (true, true) => 0,
+                    (true, false) => 1,
+                    (false, true) => 2,
+                    (false, false) => 3,
+                };
+                if best.is_none_or(|(bs, bid)| (score, c) < (bs, bid)) {
+                    best = Some((score, c));
+                }
+            }
+            best.map(|(_, id)| id)
+        }
+    }
+}
+
+fn fanouts_of<'a>(node: u32, fan_off: &[u32], fan_tgt: &'a [NodeId]) -> &'a [NodeId] {
+    &fan_tgt[fan_off[node as usize] as usize..fan_off[node as usize + 1] as usize]
+}
+
+/// Marks the nodes strictly between `root` and `leaves` as covered.
+fn mark_covered(aig: &Aig, root: NodeId, leaves: &[u32; 3], covered: &mut [bool]) {
+    for n in interior_of(aig, root, leaves) {
+        covered[n as usize] = true;
+    }
+}
+
+/// Collects the nodes strictly between `root` and `leaves` (root and leaves
+/// themselves excluded).
+fn interior_of(aig: &Aig, root: NodeId, leaves: &[u32]) -> FxHashSet<u32> {
+    let leaf_set: FxHashSet<u32> = leaves.iter().copied().collect();
+    let mut interior = FxHashSet::default();
+    let mut stack = vec![root];
+    let mut seen = FxHashSet::default();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if n != root && !leaf_set.contains(&n.as_u32()) {
+            interior.insert(n.as_u32());
+        }
+        if leaf_set.contains(&n.as_u32()) || !aig.is_and(n) {
+            continue;
+        }
+        let (f0, f1) = aig.fanins(n);
+        stack.push(f0.var());
+        stack.push(f1.var());
+    }
+    interior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect;
+
+    #[test]
+    fn extracts_single_full_adder() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.len(), 1, "{adders:?}");
+        let a = adders[0];
+        assert_eq!(a.kind, ExtractedKind::Full);
+        assert_eq!(a.sum, s.var());
+        assert_eq!(a.carry, c.var());
+    }
+
+    #[test]
+    fn extracts_single_half_adder() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let (s, c) = aig.half_adder(a, b);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.len(), 1, "{adders:?}");
+        assert_eq!(adders[0].kind, ExtractedKind::Half);
+        assert_eq!(adders[0].sum, s.var());
+        assert_eq!(adders[0].carry, c.var());
+    }
+
+    #[test]
+    fn fa_interior_does_not_spawn_half_adders() {
+        // A lone full adder contains an (XOR2, AND2) pair over (a, b)
+        // inside its cones; the covered mask must suppress it.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.iter().filter(|a| a.kind == ExtractedKind::Half).count(), 0);
+    }
+
+    #[test]
+    fn shared_xor_serves_one_adder_only() {
+        // Two MAJ gates over the same inputs but only one XOR3: only one FA.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        // A second, structurally distinct MAJ over the same inputs.
+        let t0 = aig.and(ins[0], ins[1]);
+        let t1 = aig.and(ins[0], ins[2]);
+        let t2 = aig.and(ins[1], ins[2]);
+        let o1 = aig.or(t0, t1);
+        let c2 = aig.or(o1, t2);
+        aig.add_output(s);
+        aig.add_output(c);
+        aig.add_output(c2);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.iter().filter(|a| a.kind == ExtractedKind::Full).count(), 1);
+    }
+
+    #[test]
+    fn no_adders_in_random_and_tree(){
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(8);
+        let root = aig.and_multi(&ins);
+        aig.add_output(root);
+        let cands = detect(&aig);
+        assert!(extract_adders(&aig, &cands).is_empty());
+    }
+}

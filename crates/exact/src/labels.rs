@@ -1,0 +1,196 @@
+//! Ground-truth task labels derived from exact detection and extraction.
+//!
+//! These are the three node-classification targets of the paper's
+//! multi-task GNN:
+//!
+//! * **Task 1** — adder boundary: is the node a *root* (sum or carry of an
+//!   extracted adder), a *leaf* (input of an extracted adder), both, or
+//!   neither;
+//! * **Task 2** — XOR: does the node compute an XOR2/XOR3-class function
+//!   over some cut (interior XORs included, per the paper's Figure 3);
+//! * **Task 3** — MAJ: does the node compute a full-support MAJ3-class
+//!   function, or serve as the carry of an extracted half adder
+//!   (`MAJ3(a, b, 0)` in the paper's notation).
+
+use crate::detect::Candidates;
+use crate::extract::ExtractedAdder;
+use gamora_aig::Aig;
+
+/// Task-1 class of a node.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum RootLeafClass {
+    /// Not part of any extracted adder boundary.
+    #[default]
+    Other = 0,
+    /// Sum or carry root of an extracted adder.
+    Root = 1,
+    /// Input leaf of an extracted adder.
+    Leaf = 2,
+    /// Root of one adder and leaf of another (e.g. a carry feeding the
+    /// next slice).
+    RootAndLeaf = 3,
+}
+
+impl RootLeafClass {
+    /// Number of task-1 classes.
+    pub const COUNT: usize = 4;
+
+    /// The class as a small integer (its softmax index).
+    pub fn as_index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a class from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => RootLeafClass::Other,
+            1 => RootLeafClass::Root,
+            2 => RootLeafClass::Leaf,
+            3 => RootLeafClass::RootAndLeaf,
+            _ => panic!("invalid RootLeafClass index {i}"),
+        }
+    }
+
+    /// Whether the class includes the root role.
+    pub fn is_root(self) -> bool {
+        matches!(self, RootLeafClass::Root | RootLeafClass::RootAndLeaf)
+    }
+
+    /// Whether the class includes the leaf role.
+    pub fn is_leaf(self) -> bool {
+        matches!(self, RootLeafClass::Leaf | RootLeafClass::RootAndLeaf)
+    }
+}
+
+/// Per-node ground-truth labels for the three tasks.
+#[derive(Clone, Debug)]
+pub struct Labels {
+    /// Task 1: adder boundary class per node.
+    pub root_leaf: Vec<RootLeafClass>,
+    /// Task 2: XOR-class flag per node.
+    pub is_xor: Vec<bool>,
+    /// Task 3: MAJ-class flag per node.
+    pub is_maj: Vec<bool>,
+}
+
+impl Labels {
+    /// Number of labelled nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.root_leaf.len()
+    }
+
+    /// Counts of (roots, leaves, xor positives, maj positives).
+    pub fn summary(&self) -> (usize, usize, usize, usize) {
+        let roots = self.root_leaf.iter().filter(|c| c.is_root()).count();
+        let leaves = self.root_leaf.iter().filter(|c| c.is_leaf()).count();
+        let xors = self.is_xor.iter().filter(|&&b| b).count();
+        let majs = self.is_maj.iter().filter(|&&b| b).count();
+        (roots, leaves, xors, majs)
+    }
+}
+
+/// Builds per-node labels from detection candidates and extracted adders.
+pub fn build_labels(aig: &Aig, cands: &Candidates, adders: &[ExtractedAdder]) -> Labels {
+    let n = aig.num_nodes();
+    let mut root = vec![false; n];
+    let mut leaf = vec![false; n];
+    let mut is_maj = cands.is_maj3.clone();
+    for a in adders {
+        root[a.sum.index()] = true;
+        root[a.carry.index()] = true;
+        for &l in a.leaf_slice() {
+            leaf[l as usize] = true;
+        }
+        // HA carries are MAJ3(a, b, 0) in the paper's labelling.
+        is_maj[a.carry.index()] = true;
+    }
+    let root_leaf = (0..n)
+        .map(|i| match (root[i], leaf[i]) {
+            (false, false) => RootLeafClass::Other,
+            (true, false) => RootLeafClass::Root,
+            (false, true) => RootLeafClass::Leaf,
+            (true, true) => RootLeafClass::RootAndLeaf,
+        })
+        .collect();
+    Labels {
+        root_leaf,
+        is_xor: cands.is_xor.clone(),
+        is_maj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect;
+    use crate::extract::extract_adders;
+
+    #[test]
+    fn chained_adders_make_root_and_leaf() {
+        // FA1 feeds its carry into FA2: the carry is root of FA1 and leaf
+        // of FA2.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(5);
+        let (s1, c1) = aig.full_adder(ins[0], ins[1], ins[2]);
+        let (s2, c2) = aig.full_adder(c1, ins[3], ins[4]);
+        for l in [s1, c1, s2, c2] {
+            aig.add_output(l);
+        }
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.len(), 2);
+        let labels = build_labels(&aig, &cands, &adders);
+        assert_eq!(labels.root_leaf[c1.var().index()], RootLeafClass::RootAndLeaf);
+        assert_eq!(labels.root_leaf[s1.var().index()], RootLeafClass::Root);
+        assert_eq!(labels.root_leaf[ins[0].var().index()], RootLeafClass::Leaf);
+    }
+
+    #[test]
+    fn ha_carry_labelled_maj() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let (s, c) = aig.half_adder(a, b);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        let labels = build_labels(&aig, &cands, &adders);
+        assert!(labels.is_maj[c.var().index()], "HA carry = MAJ3(a,b,0)");
+        assert!(labels.is_xor[s.var().index()]);
+    }
+
+    #[test]
+    fn class_roundtrip_and_roles() {
+        for i in 0..RootLeafClass::COUNT {
+            assert_eq!(RootLeafClass::from_index(i).as_index(), i);
+        }
+        assert!(RootLeafClass::Root.is_root());
+        assert!(!RootLeafClass::Root.is_leaf());
+        assert!(RootLeafClass::RootAndLeaf.is_root());
+        assert!(RootLeafClass::RootAndLeaf.is_leaf());
+        assert!(!RootLeafClass::Other.is_root());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        let labels = build_labels(&aig, &cands, &adders);
+        let (roots, leaves, xors, majs) = labels.summary();
+        assert_eq!(roots, 2);
+        assert_eq!(leaves, 3);
+        assert!(xors >= 2); // xor3 root + interior xor2
+        assert_eq!(majs, 1);
+    }
+}

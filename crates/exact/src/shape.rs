@@ -1,0 +1,158 @@
+//! Structural shape hashing — the structural half of conventional
+//! word-level abstraction (WordRev-style), and the direct classical
+//! analogue of GNN message passing.
+//!
+//! A node's *shape* at depth `d` is the structure of its backward-reachable
+//! subgraph within `d` steps. Conventional tools compare explicit shapes
+//! (memory-hungry); we compute iterated hash refinements
+//! (Weisfeiler-Lehman style), which converge to the same equivalence
+//! classes with linear memory. [`cone_sizes`] quantifies the memory an
+//! explicit-shape implementation would need, which is what makes the
+//! conventional flow expensive on large networks.
+
+use gamora_aig::hasher::{FxHashMap, FxHashSet};
+use gamora_aig::{Aig, NodeId, NodeKind};
+
+/// Iterated structural hash refinement.
+///
+/// Round 0 distinguishes node kinds only; each further round mixes a node's
+/// hash with its fanins' hashes and edge polarities. Two nodes with equal
+/// depth-`d` shapes receive equal hashes (the converse holds modulo hash
+/// collisions).
+pub fn shape_hashes(aig: &Aig, depth: usize) -> Vec<u64> {
+    let mut h: Vec<u64> = aig
+        .node_ids()
+        .map(|n| match aig.kind(n) {
+            NodeKind::Const0 => 0x9E37_79B9_7F4A_7C15,
+            NodeKind::Input => 0xC2B2_AE3D_27D4_EB4F,
+            NodeKind::And => 0x1656_67B1_9E37_79F9,
+        })
+        .collect();
+    let mut next = h.clone();
+    for _ in 0..depth {
+        for n in aig.node_ids() {
+            if aig.kind(n) != NodeKind::And {
+                continue;
+            }
+            let (f0, f1) = aig.fanins(n);
+            let a = mix(h[f0.var().index()], f0.is_complement() as u64);
+            let b = mix(h[f1.var().index()], f1.is_complement() as u64);
+            // Order-independent combine keeps the hash symmetric in fanins,
+            // like shape equality.
+            let combined = a.wrapping_add(b) ^ a.wrapping_mul(b | 1);
+            next[n.index()] = mix(h[n.index()], combined);
+        }
+        std::mem::swap(&mut h, &mut next);
+    }
+    h
+}
+
+#[inline]
+fn mix(x: u64, y: u64) -> u64 {
+    let mut v = x ^ y.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    v ^= v >> 33;
+    v
+}
+
+/// Groups nodes by shape hash; the map value is the class member list.
+pub fn shape_classes(hashes: &[u64]) -> FxHashMap<u64, Vec<NodeId>> {
+    let mut classes: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
+    for (i, &h) in hashes.iter().enumerate() {
+        classes.entry(h).or_default().push(NodeId::new(i as u32));
+    }
+    classes
+}
+
+/// Size of each node's backward-reachable cone within `depth` steps — the
+/// per-node memory footprint of *explicit* shape hashing. The sum over all
+/// nodes is the total workspace a conventional implementation needs.
+pub fn cone_sizes(aig: &Aig, depth: usize) -> Vec<u32> {
+    let mut sizes = vec![0u32; aig.num_nodes()];
+    let mut visited = FxHashSet::default();
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for n in aig.node_ids() {
+        visited.clear();
+        stack.clear();
+        stack.push((n, 0));
+        while let Some((v, d)) = stack.pop() {
+            if !visited.insert(v) {
+                continue;
+            }
+            if d < depth && aig.is_and(v) {
+                let (f0, f1) = aig.fanins(v);
+                stack.push((f0.var(), d + 1));
+                stack.push((f1.var(), d + 1));
+            }
+        }
+        sizes[n.index()] = visited.len() as u32;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_positions_share_shapes() {
+        // Two independent full adders: corresponding nodes have identical
+        // shapes at every depth.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs(3);
+        let ys = aig.add_inputs(3);
+        let (s1, c1) = aig.full_adder(xs[0], xs[1], xs[2]);
+        let (s2, c2) = aig.full_adder(ys[0], ys[1], ys[2]);
+        for l in [s1, c1, s2, c2] {
+            aig.add_output(l);
+        }
+        let h = shape_hashes(&aig, 6);
+        assert_eq!(h[s1.var().index()], h[s2.var().index()]);
+        assert_eq!(h[c1.var().index()], h[c2.var().index()]);
+        assert_ne!(h[s1.var().index()], h[c1.var().index()]);
+    }
+
+    #[test]
+    fn depth_zero_separates_kinds_only() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let x = aig.and(a, b);
+        let y = aig.or(a, b);
+        aig.add_output(x);
+        aig.add_output(y);
+        let h = shape_hashes(&aig, 0);
+        assert_eq!(h[a.var().index()], h[b.var().index()]);
+        assert_eq!(h[x.var().index()], h[y.var().index()]);
+        assert_ne!(h[a.var().index()], h[x.var().index()]);
+        // One refinement round separates AND from OR (polarity pattern).
+        let h1 = shape_hashes(&aig, 1);
+        assert_ne!(h1[x.var().index()], h1[y.var().index()]);
+    }
+
+    #[test]
+    fn classes_partition_nodes() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(4);
+        let r = aig.and_multi(&ins);
+        aig.add_output(r);
+        let h = shape_hashes(&aig, 3);
+        let classes = shape_classes(&h);
+        let total: usize = classes.values().map(Vec::len).sum();
+        assert_eq!(total, aig.num_nodes());
+    }
+
+    #[test]
+    fn cone_sizes_grow_with_depth() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(8);
+        let r = aig.xor_multi(&ins);
+        aig.add_output(r);
+        let s1 = cone_sizes(&aig, 1);
+        let s4 = cone_sizes(&aig, 4);
+        let root = r.var().index();
+        assert!(s4[root] > s1[root]);
+        assert_eq!(s1[0], 1); // constant node sees only itself
+    }
+}

@@ -1,0 +1,227 @@
+//! Word-level aggregation of extracted adders and comparison against
+//! generator provenance.
+
+use crate::extract::{ExtractedAdder, ExtractedKind};
+use gamora_aig::hasher::FxHashMap;
+use gamora_aig::NodeId;
+use std::fmt;
+
+/// An extracted adder tree with rank structure.
+#[derive(Clone, Debug)]
+pub struct AdderTree {
+    /// The adders, in the order produced by extraction.
+    pub adders: Vec<ExtractedAdder>,
+    /// Rank of each adder: 0 if no leaf is another adder's output, else
+    /// 1 + max rank over producing adders (carry-chain depth).
+    pub ranks: Vec<u32>,
+}
+
+impl AdderTree {
+    /// Number of full adders.
+    pub fn num_full(&self) -> usize {
+        self.adders
+            .iter()
+            .filter(|a| a.kind == ExtractedKind::Full)
+            .count()
+    }
+
+    /// Number of half adders.
+    pub fn num_half(&self) -> usize {
+        self.adders
+            .iter()
+            .filter(|a| a.kind == ExtractedKind::Half)
+            .count()
+    }
+
+    /// Depth of the tree (max rank + 1), 0 when empty.
+    pub fn depth(&self) -> usize {
+        self.ranks.iter().map(|&r| r as usize + 1).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AdderTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adder tree: {} FA + {} HA, depth {}",
+            self.num_full(),
+            self.num_half(),
+            self.depth()
+        )
+    }
+}
+
+/// Builds the rank structure over extracted adders by following which
+/// adder's outputs (sum or carry) feed which adder's leaves.
+pub fn build_tree(adders: &[ExtractedAdder]) -> AdderTree {
+    let mut producer: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, a) in adders.iter().enumerate() {
+        producer.insert(a.sum.as_u32(), i);
+        producer.insert(a.carry.as_u32(), i);
+    }
+    let mut ranks = vec![u32::MAX; adders.len()];
+    // Adders were sorted by (sum, carry) node id which is topological
+    // enough for a fixpoint loop; iterate until stable.
+    let mut changed = true;
+    let mut guard = 0;
+    while changed {
+        changed = false;
+        guard += 1;
+        assert!(guard <= adders.len() + 2, "rank computation diverged");
+        for i in 0..adders.len() {
+            let mut rank = 0u32;
+            let mut ready = true;
+            for &leaf in adders[i].leaf_slice() {
+                if let Some(&p) = producer.get(&leaf) {
+                    if p == i {
+                        continue; // self-reference cannot happen in a DAG
+                    }
+                    if ranks[p] == u32::MAX {
+                        ready = false;
+                        break;
+                    }
+                    rank = rank.max(ranks[p] + 1);
+                }
+            }
+            if ready && ranks[i] != rank {
+                ranks[i] = rank;
+                changed = true;
+            }
+        }
+    }
+    for r in &mut ranks {
+        if *r == u32::MAX {
+            *r = 0;
+        }
+    }
+    AdderTree {
+        adders: adders.to_vec(),
+        ranks,
+    }
+}
+
+/// Outcome of comparing an extraction against a reference placement.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TreeComparison {
+    /// Reference adders found by extraction (same sum and carry node).
+    pub matched: usize,
+    /// Reference adders the extraction missed.
+    pub missing: usize,
+    /// Extracted adders with no reference counterpart.
+    pub spurious: usize,
+}
+
+impl TreeComparison {
+    /// Recall against the reference (1.0 when nothing is missing).
+    pub fn recall(&self) -> f64 {
+        if self.matched + self.missing == 0 {
+            1.0
+        } else {
+            self.matched as f64 / (self.matched + self.missing) as f64
+        }
+    }
+
+    /// Precision of the extraction (1.0 when nothing is spurious).
+    pub fn precision(&self) -> f64 {
+        if self.matched + self.spurious == 0 {
+            1.0
+        } else {
+            self.matched as f64 / (self.matched + self.spurious) as f64
+        }
+    }
+}
+
+impl fmt::Display for TreeComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matched {} / missing {} / spurious {} (recall {:.3}, precision {:.3})",
+            self.matched,
+            self.missing,
+            self.spurious,
+            self.recall(),
+            self.precision()
+        )
+    }
+}
+
+/// Compares extracted adders against reference `(sum, carry)` node pairs.
+pub fn compare_with_reference(
+    extracted: &[ExtractedAdder],
+    reference: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> TreeComparison {
+    let got: std::collections::BTreeSet<(u32, u32)> = extracted
+        .iter()
+        .map(|a| (a.sum.as_u32(), a.carry.as_u32()))
+        .collect();
+    let want: std::collections::BTreeSet<(u32, u32)> = reference
+        .into_iter()
+        .map(|(s, c)| (s.as_u32(), c.as_u32()))
+        .collect();
+    TreeComparison {
+        matched: got.intersection(&want).count(),
+        missing: want.difference(&got).count(),
+        spurious: got.difference(&want).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect;
+    use crate::extract::extract_adders;
+    use gamora_aig::Aig;
+
+    #[test]
+    fn ripple_chain_has_linear_depth() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(9);
+        let mut carry = ins[0];
+        let mut outs = Vec::new();
+        for i in 0..4 {
+            let (s, c) = aig.full_adder(ins[2 * i + 1], ins[2 * i + 2], carry);
+            outs.push(s);
+            carry = c;
+        }
+        outs.push(carry);
+        for o in outs {
+            aig.add_output(o);
+        }
+        let cands = detect(&aig);
+        let adders = extract_adders(&aig, &cands);
+        assert_eq!(adders.len(), 4);
+        let tree = build_tree(&adders);
+        assert_eq!(tree.num_full(), 4);
+        assert_eq!(tree.depth(), 4, "carry chain ranks: {:?}", tree.ranks);
+    }
+
+    #[test]
+    fn comparison_accounting() {
+        let extracted = vec![ExtractedAdder {
+            kind: ExtractedKind::Half,
+            sum: NodeId::new(5),
+            carry: NodeId::new(6),
+            leaves: [1, 2, u32::MAX],
+        }];
+        let cmp = compare_with_reference(
+            &extracted,
+            vec![
+                (NodeId::new(5), NodeId::new(6)),
+                (NodeId::new(9), NodeId::new(10)),
+            ],
+        );
+        assert_eq!(cmp.matched, 1);
+        assert_eq!(cmp.missing, 1);
+        assert_eq!(cmp.spurious, 0);
+        assert!((cmp.recall() - 0.5).abs() < 1e-9);
+        assert!((cmp.precision() - 1.0).abs() < 1e-9);
+        assert!(cmp.to_string().contains("matched 1"));
+    }
+
+    #[test]
+    fn empty_comparison_is_perfect() {
+        let cmp = compare_with_reference(&[], Vec::new());
+        assert_eq!(cmp.recall(), 1.0);
+        assert_eq!(cmp.precision(), 1.0);
+    }
+}

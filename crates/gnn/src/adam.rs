@@ -1,0 +1,106 @@
+//! The Adam optimiser (Kingma & Ba) over flat parameter slices.
+
+/// Adam state: first/second moment estimates per parameter tensor.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an optimiser with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step to `pairs` of (parameters, gradients).
+    ///
+    /// Moment buffers are allocated lazily on first call; the number and
+    /// shapes of tensors must stay identical across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor list changes shape between steps.
+    pub fn step(&mut self, pairs: Vec<(&mut [f32], &[f32])>) {
+        if self.m.is_empty() {
+            self.m = pairs.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(pairs.len(), self.m.len(), "parameter tensor count changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (i, (param, grad)) in pairs.into_iter().enumerate() {
+            assert_eq!(param.len(), grad.len());
+            assert_eq!(param.len(), self.m[i].len(), "tensor {i} changed size");
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for j in 0..param.len() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * grad[j];
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * grad[j] * grad[j];
+                let m_hat = m[j] / bc1;
+                let v_hat = v[j] / bc2;
+                param[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam must descend a simple quadratic: f(x) = (x - 3)^2.
+    #[test]
+    fn minimises_quadratic() {
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let grad = vec![2.0 * (x[0] - 3.0)];
+            opt.step(vec![(&mut x, &grad)]);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    /// Two tensors with different shapes update independently.
+    #[test]
+    fn multi_tensor_updates() {
+        let mut a = vec![1.0f32, -1.0];
+        let mut b = vec![5.0f32];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..800 {
+            let ga: Vec<f32> = a.iter().map(|x| 2.0 * x).collect(); // min at 0
+            let gb: Vec<f32> = b.iter().map(|x| 2.0 * (x - 2.0)).collect(); // min at 2
+            opt.step(vec![(&mut a, &ga), (&mut b, &gb)]);
+        }
+        assert!(a.iter().all(|x| x.abs() < 0.05), "{a:?}");
+        assert!((b[0] - 2.0).abs() < 0.05, "{b:?}");
+    }
+
+    #[test]
+    fn first_step_magnitude_close_to_lr() {
+        // With bias correction, the first step has magnitude ~lr.
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.01);
+        opt.step(vec![(&mut x, &[1.0f32][..])]);
+        assert!((x[0] + 0.01).abs() < 1e-4, "{}", x[0]);
+    }
+}

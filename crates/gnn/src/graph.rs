@@ -1,0 +1,245 @@
+//! CSR graphs and mean-aggregation message passing.
+
+use crate::parallel;
+use crate::tensor::Matrix;
+
+/// Which way messages flow over a directed edge list.
+///
+/// The AIG's natural edges run fanin → node. Adder roots must "see" their
+/// sibling root through a shared fanin (two hops against the edge
+/// direction), so the paper-faithful default in the pipeline crate is
+/// [`Direction::Bidirectional`]; the others exist for the ablation bench.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Direction {
+    /// Aggregate from fanins (edge sources).
+    Fanin,
+    /// Aggregate from fanouts (edge targets).
+    Fanout,
+    /// Aggregate from both (symmetrised adjacency).
+    #[default]
+    Bidirectional,
+}
+
+/// A fixed graph in CSR form with forward and reverse adjacency, ready for
+/// mean aggregation and its backward pass.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    num_nodes: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    rev_offsets: Vec<u32>,
+    rev_neighbors: Vec<u32>,
+    /// 1 / degree(v) for the forward adjacency (0 for isolated nodes).
+    inv_deg: Vec<f32>,
+}
+
+impl Graph {
+    /// Builds a graph from `(src, dst)` edges under the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of `0..num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)], direction: Direction) -> Graph {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(match direction {
+            Direction::Bidirectional => edges.len() * 2,
+            _ => edges.len(),
+        });
+        for &(s, d) in edges {
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "edge ({s}, {d}) out of range"
+            );
+            match direction {
+                Direction::Fanin => pairs.push((d, s)),    // node gathers from fanin
+                Direction::Fanout => pairs.push((s, d)),   // node gathers from fanout
+                Direction::Bidirectional => {
+                    pairs.push((d, s));
+                    pairs.push((s, d));
+                }
+            }
+        }
+        let (offsets, neighbors) = build_csr(num_nodes, &pairs);
+        let rev_pairs: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+        let (rev_offsets, rev_neighbors) = build_csr(num_nodes, &rev_pairs);
+        let inv_deg = (0..num_nodes)
+            .map(|v| {
+                let deg = offsets[v + 1] - offsets[v];
+                if deg == 0 {
+                    0.0
+                } else {
+                    1.0 / deg as f32
+                }
+            })
+            .collect();
+        Graph {
+            num_nodes,
+            offsets,
+            neighbors,
+            rev_offsets,
+            rev_neighbors,
+            inv_deg,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (directed) aggregation edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The aggregation neighborhood of node `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Mean aggregation: `out[v] = mean_{u in N(v)} h[u]` (zero row when
+    /// `N(v)` is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows() != num_nodes`.
+    pub fn mean_aggregate(&self, h: &Matrix) -> Matrix {
+        assert_eq!(h.rows(), self.num_nodes, "one embedding row per node");
+        let dim = h.cols();
+        let mut out = Matrix::zeros(self.num_nodes, dim);
+        parallel::for_each_row(out.as_mut_slice(), dim.max(1), |v, row| {
+            let neigh = self.neighbors(v);
+            if neigh.is_empty() {
+                return;
+            }
+            for &u in neigh {
+                for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                    *o += x;
+                }
+            }
+            let inv = self.inv_deg[v];
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        });
+        out
+    }
+
+    /// Backward of [`Graph::mean_aggregate`]: given `d(out)`, returns
+    /// `d(h)` where `d(h)[u] = Σ_{v : u ∈ N(v)} d(out)[v] / deg(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.rows() != num_nodes`.
+    pub fn mean_aggregate_backward(&self, grad: &Matrix) -> Matrix {
+        assert_eq!(grad.rows(), self.num_nodes);
+        let dim = grad.cols();
+        let mut out = Matrix::zeros(self.num_nodes, dim);
+        parallel::for_each_row(out.as_mut_slice(), dim.max(1), |u, row| {
+            let consumers =
+                &self.rev_neighbors[self.rev_offsets[u] as usize..self.rev_offsets[u + 1] as usize];
+            for &v in consumers {
+                let inv = self.inv_deg[v as usize];
+                for (o, &g) in row.iter_mut().zip(grad.row(v as usize)) {
+                    *o += g * inv;
+                }
+            }
+        });
+        out
+    }
+}
+
+fn build_csr(num_nodes: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; num_nodes + 1];
+    for &(v, _) in pairs {
+        counts[v as usize + 1] += 1;
+    }
+    for i in 0..num_nodes {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0u32; pairs.len()];
+    for &(v, u) in pairs {
+        let slot = &mut cursor[v as usize];
+        neighbors[*slot as usize] = u;
+        *slot += 1;
+    }
+    (offsets, neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0 -> 1 -> 2.
+    fn path() -> Vec<(u32, u32)> {
+        vec![(0, 1), (1, 2)]
+    }
+
+    #[test]
+    fn fanin_neighbors() {
+        let g = Graph::from_edges(3, &path(), Direction::Fanin);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn bidirectional_neighbors() {
+        let g = Graph::from_edges(3, &path(), Direction::Bidirectional);
+        assert_eq!(g.neighbors(1).len(), 2);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn mean_aggregation_values() {
+        let g = Graph::from_edges(3, &path(), Direction::Bidirectional);
+        let h = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 2.0, 4.0, 4.0]);
+        let agg = g.mean_aggregate(&h);
+        // node 1 averages nodes 0 and 2 -> (2.5, 2.0)
+        assert_eq!(agg.row(1), &[2.5, 2.0]);
+        // node 0 sees only node 1
+        assert_eq!(agg.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn isolated_nodes_aggregate_zero() {
+        let g = Graph::from_edges(4, &[(0, 1)], Direction::Fanin);
+        let h = Matrix::from_vec(4, 1, vec![5.0, 6.0, 7.0, 8.0]);
+        let agg = g.mean_aggregate(&h);
+        assert_eq!(agg.row(3), &[0.0]);
+        assert_eq!(agg.row(0), &[0.0]); // fanin of 0 is empty
+        assert_eq!(agg.row(1), &[5.0]);
+    }
+
+    /// The backward pass must be the exact adjoint of the forward pass:
+    /// <A x, y> == <x, A^T y> for all x, y.
+    #[test]
+    fn backward_is_adjoint_of_forward() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 17;
+        let edges: Vec<(u32, u32)> = (0..40)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        for dir in [Direction::Fanin, Direction::Fanout, Direction::Bidirectional] {
+            let g = Graph::from_edges(n, &edges, dir);
+            let dim = 3;
+            let x = Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let y = Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let ax = g.mean_aggregate(&x);
+            let aty = g.mean_aggregate_backward(&y);
+            let dot = |a: &Matrix, b: &Matrix| -> f64 {
+                a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .map(|(&p, &q)| p as f64 * q as f64)
+                    .sum()
+            };
+            let lhs = dot(&ax, &y);
+            let rhs = dot(&x, &aty);
+            assert!((lhs - rhs).abs() < 1e-4, "{dir:?}: {lhs} vs {rhs}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # gamora-gnn
+//!
+//! A from-scratch GraphSAGE stack: everything needed to train and run the
+//! paper's multi-task node classifier without an external deep-learning
+//! framework (the "thin GNN ecosystem" substitution of this reproduction).
+//!
+//! * [`Matrix`] — dense tensors with multi-threaded matmul kernels
+//!   (crossbeam row blocks stand in for the paper's GPU);
+//! * [`Graph`] — CSR message passing with exact adjoint backward;
+//! * [`SageLayer`]/[`Linear`] — layers with hand-derived backward passes,
+//!   validated by finite-difference gradient checks;
+//! * [`MultiTaskSage`] — K-layer trunk + shared linear + per-task softmax
+//!   heads (hard parameter sharing, paper Eq. 2);
+//! * [`Adam`], [`train`] — optimisation and full-batch multi-task training.
+//!
+//! ```
+//! use gamora_gnn::{Direction, Graph, Matrix, ModelConfig, MultiTaskSage};
+//! let graph = Graph::from_edges(4, &[(0, 2), (1, 2), (2, 3)], Direction::Bidirectional);
+//! let mut model = MultiTaskSage::new(ModelConfig {
+//!     in_dim: 3, hidden: 8, layers: 2, shared_dim: 8,
+//!     task_classes: vec![4, 2, 2], seed: 1,
+//! });
+//! let x = Matrix::zeros(4, 3);
+//! let logits = model.forward(&graph, &x, false);
+//! assert_eq!(logits.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adam;
+mod graph;
+mod layers;
+pub mod loss;
+mod model;
+pub mod parallel;
+mod tensor;
+mod trainer;
+
+pub use adam::Adam;
+pub use graph::{Direction, Graph};
+pub use layers::{Linear, SageLayer};
+pub use model::{ModelConfig, MultiTaskSage};
+pub use tensor::Matrix;
+pub use trainer::{evaluate, train, GraphData, TrainConfig, TrainReport};

@@ -1,0 +1,264 @@
+//! The multi-task GraphSAGE model of the paper (§III-B).
+//!
+//! `K` GraphSAGE layers produce node embeddings that fuse structural and
+//! functional information; a shared linear layer (hard parameter sharing)
+//! feeds one softmax classification head per task. The paper's two
+//! configurations are provided as constructors: a *shallow* 4-layer /
+//! 32-hidden model for CSA multipliers and a *deep* 8-layer / 80-hidden
+//! model for Booth multipliers and complex technology mapping.
+
+use crate::graph::Graph;
+use crate::layers::{Linear, SageLayer};
+use crate::tensor::Matrix;
+use rand::SeedableRng;
+
+/// Hyper-parameters of a [`MultiTaskSage`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Input feature width (3 in the paper: node type + two edge
+    /// complement flags).
+    pub in_dim: usize,
+    /// Hidden channel width of every SAGE layer.
+    pub hidden: usize,
+    /// Number of SAGE layers (the K-hop fusion radius).
+    pub layers: usize,
+    /// Width of the shared post-embedding linear layer.
+    pub shared_dim: usize,
+    /// Output classes per task (e.g. `[4, 2, 2]`: root/leaf, XOR, MAJ).
+    pub task_classes: Vec<usize>,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's shallow model: 4 layers, 32 hidden channels.
+    pub fn shallow(in_dim: usize, task_classes: Vec<usize>) -> ModelConfig {
+        ModelConfig {
+            in_dim,
+            hidden: 32,
+            layers: 4,
+            shared_dim: 32,
+            task_classes,
+            seed: 0x6A3017A,
+        }
+    }
+
+    /// The paper's deep model: 8 layers, 80 hidden channels.
+    pub fn deep(in_dim: usize, task_classes: Vec<usize>) -> ModelConfig {
+        ModelConfig {
+            hidden: 80,
+            layers: 8,
+            ..ModelConfig::shallow(in_dim, task_classes)
+        }
+    }
+}
+
+/// Multi-task GraphSAGE: shared trunk, shared linear, per-task heads.
+#[derive(Clone, Debug)]
+pub struct MultiTaskSage {
+    config: ModelConfig,
+    sage: Vec<SageLayer>,
+    shared: Linear,
+    heads: Vec<Linear>,
+}
+
+impl MultiTaskSage {
+    /// Builds a model with Glorot-initialised weights (deterministic in
+    /// `config.seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `task_classes` is empty.
+    pub fn new(config: ModelConfig) -> MultiTaskSage {
+        assert!(config.layers > 0, "at least one SAGE layer");
+        assert!(!config.task_classes.is_empty(), "at least one task");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut sage = Vec::with_capacity(config.layers);
+        for l in 0..config.layers {
+            let in_dim = if l == 0 { config.in_dim } else { config.hidden };
+            sage.push(SageLayer::new(in_dim, config.hidden, &mut rng));
+        }
+        let shared = Linear::new(config.hidden, config.shared_dim, true, &mut rng);
+        let heads = config
+            .task_classes
+            .iter()
+            .map(|&c| Linear::new(config.shared_dim, c, false, &mut rng))
+            .collect();
+        MultiTaskSage {
+            config,
+            sage,
+            shared,
+            heads,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of tasks (classification heads).
+    pub fn num_tasks(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.sage.iter().map(SageLayer::num_params).sum::<usize>()
+            + self.shared.num_params()
+            + self.heads.iter().map(Linear::num_params).sum::<usize>()
+    }
+
+    /// Forward pass: per-task logits, one row per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong feature width or row count.
+    pub fn forward(&mut self, graph: &Graph, x: &Matrix, train: bool) -> Vec<Matrix> {
+        assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
+        assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
+        let mut h = x.clone();
+        for layer in &mut self.sage {
+            h = layer.forward(graph, &h, train);
+        }
+        let z = self.shared.forward(&h, train);
+        self.heads
+            .iter_mut()
+            .map(|head| head.forward(&z, train))
+            .collect()
+    }
+
+    /// Backward pass from per-task logit gradients (after a training-mode
+    /// forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != num_tasks()`.
+    pub fn backward(&mut self, graph: &Graph, grads: &[Matrix]) {
+        assert_eq!(grads.len(), self.heads.len());
+        let mut grad_z: Option<Matrix> = None;
+        for (head, g) in self.heads.iter_mut().zip(grads) {
+            let gz = head.backward(g);
+            match &mut grad_z {
+                None => grad_z = Some(gz),
+                Some(acc) => acc.add_scaled(&gz, 1.0),
+            }
+        }
+        let mut grad_h = self.shared.backward(&grad_z.expect("at least one task"));
+        for layer in self.sage.iter_mut().rev() {
+            grad_h = layer.backward(graph, &grad_h);
+        }
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.sage {
+            l.zero_grad();
+        }
+        self.shared.zero_grad();
+        for h in &mut self.heads {
+            h.zero_grad();
+        }
+    }
+
+    /// All parameter/gradient pairs, in a stable order, for the optimiser.
+    pub fn param_grads(&mut self) -> Vec<(&mut [f32], &[f32])> {
+        let mut out = Vec::new();
+        for l in &mut self.sage {
+            out.extend(l.param_grads());
+        }
+        out.extend(self.shared.param_grads());
+        for h in &mut self.heads {
+            out.extend(h.param_grads());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn tiny_model() -> MultiTaskSage {
+        MultiTaskSage::new(ModelConfig {
+            in_dim: 3,
+            hidden: 8,
+            layers: 2,
+            shared_dim: 8,
+            task_classes: vec![4, 2, 2],
+            seed: 7,
+        })
+    }
+
+    fn tiny_graph() -> Graph {
+        Graph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5)], Direction::Bidirectional)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut model = tiny_model();
+        let graph = tiny_graph();
+        let x = Matrix::zeros(6, 3);
+        let logits = model.forward(&graph, &x, false);
+        assert_eq!(logits.len(), 3);
+        assert_eq!((logits[0].rows(), logits[0].cols()), (6, 4));
+        assert_eq!((logits[1].rows(), logits[1].cols()), (6, 2));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = tiny_model();
+        let mut b = tiny_model();
+        let graph = tiny_graph();
+        let x = Matrix::zeros(6, 3);
+        let la = a.forward(&graph, &x, false);
+        let lb = b.forward(&graph, &x, false);
+        assert_eq!(la[0].as_slice(), lb[0].as_slice());
+    }
+
+    #[test]
+    fn paper_configs() {
+        let shallow = ModelConfig::shallow(3, vec![4, 2, 2]);
+        assert_eq!((shallow.layers, shallow.hidden), (4, 32));
+        let deep = ModelConfig::deep(3, vec![4, 2, 2]);
+        assert_eq!((deep.layers, deep.hidden), (8, 80));
+        let m = MultiTaskSage::new(deep);
+        assert_eq!(m.num_tasks(), 3);
+        assert!(m.num_params() > 50_000, "deep model is non-trivial");
+    }
+
+    /// A gradient step on a toy problem must reduce the loss.
+    #[test]
+    fn one_adam_step_reduces_loss() {
+        use crate::adam::Adam;
+        use crate::loss::nll_loss;
+        let mut model = tiny_model();
+        let graph = tiny_graph();
+        let mut x = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            x.set(r, r % 3, 1.0);
+        }
+        let targets: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 0, 1], vec![0, 1, 0, 1, 0, 1], vec![1, 0, 1, 0, 1, 0]];
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            model.zero_grad();
+            let logits = model.forward(&graph, &x, true);
+            let mut total = 0.0;
+            let mut grads = Vec::new();
+            for (t, l) in logits.iter().enumerate() {
+                let (loss, grad) = nll_loss(l, &targets[t], 1.0);
+                total += loss;
+                grads.push(grad);
+            }
+            model.backward(&graph, &grads);
+            opt.step(model.param_grads());
+            losses.push(total);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss did not drop: {losses:?}"
+        );
+    }
+}

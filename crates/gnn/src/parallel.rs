@@ -1,0 +1,147 @@
+//! Thread-parallel helpers (the CPU stand-in for the paper's GPU kernels).
+//!
+//! Crossbeam scoped threads process disjoint row blocks; small workloads
+//! fall back to serial execution so training on tiny graphs is not dominated
+//! by thread-spawn overhead.
+
+/// Number of worker threads: `GAMORA_THREADS` env override, else the
+/// machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("GAMORA_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Minimum rows each worker thread must have to justify its spawn cost
+/// (crossbeam scoped threads are real OS threads, ~tens of microseconds
+/// each; training graphs with a few thousand nodes must stay serial).
+const MIN_ROWS_PER_THREAD: usize = 4096;
+
+/// Applies `f(row_index, row)` to every `width`-sized row of `data`,
+/// in parallel over row blocks.
+///
+/// # Panics
+///
+/// Panics if `width` is zero while `data` is non-empty, or if `data.len()`
+/// is not a multiple of `width`.
+pub fn for_each_row<F>(data: &mut [f32], width: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(width > 0 && data.len().is_multiple_of(width), "bad row width");
+    let rows = data.len() / width;
+    let nt = num_threads().min(rows / MIN_ROWS_PER_THREAD);
+    if nt <= 1 {
+        for (r, chunk) in data.chunks_mut(width).enumerate() {
+            f(r, chunk);
+        }
+        return;
+    }
+    let rows_per = rows.div_ceil(nt);
+    crossbeam::thread::scope(|s| {
+        let mut rest = data;
+        let mut start_row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * width).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            let sr = start_row;
+            s.spawn(move |_| {
+                for (i, chunk) in head.chunks_mut(width).enumerate() {
+                    fref(sr + i, chunk);
+                }
+            });
+            start_row += take / width;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Number of worker threads worth spawning for a `rows`-sized workload.
+pub fn effective_threads(rows: usize) -> usize {
+    (rows / MIN_ROWS_PER_THREAD).clamp(1, num_threads())
+}
+
+/// Maps `f` over `items` with one thread per item (callers pass one item
+/// per worker). Results keep input order.
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| {
+                let fref = &f;
+                s.spawn(move |_| fref(item))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_row_visits_every_row_once() {
+        let width = 4;
+        let rows = 1000; // above the serial cutoff
+        let mut data = vec![0.0f32; rows * width];
+        for_each_row(&mut data, width, |r, chunk| {
+            for v in chunk.iter_mut() {
+                *v += r as f32 + 1.0;
+            }
+        });
+        for r in 0..rows {
+            for c in 0..width {
+                assert_eq!(data[r * width + c], r as f32 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_row_serial_path() {
+        let mut data = vec![1.0f32; 8];
+        for_each_row(&mut data, 2, |r, chunk| chunk[0] = r as f32);
+        assert_eq!(data, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out = map((0..20).collect::<Vec<_>>(), |x| x * x);
+        assert_eq!(out, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<f32> = Vec::new();
+        for_each_row(&mut empty, 4, |_, _| panic!("must not be called"));
+        let out: Vec<i32> = map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Dense 2-D tensors with multi-threaded kernels.
+//!
+//! The paper runs GraphSAGE on an NVIDIA A100; this reproduction substitutes
+//! data-parallel CPU kernels (crossbeam scoped threads over row blocks),
+//! which preserves the batching/parallelism story of Figures 7 and 8 at CPU
+//! scale. Only the operations the GNN stack needs are implemented.
+
+use crate::parallel;
+use rand::Rng;
+use std::fmt;
+
+/// A row-major `rows x cols` matrix of `f32`.
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols);
+        Matrix { rows, cols, data }
+    }
+
+    /// Glorot/Xavier-uniform initialisation.
+    pub fn glorot(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying mutable row-major slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self @ other` with parallel row blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
+            let a_row = self.row(r);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
+        out
+    }
+
+    /// `self^T @ other` without materialising the transpose
+    /// (used for weight gradients: `X^T @ dY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        let (m, n) = (self.cols, other.cols);
+        // Accumulate per-thread partials to avoid contended writes.
+        let num_chunks = parallel::effective_threads(self.rows);
+        let chunk = self.rows.div_ceil(num_chunks).max(1);
+        let row_ranges: Vec<(usize, usize)> = (0..self.rows)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(self.rows)))
+            .collect();
+        let partials: Vec<Matrix> = parallel::map(row_ranges, |(start, end)| {
+            let mut acc = Matrix::zeros(m, n);
+            for r in start..end {
+                let x = self.row(r);
+                let y = other.row(r);
+                for (i, &xv) in x.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let acc_row = acc.row_mut(i);
+                    for (a, &yv) in acc_row.iter_mut().zip(y) {
+                        *a += xv * yv;
+                    }
+                }
+            }
+            acc
+        });
+        let mut out = Matrix::zeros(m, n);
+        for p in partials {
+            for (o, v) in out.data.iter_mut().zip(p.data) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materialising the transpose
+    /// (used for input gradients: `dY @ W^T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose shape mismatch");
+        let n = other.rows;
+        let mut out = Matrix::zeros(self.rows, n);
+        parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
+            let a_row = self.row(r);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(c);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        });
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hconcat shape mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits horizontally into `[left (cols_left) | right]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols_left > self.cols`.
+    pub fn hsplit(&self, cols_left: usize) -> (Matrix, Matrix) {
+        assert!(cols_left <= self.cols);
+        let mut left = Matrix::zeros(self.rows, cols_left);
+        let mut right = Matrix::zeros(self.rows, self.cols - cols_left);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..cols_left]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[cols_left..]);
+        }
+        (left, right)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&self) -> Matrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = v.max(0.0);
+        }
+        out
+    }
+
+    /// Masks gradients through a ReLU: `out = self * (activated > 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn relu_backward(&self, activated: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (activated.rows, activated.cols));
+        let mut out = self.clone();
+        for (o, &a) in out.data.iter_mut().zip(&activated.data) {
+            if a <= 0.0 {
+                *o = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector (bias) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols`.
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums over rows, producing a row vector (bias gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// In-place scaled add: `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (o, &v) in self.data.iter_mut().zip(&other.data) {
+            *o += scale * v;
+        }
+    }
+
+    /// Frobenius norm (diagnostics and gradient-check tests).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::glorot(rows, cols, &mut rng)
+    }
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = small(17, 9, 1);
+        let b = small(9, 13, 2);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_naive() {
+        let a = small(23, 7, 3);
+        let b = small(23, 11, 4);
+        // a^T @ b
+        let mut at = Matrix::zeros(a.cols(), a.rows());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        assert_close(&a.transpose_matmul(&b), &naive_matmul(&at, &b));
+    }
+
+    #[test]
+    fn matmul_transpose_matches_naive() {
+        let a = small(9, 6, 5);
+        let b = small(14, 6, 6);
+        let mut bt = Matrix::zeros(b.cols(), b.rows());
+        for i in 0..b.rows() {
+            for j in 0..b.cols() {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        assert_close(&a.matmul_transpose(&b), &naive_matmul(&a, &bt));
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = small(5, 3, 7);
+        let b = small(5, 4, 8);
+        let cat = a.hconcat(&b);
+        assert_eq!(cat.cols(), 7);
+        let (l, r) = cat.hsplit(3);
+        assert_close(&l, &a);
+        assert_close(&r, &b);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = x.relu();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let gx = g.relu_backward(&y);
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let mut x = Matrix::zeros(3, 2);
+        x.add_row_vector(&[1.0, -2.0]);
+        assert_eq!(x.column_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn glorot_is_bounded_and_seeded() {
+        let a = small(64, 32, 42);
+        let b = small(64, 32, 42);
+        assert_eq!(a, b, "deterministic under the same seed");
+        let limit = (6.0 / 96.0f32).sqrt();
+        assert!(a.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+}

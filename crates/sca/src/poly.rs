@@ -1,0 +1,385 @@
+//! Multilinear polynomials over Boolean node variables.
+//!
+//! Symbolic computer algebra for circuit verification works in the ring
+//! `Z[x_1..x_n] / (x_i^2 - x_i)`: every variable is idempotent because it
+//! models a Boolean signal. A word-level spec such as
+//! `Σ 2^i out_i - A * B` must reduce to the zero polynomial after all gate
+//! variables are substituted by their input expressions.
+
+use crate::int::Int;
+use gamora_aig::hasher::FxHashMap;
+use std::fmt;
+
+/// A monomial: a sorted set of distinct variable ids (empty = the constant
+/// term). Multilinearity means exponents are always one.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Term(Box<[u32]>);
+
+impl Term {
+    /// The constant term.
+    pub fn unit() -> Term {
+        Term(Box::from([]))
+    }
+
+    /// A single-variable term.
+    pub fn var(v: u32) -> Term {
+        Term(Box::from([v]))
+    }
+
+    /// Builds a term from an iterator of variables (sorted, deduplicated).
+    pub fn from_vars(vars: impl IntoIterator<Item = u32>) -> Term {
+        let mut v: Vec<u32> = vars.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Term(v.into_boxed_slice())
+    }
+
+    /// The variables of this term.
+    pub fn vars(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Whether the term mentions `v`.
+    pub fn contains(&self, v: u32) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// The term with `v` removed (no-op if absent).
+    pub fn without(&self, v: u32) -> Term {
+        Term(self.0.iter().copied().filter(|&x| x != v).collect())
+    }
+
+    /// The multilinear product of two terms (set union).
+    pub fn merge(&self, other: &Term) -> Term {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (&self.0, &other.0);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = if j == b.len() || (i < a.len() && a[i] <= b[j]) {
+                if j < b.len() && a[i] == b[j] {
+                    j += 1;
+                }
+                let v = a[i];
+                i += 1;
+                v
+            } else {
+                let v = b[j];
+                j += 1;
+                v
+            };
+            out.push(next);
+        }
+        Term(out.into_boxed_slice())
+    }
+
+    /// Degree of the monomial.
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// A multilinear polynomial with [`Int`] coefficients.
+///
+/// ```
+/// use gamora_sca::{Int, Poly};
+/// // x0 * (1 - x0) = x0 - x0^2 = x0 - x0 = 0  (multilinearity)
+/// let x = Poly::var(0);
+/// let one_minus_x = &Poly::constant(Int::one()) - &x;
+/// assert!((&x * &one_minus_x).is_zero());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Poly {
+    terms: FxHashMap<Term, Int>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Int) -> Poly {
+        let mut p = Poly::zero();
+        p.add_term(Term::unit(), c);
+        p
+    }
+
+    /// The polynomial `x_v`.
+    pub fn var(v: u32) -> Poly {
+        let mut p = Poly::zero();
+        p.add_term(Term::var(v), Int::one());
+        p
+    }
+
+    /// The polynomial of a literal: `x` for a plain variable, `1 - x` for a
+    /// complemented one, and `0`/`1` for the constants.
+    pub fn lit(var: u32, complemented: bool, is_const_node: bool) -> Poly {
+        if is_const_node {
+            return if complemented {
+                Poly::constant(Int::one())
+            } else {
+                Poly::zero()
+            };
+        }
+        if complemented {
+            let mut p = Poly::constant(Int::one());
+            p.add_term(Term::var(var), Int::from(-1i64));
+            p
+        } else {
+            Poly::var(var)
+        }
+    }
+
+    /// Adds `c * term`, cancelling to zero where coefficients vanish.
+    pub fn add_term(&mut self, term: Term, c: Int) {
+        if c.is_zero() {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.terms.entry(term) {
+            Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            Entry::Occupied(mut e) => {
+                *e.get_mut() = e.get().clone() + c;
+                if e.get().is_zero() {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    /// Number of non-zero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(term, coefficient)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Term, &Int)> {
+        self.terms.iter()
+    }
+
+    /// The coefficient of a term (zero if absent).
+    pub fn coefficient(&self, term: &Term) -> Int {
+        self.terms.get(term).cloned().unwrap_or_else(Int::zero)
+    }
+
+    /// Adds `scale * p` into `self`.
+    pub fn add_scaled(&mut self, p: &Poly, scale: &Int) {
+        for (t, c) in p.iter() {
+            self.add_term(t.clone(), c * scale);
+        }
+    }
+
+    /// Substitutes variable `v` by polynomial `r` everywhere it occurs.
+    ///
+    /// Terms not containing `v` are untouched; a term `v * m` with
+    /// coefficient `c` becomes `c * m * r` (multilinear products).
+    pub fn substitute(&mut self, v: u32, r: &Poly) {
+        let (with_v, without_v): (Vec<_>, FxHashMap<_, _>) = {
+            let mut with_v = Vec::new();
+            let mut rest = FxHashMap::default();
+            for (t, c) in self.terms.drain() {
+                if t.contains(v) {
+                    with_v.push((t.without(v), c));
+                } else {
+                    rest.insert(t, c);
+                }
+            }
+            (with_v, rest)
+        };
+        self.terms = without_v;
+        for (stub, c) in with_v {
+            for (rt, rc) in r.iter() {
+                self.add_term(stub.merge(rt), &c * rc);
+            }
+        }
+    }
+
+    /// Evaluates the polynomial on a Boolean assignment.
+    pub fn eval(&self, assign: impl Fn(u32) -> bool) -> Int {
+        let mut total = Int::zero();
+        for (t, c) in self.iter() {
+            if t.vars().iter().all(|&v| assign(v)) {
+                total += c;
+            }
+        }
+        total
+    }
+
+    /// The largest variable id appearing in the polynomial.
+    pub fn max_var(&self) -> Option<u32> {
+        self.terms
+            .keys()
+            .filter_map(|t| t.vars().last().copied())
+            .max()
+    }
+}
+
+impl std::ops::Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        out.add_scaled(rhs, &Int::one());
+        out
+    }
+}
+
+impl std::ops::Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        out.add_scaled(rhs, &Int::from(-1i64));
+        out
+    }
+}
+
+impl std::ops::Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ta, ca) in self.iter() {
+            for (tb, cb) in rhs.iter() {
+                out.add_term(ta.merge(tb), ca * cb);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut parts: Vec<(Vec<u32>, String)> = self
+            .iter()
+            .map(|(t, c)| {
+                let vars = t
+                    .vars()
+                    .iter()
+                    .map(|v| format!("x{v}"))
+                    .collect::<Vec<_>>()
+                    .join("*");
+                let s = if vars.is_empty() {
+                    format!("{c}")
+                } else {
+                    format!("{c}*{vars}")
+                };
+                (t.vars().to_vec(), s)
+            })
+            .collect();
+        parts.sort();
+        write!(
+            f,
+            "{}",
+            parts
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect::<Vec<_>>()
+                .join(" + ")
+        )
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Poly({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multilinear_squares_collapse() {
+        let x = Poly::var(3);
+        let sq = &x * &x;
+        assert_eq!(sq, x);
+    }
+
+    #[test]
+    fn complement_literal_algebra() {
+        // x + (1 - x) = 1
+        let x = Poly::lit(2, false, false);
+        let nx = Poly::lit(2, true, false);
+        let sum = &x + &nx;
+        assert_eq!(sum, Poly::constant(Int::one()));
+        // constants
+        assert!(Poly::lit(0, false, true).is_zero());
+        assert_eq!(Poly::lit(0, true, true), Poly::constant(Int::one()));
+    }
+
+    #[test]
+    fn substitution_expands_products() {
+        // p = 2*x1*x2; substitute x2 := x3 + x4 -> 2*x1*x3 + 2*x1*x4
+        let mut p = Poly::zero();
+        p.add_term(Term::from_vars([1, 2]), Int::from(2i64));
+        let r = &Poly::var(3) + &Poly::var(4);
+        p.substitute(2, &r);
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.coefficient(&Term::from_vars([1, 3])), Int::from(2i64));
+        assert_eq!(p.coefficient(&Term::from_vars([1, 4])), Int::from(2i64));
+    }
+
+    #[test]
+    fn substitution_triggers_cancellation() {
+        // p = x5 - x6; substitute x5 := x6 -> 0
+        let mut p = &Poly::var(5) - &Poly::var(6);
+        p.substitute(5, &Poly::var(6));
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn full_adder_identity() {
+        // xor3 poly: a+b+c-2ab-2ac-2bc+4abc; maj poly: ab+ac+bc-2abc
+        // sum + 2*maj == a + b + c
+        let (a, b, c) = (Poly::var(0), Poly::var(1), Poly::var(2));
+        let ab = &a * &b;
+        let ac = &a * &c;
+        let bc = &b * &c;
+        let abc = &ab * &c;
+        let mut xor3 = &(&a + &b) + &c;
+        xor3.add_scaled(&ab, &Int::from(-2i64));
+        xor3.add_scaled(&ac, &Int::from(-2i64));
+        xor3.add_scaled(&bc, &Int::from(-2i64));
+        xor3.add_scaled(&abc, &Int::from(4i64));
+        let mut maj = &(&ab + &ac) + &bc;
+        maj.add_scaled(&abc, &Int::from(-2i64));
+        let mut lhs = xor3.clone();
+        lhs.add_scaled(&maj, &Int::from(2i64));
+        let rhs = &(&a + &b) + &c;
+        assert_eq!(lhs, rhs, "s + 2c = a + b + c");
+        // And both agree with boolean evaluation on all assignments.
+        for m in 0..8u32 {
+            let assign = |v: u32| m >> v & 1 == 1;
+            let bits = (m & 1) + (m >> 1 & 1) + (m >> 2 & 1);
+            assert_eq!(xor3.eval(assign).to_i128(), Some((bits & 1) as i128));
+            assert_eq!(maj.eval(assign).to_i128(), Some((bits >= 2) as i128));
+        }
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut p = Poly::zero();
+        p.add_term(Term::from_vars([2, 1]), Int::from(3i64));
+        p.add_term(Term::unit(), Int::from(-1i64));
+        assert_eq!(p.to_string(), "-1 + 3*x1*x2");
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn max_var_tracks_support() {
+        let mut p = Poly::var(7);
+        p.add_term(Term::from_vars([3, 9]), Int::one());
+        assert_eq!(p.max_var(), Some(9));
+        assert_eq!(Poly::constant(Int::one()).max_var(), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! Backward rewriting: the symbolic-evaluation engine of algebraic circuit
+//! verification.
+//!
+//! Starting from a word-level signature (a polynomial over output nodes),
+//! every gate variable is substituted by the polynomial of its fanins, in
+//! reverse topological order, until only primary inputs remain. Without an
+//! adder tree each AND node is substituted one at a time — the expensive
+//! flow whose runtime blow-up on large multipliers motivates both ABC's
+//! adder-tree detection and Gamora itself. With an extracted adder tree
+//! supplied, whole sum/carry cut functions are substituted at once, which
+//! keeps the intermediate polynomial small (Yu et al., TCAD'17).
+
+use crate::int::Int;
+use crate::poly::Poly;
+use gamora_aig::cut::cone_function;
+use gamora_aig::hasher::FxHashMap;
+use gamora_aig::{Aig, Lit, NodeId};
+use gamora_exact::ExtractedAdder;
+use std::fmt;
+
+/// Parameters bounding a backward-rewriting run.
+#[derive(Copy, Clone, Debug)]
+pub struct RewriteParams {
+    /// Abort when the working polynomial exceeds this many terms.
+    pub max_terms: usize,
+}
+
+impl Default for RewriteParams {
+    fn default() -> Self {
+        RewriteParams {
+            max_terms: 4_000_000,
+        }
+    }
+}
+
+/// Cost counters of a rewriting run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RewriteStats {
+    /// Gate-level substitutions performed.
+    pub substitutions: usize,
+    /// Adder-cut substitutions performed (adder-aware mode only).
+    pub cut_substitutions: usize,
+    /// Largest intermediate term count.
+    pub peak_terms: usize,
+}
+
+/// Failure of a rewriting run.
+#[derive(Clone, Debug)]
+pub enum RewriteError {
+    /// The intermediate polynomial exceeded `max_terms`.
+    TermExplosion {
+        /// The variable whose substitution overflowed the bound.
+        var: u32,
+        /// Term count at the point of abort.
+        terms: usize,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::TermExplosion { var, terms } => write!(
+                f,
+                "polynomial exploded to {terms} terms while substituting x{var}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// The polynomial of a literal (`x`, `1 - x`, `0` or `1`).
+pub fn lit_poly(l: Lit) -> Poly {
+    Poly::lit(l.var().as_u32(), l.is_complement(), l.var() == NodeId::CONST0)
+}
+
+/// The word polynomial `Σ 2^i lit_i` of a little-endian pin vector.
+pub fn word_poly(pins: &[Lit]) -> Poly {
+    let mut p = Poly::zero();
+    for (i, &l) in pins.iter().enumerate() {
+        p.add_scaled(&lit_poly(l), &Int::pow2(i));
+    }
+    p
+}
+
+/// The output signature `Σ 2^i out_i` of a network.
+pub fn output_signature(aig: &Aig) -> Poly {
+    word_poly(aig.outputs())
+}
+
+/// Converts a cut truth table over `leaves` into its multilinear polynomial.
+pub fn poly_from_tt(tt: u64, leaves: &[NodeId]) -> Poly {
+    let k = leaves.len();
+    let mut p = Poly::zero();
+    for m in 0..(1u64 << k) {
+        if tt >> m & 1 == 0 {
+            continue;
+        }
+        let mut minterm = Poly::constant(Int::one());
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let lit_p = Poly::lit(leaf.as_u32(), m >> i & 1 == 0, leaf == NodeId::CONST0);
+            minterm = &minterm * &lit_p;
+        }
+        p.add_scaled(&minterm, &Int::one());
+    }
+    p
+}
+
+/// Rewrites `p` backward until only primary-input variables remain.
+///
+/// With `adders`, the sum and carry roots of each extracted adder are
+/// substituted by their exact cut polynomials (computed from the cone truth
+/// table, so NPN-negated slices are handled exactly); all other gates are
+/// substituted node by node. Pass `None` for the fully naive flow.
+///
+/// # Errors
+///
+/// [`RewriteError::TermExplosion`] when the intermediate polynomial exceeds
+/// `params.max_terms`.
+pub fn backward_rewrite(
+    aig: &Aig,
+    mut p: Poly,
+    adders: Option<&[ExtractedAdder]>,
+    params: &RewriteParams,
+) -> Result<(Poly, RewriteStats), RewriteError> {
+    // Cut polynomials for adder roots.
+    let mut root_polys: FxHashMap<u32, Poly> = FxHashMap::default();
+    if let Some(adders) = adders {
+        for a in adders {
+            let leaves: Vec<NodeId> = a.leaf_slice().iter().map(|&l| NodeId::new(l)).collect();
+            for root in [a.sum, a.carry] {
+                if let Some(tt) = cone_function(aig, root.lit(), &leaves) {
+                    root_polys.insert(root.as_u32(), poly_from_tt(tt, &leaves));
+                }
+            }
+        }
+    }
+
+    let mut maybe_present = vec![false; aig.num_nodes()];
+    let note_vars = |p: &Poly, flags: &mut Vec<bool>| {
+        for (t, _) in p.iter() {
+            for &v in t.vars() {
+                flags[v as usize] = true;
+            }
+        }
+    };
+    note_vars(&p, &mut maybe_present);
+
+    let mut stats = RewriteStats::default();
+    for v in (1..aig.num_nodes() as u32).rev() {
+        let n = NodeId::new(v);
+        if !aig.is_and(n) || !maybe_present[v as usize] {
+            continue;
+        }
+        let subst = if let Some(rp) = root_polys.get(&v) {
+            stats.cut_substitutions += 1;
+            rp.clone()
+        } else {
+            let (f0, f1) = aig.fanins(n);
+            &lit_poly(f0) * &lit_poly(f1)
+        };
+        p.substitute(v, &subst);
+        note_vars(&subst, &mut maybe_present);
+        stats.substitutions += 1;
+        stats.peak_terms = stats.peak_terms.max(p.num_terms());
+        if p.num_terms() > params.max_terms {
+            return Err(RewriteError::TermExplosion {
+                var: v,
+                terms: p.num_terms(),
+            });
+        }
+    }
+    debug_assert!(p.max_var().is_none_or(|v| !aig.is_and(NodeId::new(v))));
+    Ok((p, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Term;
+
+    #[test]
+    fn lit_polys() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        assert_eq!(lit_poly(a), Poly::var(a.var().as_u32()));
+        assert_eq!(lit_poly(Lit::FALSE), Poly::zero());
+        assert_eq!(lit_poly(Lit::TRUE), Poly::constant(Int::one()));
+    }
+
+    #[test]
+    fn poly_from_tt_matches_known_functions() {
+        let leaves = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        // MAJ3 = ab + ac + bc - 2abc
+        let maj = poly_from_tt(gamora_aig::tt::MAJ3, &leaves);
+        for m in 0..8u32 {
+            let assign = |v: u32| m >> (v - 1) & 1 == 1;
+            let bits = (m & 1) + (m >> 1 & 1) + (m >> 2 & 1);
+            assert_eq!(maj.eval(assign).to_i128(), Some((bits >= 2) as i128));
+        }
+        assert_eq!(maj.num_terms(), 4);
+        // XOR3 has 7 terms
+        let xor = poly_from_tt(gamora_aig::tt::XOR3, &leaves);
+        assert_eq!(xor.num_terms(), 7);
+    }
+
+    #[test]
+    fn rewrite_single_and_gate() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let g = aig.and(a, b);
+        aig.add_output(g);
+        let sig = output_signature(&aig);
+        let (p, stats) = backward_rewrite(&aig, sig, None, &RewriteParams::default()).unwrap();
+        // a*b
+        let expected = &Poly::var(a.var().as_u32()) * &Poly::var(b.var().as_u32());
+        assert_eq!(p, expected);
+        assert_eq!(stats.substitutions, 1);
+    }
+
+    #[test]
+    fn rewrite_full_adder_signature() {
+        // s + 2c must reduce to a + b + cin.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        let sig = output_signature(&aig);
+        let (p, _) = backward_rewrite(&aig, sig, None, &RewriteParams::default()).unwrap();
+        let mut want = Poly::zero();
+        for l in &ins {
+            want.add_scaled(&lit_poly(*l), &Int::one());
+        }
+        assert_eq!(p, want);
+    }
+
+    #[test]
+    fn term_explosion_detected() {
+        // A deep XOR tree's signature genuinely blows past a tiny bound.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(12);
+        let x = aig.xor_multi(&ins);
+        aig.add_output(x);
+        let sig = output_signature(&aig);
+        let err = backward_rewrite(&aig, sig, None, &RewriteParams { max_terms: 50 });
+        assert!(matches!(err, Err(RewriteError::TermExplosion { .. })));
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("exploded"));
+    }
+
+    #[test]
+    fn word_poly_weights() {
+        let mut aig = Aig::new();
+        let pins = aig.add_inputs(3);
+        let w = word_poly(&pins);
+        assert_eq!(w.num_terms(), 3);
+        assert_eq!(
+            w.coefficient(&Term::var(pins[2].var().as_u32())),
+            Int::from(4i64)
+        );
+    }
+}

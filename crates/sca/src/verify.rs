@@ -1,0 +1,176 @@
+//! Word-level verification of arithmetic networks by algebraic rewriting.
+
+use crate::int::Int;
+use crate::poly::Poly;
+use crate::rewrite::{
+    backward_rewrite, output_signature, word_poly, RewriteError, RewriteParams, RewriteStats,
+};
+use gamora_aig::{Aig, Lit};
+use gamora_exact::ExtractedAdder;
+use std::fmt;
+
+/// Result of a verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Whether the network provably implements the spec.
+    pub equivalent: bool,
+    /// Terms remaining in `signature - spec` after rewriting (0 when
+    /// equivalent).
+    pub residual_terms: usize,
+    /// Rewriting cost counters.
+    pub stats: RewriteStats,
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (residual {} terms, {} substitutions, peak {} terms)",
+            if self.equivalent { "EQUIVALENT" } else { "NOT EQUIVALENT" },
+            self.residual_terms,
+            self.stats.substitutions,
+            self.stats.peak_terms
+        )
+    }
+}
+
+/// The product spec `(Σ 2^i a_i) * (Σ 2^j b_j)` of a multiplier.
+pub fn product_spec(a_pins: &[Lit], b_pins: &[Lit]) -> Poly {
+    &word_poly(a_pins) * &word_poly(b_pins)
+}
+
+/// The sum spec `Σ 2^i a_i + Σ 2^j b_j` of an adder.
+pub fn sum_spec(a_pins: &[Lit], b_pins: &[Lit]) -> Poly {
+    &word_poly(a_pins) + &word_poly(b_pins)
+}
+
+/// The multiply-accumulate spec `A * B + C`.
+pub fn mac_spec(a_pins: &[Lit], b_pins: &[Lit], c_pins: &[Lit]) -> Poly {
+    let mut p = product_spec(a_pins, b_pins);
+    p.add_scaled(&word_poly(c_pins), &Int::one());
+    p
+}
+
+/// Verifies that the network's output signature equals `spec` over its
+/// primary inputs.
+///
+/// `adders` enables adder-aware (detection-assisted) rewriting, the fast
+/// flow of Yu et al.; `None` runs the naive node-by-node symbolic
+/// evaluation, the slow exact baseline of the paper's Figure 7.
+///
+/// # Errors
+///
+/// Propagates [`RewriteError`] when the polynomial exceeds the term bound.
+pub fn verify(
+    aig: &Aig,
+    spec: &Poly,
+    adders: Option<&[ExtractedAdder]>,
+    params: &RewriteParams,
+) -> Result<VerifyReport, RewriteError> {
+    let sig = output_signature(aig);
+    let (reduced, stats) = backward_rewrite(aig, sig, adders, params)?;
+    let residual = &reduced - spec;
+    Ok(VerifyReport {
+        equivalent: residual.is_zero(),
+        residual_terms: residual.num_terms(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_circuits::{
+        booth_multiplier, csa_multiplier, kogge_stone_adder, multiply_accumulate,
+        ripple_carry_adder,
+    };
+
+    #[test]
+    fn csa_multipliers_verify_naive() {
+        for bits in [2usize, 3, 4, 6] {
+            let m = csa_multiplier(bits);
+            let spec = product_spec(&m.a, &m.b);
+            let report = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+            assert!(report.equivalent, "{bits}-bit CSA: {report}");
+        }
+    }
+
+    #[test]
+    fn csa_multiplier_verifies_adder_aware_with_fewer_terms() {
+        let m = csa_multiplier(8);
+        let spec = product_spec(&m.a, &m.b);
+        let analysis = gamora_exact::analyze(&m.aig);
+        let naive = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+        let aware = verify(
+            &m.aig,
+            &spec,
+            Some(&analysis.adders),
+            &RewriteParams::default(),
+        )
+        .unwrap();
+        assert!(naive.equivalent);
+        assert!(aware.equivalent);
+        assert!(aware.stats.cut_substitutions > 0);
+        assert!(
+            aware.stats.substitutions < naive.stats.substitutions,
+            "adder-aware should skip interior gates: {} vs {}",
+            aware.stats.substitutions,
+            naive.stats.substitutions
+        );
+    }
+
+    #[test]
+    fn booth_multiplier_verifies() {
+        for bits in [2usize, 3, 4] {
+            let m = booth_multiplier(bits);
+            let spec = product_spec(&m.a, &m.b);
+            let report = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+            assert!(report.equivalent, "{bits}-bit Booth: {report}");
+        }
+    }
+
+    #[test]
+    fn adders_verify_against_sum_spec() {
+        let rca = ripple_carry_adder(8);
+        let spec = sum_spec(&rca.a, &rca.b);
+        let report = verify(&rca.aig, &spec, None, &RewriteParams::default()).unwrap();
+        assert!(report.equivalent, "{report}");
+
+        let ks = kogge_stone_adder(8);
+        let spec = sum_spec(&ks.a, &ks.b);
+        let report = verify(&ks.aig, &spec, None, &RewriteParams::default()).unwrap();
+        assert!(report.equivalent, "kogge-stone: {report}");
+    }
+
+    #[test]
+    fn mac_verifies() {
+        let mac = multiply_accumulate(4);
+        let spec = mac_spec(&mac.a, &mac.b, &mac.extra_operands[0]);
+        let report = verify(&mac.aig, &spec, None, &RewriteParams::default()).unwrap();
+        assert!(report.equivalent, "{report}");
+    }
+
+    #[test]
+    fn mutated_multiplier_is_rejected() {
+        let mut m = csa_multiplier(4);
+        // Swap two product bits: still a function, but not A*B.
+        let o2 = m.aig.outputs()[2];
+        let o3 = m.aig.outputs()[3];
+        m.aig.set_output(2, o3);
+        m.aig.set_output(3, o2);
+        let spec = product_spec(&m.a, &m.b);
+        let report = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+        assert!(!report.equivalent);
+        assert!(report.residual_terms > 0);
+    }
+
+    #[test]
+    fn wrong_spec_is_rejected() {
+        let m = csa_multiplier(3);
+        // Spec claims A*B + 1.
+        let mut spec = product_spec(&m.a, &m.b);
+        spec.add_scaled(&Poly::constant(Int::one()), &Int::one());
+        let report = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+        assert!(!report.equivalent);
+    }
+}

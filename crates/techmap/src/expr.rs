@@ -1,0 +1,355 @@
+//! Boolean expression parsing for genlib cell functions.
+//!
+//! Supports the SIS genlib operator set: `!a` and `a'` for NOT, `*` (or
+//! `&`, or juxtaposition) for AND, `+` (or `|`) for OR, `^` for XOR,
+//! parentheses, and the constants `CONST0`/`CONST1`.
+
+use std::fmt;
+
+/// A parsed Boolean expression over named pins.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Constant false/true.
+    Const(bool),
+    /// A pin reference (index into the cell's pin list).
+    Pin(usize),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+/// Error produced when parsing a genlib formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExprError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+fn err(message: impl Into<String>) -> ParseExprError {
+    ParseExprError {
+        message: message.into(),
+    }
+}
+
+/// Parses a formula; `pins` receives newly seen pin names in first-use
+/// order (pre-seed it to pin positions).
+pub fn parse_expr(input: &str, pins: &mut Vec<String>) -> Result<Expr, ParseExprError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        pins,
+    };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(err(format!("trailing input at token {}", p.pos)));
+    }
+    Ok(e)
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Token {
+    Ident(String),
+    Not,
+    Postfix,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+}
+
+fn tokenize(s: &str) -> Result<Vec<Token>, ParseExprError> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                out.push(Token::Not);
+            }
+            '\'' => {
+                chars.next();
+                out.push(Token::Postfix);
+            }
+            '*' | '&' => {
+                chars.next();
+                out.push(Token::And);
+            }
+            '+' | '|' => {
+                chars.next();
+                out.push(Token::Or);
+            }
+            '^' => {
+                chars.next();
+                out.push(Token::Xor);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(ident));
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    pins: &'a mut Vec<String>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_xor()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.parse_xor()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Xor) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(&Token::And) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+                }
+                // Juxtaposition: `a b` or `a (b+c)` means AND.
+                Some(Token::Ident(_)) | Some(&Token::LParen) | Some(&Token::Not) => {
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseExprError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            let e = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        let mut base = self.parse_atom()?;
+        while self.peek() == Some(&Token::Postfix) {
+            self.pos += 1;
+            base = Expr::Not(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err(err("missing closing parenthesis"));
+                }
+                self.pos += 1;
+                // Postfix negation can apply to a parenthesised group.
+                let mut e = e;
+                while self.peek() == Some(&Token::Postfix) {
+                    self.pos += 1;
+                    e = Expr::Not(Box::new(e));
+                }
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "CONST0" => Ok(Expr::Const(false)),
+                    "CONST1" => Ok(Expr::Const(true)),
+                    _ => {
+                        let idx = match self.pins.iter().position(|p| *p == name) {
+                            Some(i) => i,
+                            None => {
+                                self.pins.push(name);
+                                self.pins.len() - 1
+                            }
+                        };
+                        Ok(Expr::Pin(idx))
+                    }
+                }
+            }
+            other => Err(err(format!("expected atom, found {other:?}"))),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates to a truth table over `k` pins (pin `i` = variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a pin `>= k` or `k > 6`.
+    pub fn truth_table(&self, k: usize) -> u64 {
+        use gamora_aig::tt;
+        let m = tt::mask(k);
+        match self {
+            Expr::Const(false) => 0,
+            Expr::Const(true) => m,
+            Expr::Pin(i) => {
+                assert!(*i < k, "pin {i} out of range");
+                tt::var(*i) & m
+            }
+            Expr::Not(e) => !e.truth_table(k) & m,
+            Expr::And(a, b) => a.truth_table(k) & b.truth_table(k),
+            Expr::Or(a, b) => a.truth_table(k) | b.truth_table(k),
+            Expr::Xor(a, b) => (a.truth_table(k) ^ b.truth_table(k)) & m,
+        }
+    }
+
+    /// Number of distinct pins referenced.
+    pub fn max_pin(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Pin(i) => Some(*i),
+            Expr::Not(e) => e.max_pin(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => match (a.max_pin(), b.max_pin())
+            {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_aig::tt;
+
+    fn parse(s: &str) -> (Expr, Vec<String>) {
+        let mut pins = Vec::new();
+        let e = parse_expr(s, &mut pins).expect(s);
+        (e, pins)
+    }
+
+    #[test]
+    fn simple_operators() {
+        let (e, pins) = parse("!(A*B)");
+        assert_eq!(pins, vec!["A", "B"]);
+        assert_eq!(e.truth_table(2), !tt::AND2 & tt::mask(2));
+        let (e, _) = parse("A+B");
+        assert_eq!(e.truth_table(2), 0xE);
+        let (e, _) = parse("A^B");
+        assert_eq!(e.truth_table(2), tt::XOR2);
+    }
+
+    #[test]
+    fn postfix_negation() {
+        let (e, _) = parse("A'*B");
+        assert_eq!(e.truth_table(2), 0x4); // !a & b
+        let (e, _) = parse("(A+B)'");
+        assert_eq!(e.truth_table(2), 0x1); // NOR
+    }
+
+    #[test]
+    fn juxtaposition_is_and() {
+        let (e, pins) = parse("A B + C");
+        assert_eq!(pins.len(), 3);
+        // ab + c
+        let expected = (tt::var(0) & tt::var(1) | tt::var(2)) & tt::mask(3);
+        assert_eq!(e.truth_table(3), expected);
+    }
+
+    #[test]
+    fn precedence_or_lowest() {
+        let (e, _) = parse("A + B * C");
+        let expected = (tt::var(0) | tt::var(1) & tt::var(2)) & tt::mask(3);
+        assert_eq!(e.truth_table(3), expected);
+    }
+
+    #[test]
+    fn aoi_and_maj() {
+        // AOI21: !(A*B + C)
+        let (e, _) = parse("!(A*B+C)");
+        let expected = !(tt::var(0) & tt::var(1) | tt::var(2)) & tt::mask(3);
+        assert_eq!(e.truth_table(3), expected);
+        // MAJ3
+        let (e, _) = parse("A*B + A*C + B*C");
+        assert_eq!(e.truth_table(3), tt::MAJ3);
+    }
+
+    #[test]
+    fn constants() {
+        let (e, pins) = parse("CONST1");
+        assert!(pins.is_empty());
+        assert_eq!(e.truth_table(0), 1);
+        let (e, _) = parse("CONST0");
+        assert_eq!(e.truth_table(1), 0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut pins = Vec::new();
+        assert!(parse_expr("A +", &mut pins).is_err());
+        assert!(parse_expr("(A", &mut pins).is_err());
+        assert!(parse_expr("A $ B", &mut pins).is_err());
+        let e = parse_expr("", &mut pins).unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn shared_pins_reuse_indices() {
+        let (e, pins) = parse("A*B + !A*C");
+        assert_eq!(pins, vec!["A", "B", "C"]);
+        assert_eq!(e.max_pin(), Some(2));
+        // mux(a, b, c)
+        let expected = (tt::var(0) & tt::var(1) | !tt::var(0) & tt::var(2)) & tt::mask(3);
+        assert_eq!(e.truth_table(3), expected);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gamora-techmap
+//!
+//! Standard-cell technology mapping for AIGs: the substrate behind the
+//! paper's Figure 5, which studies how mapping (especially onto a complex
+//! library with multi-output adder cells) degrades symbolic reasoning.
+//!
+//! * [`expr`] — genlib Boolean formula parsing;
+//! * [`Library`] — cell libraries, with built-in [`Library::simple`]
+//!   (mcnc-style, ≤3-input) and [`Library::complex7nm`] (ASAP7-style with
+//!   FADD/HADD multi-output cells);
+//! * [`map`] — NPN cut matching + phase-aware minimum-area cover;
+//! * [`MappedNetlist::to_aig`] — re-encode the mapped netlist as an AIG
+//!   (the post-mapping reasoning subject, like `map; strash` in ABC).
+//!
+//! ```
+//! use gamora_techmap::{map, Library, MapParams};
+//! let m = gamora_circuits::csa_multiplier(4);
+//! let mapped = map(&m.aig, &Library::simple(), &MapParams::default());
+//! let remapped_aig = mapped.to_aig();
+//! assert!(gamora_aig::sim::random_equivalence_check(&m.aig, &remapped_aig, 4, 7).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+mod library;
+mod mapper;
+
+pub use library::{Cell, Library, Output, ParseGenlibError};
+pub use mapper::{map, Instance, MapParams, MappedNetlist, NET_CONST0, NET_CONST1};

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's Figure 3 walk-through on a 3-bit CSA multiplier.
+//!
+//! 1. Generate the multiplier AIG.
+//! 2. Run exact reasoning (ground truth, like ABC's `&atree`).
+//! 3. Train Gamora on the netlist and predict node roles.
+//! 4. Extract the adder tree from the predictions and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gamora::{compare_extraction, GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_circuits::csa_multiplier;
+use gamora_exact::{analyze, build_tree, RootLeafClass};
+
+fn main() {
+    // --- 1. the workload -------------------------------------------------
+    let mult = csa_multiplier(3);
+    println!("3-bit CSA multiplier: {}", mult.aig.stats());
+
+    // --- 2. exact reasoning ----------------------------------------------
+    let analysis = analyze(&mult.aig);
+    let tree = build_tree(&analysis.adders);
+    println!("exact reasoning found: {tree}");
+    let (roots, leaves, xors, majs) = analysis.labels.summary();
+    println!("labels: {roots} roots, {leaves} leaves, {xors} XOR nodes, {majs} MAJ nodes");
+    for a in &analysis.adders {
+        println!(
+            "  {:?} adder: sum = n{}, carry = n{}, inputs = {:?}",
+            a.kind,
+            a.sum.index(),
+            a.carry.index(),
+            a.leaf_slice()
+        );
+    }
+
+    // --- 3. learn and predict --------------------------------------------
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Shallow,
+        ..ReasonerConfig::default()
+    });
+    println!(
+        "\ntraining a {:?} model ({} parameters) ...",
+        reasoner.config().depth,
+        reasoner.num_params()
+    );
+    let report = reasoner.fit(
+        &[&mult.aig],
+        &TrainConfig {
+            epochs: 250,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "final training loss {:.4}, train accuracy {:?}",
+        report.epoch_losses.last().unwrap(),
+        report
+            .train_accuracy
+            .iter()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .collect::<Vec<_>>()
+    );
+    let eval = reasoner.evaluate(&mult.aig);
+    println!("node-level evaluation: {eval}");
+
+    // --- 4. adder tree from predictions -----------------------------------
+    let preds = reasoner.predict(&mult.aig);
+    let (predicted, cmp) = compare_extraction(&mult.aig, &preds);
+    println!("\nprediction-driven extraction: {cmp}");
+    let ptree = build_tree(&predicted);
+    println!("predicted adder tree: {ptree}");
+
+    // Annotated node dump (the paper's Figure 3(c)).
+    println!("\nper-node annotation (AND nodes):");
+    for n in mult.aig.and_ids() {
+        let i = n.index();
+        let mut tags = Vec::new();
+        if preds.is_xor[i] {
+            tags.push("XOR");
+        }
+        if preds.is_maj[i] {
+            tags.push("MAJ");
+        }
+        match RootLeafClass::from_index(preds.root_leaf[i] as usize) {
+            RootLeafClass::Root => tags.push("root"),
+            RootLeafClass::Leaf => tags.push("leaf"),
+            RootLeafClass::RootAndLeaf => tags.push("root+leaf"),
+            RootLeafClass::Other => {}
+        }
+        if !tags.is_empty() {
+            println!("  n{i}: {}", tags.join(" | "));
+        }
+    }
+}

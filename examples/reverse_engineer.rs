@@ -1,0 +1,47 @@
+//! Reverse engineering: find the arithmetic hidden inside a flattened
+//! datapath.
+//!
+//! Gamora is trained only on small stand-alone CSA multipliers, then asked
+//! to annotate a flattened multiply-accumulate unit and a 4-lane dot
+//! product — netlists it has never seen, with adder trees interleaved with
+//! glue logic. The extracted trees are compared against exact reasoning.
+//!
+//! Run with: `cargo run --release --example reverse_engineer`
+
+use gamora::{compare_extraction, lsb_correction, GamoraReasoner, ReasonerConfig, TrainConfig};
+use gamora_circuits::{csa_multiplier, dot_product, multiply_accumulate};
+use gamora_exact::build_tree;
+
+fn main() {
+    // Train on small, clean multipliers only.
+    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train_refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
+    println!("training on {} small CSA multipliers ...", train.len());
+    reasoner.fit(
+        &train_refs,
+        &TrainConfig {
+            epochs: 300,
+            ..TrainConfig::default()
+        },
+    );
+
+    // Reverse engineer unseen, composite datapaths.
+    let mac = multiply_accumulate(8);
+    let dot = dot_product(6, 4);
+    for (name, circuit) in [("8-bit MAC (a*b + c)", &mac), ("4-lane 6-bit dot product", &dot)] {
+        println!("\n=== {name}: {} ===", circuit.aig.stats());
+        let eval = reasoner.evaluate(&circuit.aig);
+        println!("node annotation:     {eval}");
+        let preds = reasoner.predict(&circuit.aig);
+        let (mut adders, cmp) = compare_extraction(&circuit.aig, &preds);
+        println!("extraction vs exact: {cmp}");
+        let repaired = lsb_correction(&circuit.aig, &mut adders);
+        println!(
+            "LSB post-processing repaired {repaired} adder(s); final tree: {}",
+            build_tree(&adders)
+        );
+        let exact_tree = build_tree(&gamora_exact::analyze(&circuit.aig).adders);
+        println!("exact tree:          {exact_tree}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Scalability sweep (a miniature of the paper's Figure 7): netlist size,
+//! exact-reasoning runtime and GNN inference runtime as multiplier width
+//! grows.
+//!
+//! Run with: `cargo run --release --example scalability [max_bits]`
+//! (default 128; pass 512 or more on a fast machine).
+
+use gamora::{GamoraReasoner, ReasonerConfig, TrainConfig};
+use gamora_circuits::csa_multiplier;
+use std::time::Instant;
+
+fn main() {
+    let max_bits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
+    let train: Vec<_> = [4usize, 6, 8].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    eprintln!("training once on 4-8 bit multipliers ...");
+    reasoner.fit(&refs, &TrainConfig { epochs: 250, ..TrainConfig::default() });
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "bits", "|V|", "|E|", "exact (ms)", "gamora (ms)", "acc (%)"
+    );
+    let mut bits = 16usize;
+    while bits <= max_bits {
+        let t = Instant::now();
+        let m = csa_multiplier(bits);
+        let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let analysis = gamora_exact::analyze(&m.aig);
+        let exact_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let preds = reasoner.predict(&m.aig);
+        let gamora_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let eval = gamora::score_predictions(&preds, &analysis.labels);
+        println!(
+            "{:>6} {:>10} {:>10} {:>12.1} {:>12.1} {:>8.2}   (gen {gen_ms:.0} ms, {} adders)",
+            bits,
+            m.aig.num_nodes(),
+            2 * m.aig.num_ands(),
+            exact_ms,
+            gamora_ms,
+            eval.mean() * 100.0,
+            analysis.adders.len(),
+        );
+        bits *= 2;
+    }
+}

@@ -1,0 +1,74 @@
+//! Technology mapping and its impact on reasoning (the paper's Figure 5
+//! phenomenon, in miniature).
+//!
+//! An 8-bit CSA multiplier is mapped onto (a) a simple mcnc-style library
+//! and (b) a complex ASAP7-style library with multi-output adder cells.
+//! A model trained on *unmapped* multipliers is evaluated on each
+//! post-mapping netlist, showing how mapping — especially the complex
+//! library — erodes accuracy; retraining on mapped netlists recovers it.
+//!
+//! Run with: `cargo run --release --example tech_mapping`
+
+use gamora::{GamoraReasoner, ReasonerConfig, TrainConfig};
+use gamora_aig::Aig;
+use gamora_circuits::csa_multiplier;
+use gamora_techmap::{map, Library, MapParams};
+
+fn mapped_aig(bits: usize, lib: &Library) -> Aig {
+    let m = csa_multiplier(bits);
+    let mapped = map(&m.aig, lib, &MapParams::default());
+    mapped.to_aig()
+}
+
+fn main() {
+    let simple = Library::simple();
+    let complex = Library::complex7nm();
+
+    // Show what mapping does to the netlist.
+    let m8 = csa_multiplier(8);
+    println!("original 8-bit CSA multiplier: {}", m8.aig.stats());
+    for (name, lib) in [("simple (mcnc-style)", &simple), ("complex (ASAP7-style)", &complex)] {
+        let mapped = map(&m8.aig, lib, &MapParams::default());
+        println!(
+            "\nmapped with {name}: {} instances, area {:.0}",
+            mapped.instances.len(),
+            mapped.area()
+        );
+        for (cell, count) in mapped.cell_histogram().into_iter().take(6) {
+            println!("    {cell:10} x{count}");
+        }
+        let back = mapped.to_aig();
+        println!("  re-encoded as AIG: {}", back.stats());
+    }
+
+    // Train on unmapped multipliers.
+    let train: Vec<_> = [4usize, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train_refs: Vec<&Aig> = train.iter().map(|m| &m.aig).collect();
+    let cfg = TrainConfig {
+        epochs: 300,
+        ..TrainConfig::default()
+    };
+    let mut unmapped_model = GamoraReasoner::new(ReasonerConfig::default());
+    println!("\ntraining on unmapped 4-6 bit multipliers ...");
+    unmapped_model.fit(&train_refs, &cfg);
+
+    println!("\n-- generalisation of the unmapped-trained model --");
+    println!("unmapped 8-bit:        {}", unmapped_model.evaluate(&m8.aig));
+    let simple_mapped = mapped_aig(8, &simple);
+    println!("simple-mapped 8-bit:   {}", unmapped_model.evaluate(&simple_mapped));
+    let complex_mapped = mapped_aig(8, &complex);
+    println!("complex-mapped 8-bit:  {}", unmapped_model.evaluate(&complex_mapped));
+
+    // Retrain on mapped netlists.
+    for (name, lib) in [("simple", &simple), ("complex", &complex)] {
+        let mapped_train: Vec<Aig> = [4usize, 5, 6].iter().map(|&b| mapped_aig(b, lib)).collect();
+        let refs: Vec<&Aig> = mapped_train.iter().collect();
+        let mut retrained = GamoraReasoner::new(ReasonerConfig::default());
+        retrained.fit(&refs, &cfg);
+        let subject = mapped_aig(8, lib);
+        println!(
+            "retrained on {name}-mapped 4-6 bit: {}",
+            retrained.evaluate(&subject)
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration across substrates: generators x AIGER x exact reasoning x
+//! technology mapping x symbolic algebra.
+
+use gamora_aig::{aiger, sim};
+use gamora_circuits::{booth_multiplier, csa_multiplier, generate_multiplier, MultiplierKind};
+use gamora_sca::{product_spec, verify, RewriteParams};
+use gamora_techmap::{map, Library, MapParams};
+
+/// A multiplier survives an AIGER round-trip and exact analysis of the
+/// reloaded netlist finds the same adder tree.
+#[test]
+fn aiger_roundtrip_preserves_reasoning() {
+    let m = csa_multiplier(6);
+    let mut buf = Vec::new();
+    aiger::write_binary(&m.aig, &mut buf).unwrap();
+    let back = aiger::read(&buf[..]).unwrap();
+    assert!(sim::random_equivalence_check(&m.aig, &back, 8, 1).is_ok());
+    let a1 = gamora_exact::analyze(&m.aig);
+    let a2 = gamora_exact::analyze(&back);
+    assert_eq!(a1.adders.len(), a2.adders.len());
+    // Structure preserved exactly: same (sum, carry) pairs.
+    let p1: Vec<_> = a1.adders.iter().map(|a| (a.sum, a.carry)).collect();
+    let p2: Vec<_> = a2.adders.iter().map(|a| (a.sum, a.carry)).collect();
+    assert_eq!(p1, p2);
+}
+
+/// Technology mapping preserves function for every workload/library combo,
+/// and the post-mapping netlist still contains a discoverable adder tree.
+#[test]
+fn mapping_keeps_adder_trees_discoverable() {
+    for kind in [MultiplierKind::Csa, MultiplierKind::Booth] {
+        let m = generate_multiplier(kind, 6);
+        let exact_before = gamora_exact::analyze(&m.aig).adders.len();
+        for lib in [Library::simple(), Library::complex7nm()] {
+            let mapped = map(&m.aig, &lib, &MapParams::default());
+            let back = mapped.to_aig();
+            assert!(
+                sim::random_equivalence_check(&m.aig, &back, 8, 2).is_ok(),
+                "{kind} x {} changed function",
+                lib.name
+            );
+            let exact_after = gamora_exact::analyze(&back).adders.len();
+            assert!(
+                exact_after > 0,
+                "{kind} x {}: no adders found after mapping",
+                lib.name
+            );
+            // Mapping may merge or restructure slices, but the tree should
+            // stay in the same ballpark.
+            assert!(
+                exact_after * 3 >= exact_before,
+                "{kind} x {}: tree collapsed from {exact_before} to {exact_after}",
+                lib.name
+            );
+        }
+    }
+}
+
+/// Algebraic verification accepts the mapped netlists too (the spec is
+/// over inputs, so it carries across mapping).
+#[test]
+fn sca_verifies_post_mapping_netlists() {
+    let m = csa_multiplier(5);
+    let spec = product_spec(&m.a, &m.b);
+    for lib in [Library::simple(), Library::complex7nm()] {
+        let mapped = map(&m.aig, &lib, &MapParams::default());
+        let back = mapped.to_aig();
+        // Input order is preserved by construction; verify directly.
+        let analysis = gamora_exact::analyze(&back);
+        let report = verify(&back, &spec, Some(&analysis.adders), &RewriteParams::default())
+            .expect("within budget");
+        assert!(report.equivalent, "{}: {report}", lib.name);
+    }
+}
+
+/// The naive and adder-aware flows agree on validity, while the assisted
+/// flow does strictly less gate-level work.
+#[test]
+fn assisted_rewriting_is_cheaper() {
+    let m = booth_multiplier(5);
+    let spec = product_spec(&m.a, &m.b);
+    let naive = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
+    let analysis = gamora_exact::analyze(&m.aig);
+    let aware = verify(&m.aig, &spec, Some(&analysis.adders), &RewriteParams::default()).unwrap();
+    assert!(naive.equivalent && aware.equivalent);
+    assert!(aware.stats.substitutions < naive.stats.substitutions);
+    assert!(aware.stats.peak_terms <= naive.stats.peak_terms);
+}
+
+/// Exact extraction covers generator provenance across kinds and widths.
+/// CSA trees are recovered exactly; Booth allows a small slack because its
+/// encoder logic contains additional functional (XOR, AND) pairs that can
+/// claim a structurally-shared node first — the same ambiguity ABC's
+/// functional extraction exhibits on Booth netlists.
+#[test]
+fn exact_extraction_matches_provenance_matrix() {
+    for (kind, widths, min_recall) in [
+        (MultiplierKind::Csa, vec![2usize, 5, 10, 12], 1.0),
+        (MultiplierKind::Booth, vec![5usize, 7, 10], 0.95),
+    ] {
+        for bits in widths {
+            let m = generate_multiplier(kind, bits);
+            let analysis = gamora_exact::analyze(&m.aig);
+            let cmp = gamora_exact::compare_with_reference(
+                &analysis.adders,
+                m.provenance
+                    .real_adders()
+                    .map(|r| (r.sum.var(), r.carry.var())),
+            );
+            assert!(
+                cmp.recall() >= min_recall,
+                "{kind} {bits}-bit: {cmp}"
+            );
+        }
+    }
+}
+
+/// Alternative architectures (Dadda multiplier, carry-select adder) also
+/// yield extractable adder trees — reasoning is not specific to the two
+/// paper families.
+#[test]
+fn alternative_architectures_are_extractable() {
+    let dadda = gamora_circuits::dadda_multiplier(6);
+    let analysis = gamora_exact::analyze(&dadda.aig);
+    let cmp = gamora_exact::compare_with_reference(
+        &analysis.adders,
+        dadda
+            .provenance
+            .real_adders()
+            .map(|r| (r.sum.var(), r.carry.var())),
+    );
+    assert!(cmp.recall() > 0.95, "dadda: {cmp}");
+
+    let csel = gamora_circuits::carry_select_adder(8);
+    let analysis = gamora_exact::analyze(&csel.aig);
+    let cmp = gamora_exact::compare_with_reference(
+        &analysis.adders,
+        csel.provenance
+            .real_adders()
+            .map(|r| (r.sum.var(), r.carry.var())),
+    );
+    assert!(cmp.recall() > 0.9, "carry-select: {cmp}");
+
+    // And the Dadda product is algebraically correct.
+    let spec = product_spec(&dadda.a, &dadda.b);
+    let report = verify(&dadda.aig, &spec, Some(&gamora_exact::analyze(&dadda.aig).adders), &RewriteParams::default()).unwrap();
+    assert!(report.equivalent, "{report}");
+}

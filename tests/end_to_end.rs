@@ -1,0 +1,99 @@
+//! End-to-end integration: train Gamora on small multipliers, reason about
+//! larger ones, extract adder trees — the full pipeline of the paper.
+
+use gamora::{
+    compare_extraction, lsb_correction, GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig,
+};
+use gamora_circuits::{booth_multiplier, csa_multiplier};
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    }
+}
+
+/// The headline result: a shallow model trained on ≤8-bit CSA multipliers
+/// generalises to a 32-bit multiplier with near-perfect node accuracy.
+#[test]
+fn csa_generalisation_small_to_large() {
+    let train: Vec<_> = [3usize, 4, 5, 6, 7, 8].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
+    reasoner.fit(&refs, &train_cfg(300));
+    let eval = reasoner.evaluate(&csa_multiplier(32).aig);
+    assert!(
+        eval.mean() > 0.97,
+        "expected near-exact reasoning on 32-bit CSA: {eval}"
+    );
+}
+
+/// Prediction-driven adder extraction recovers almost the whole tree, and
+/// LSB post-processing closes the systematic shallow misses.
+#[test]
+fn extraction_recall_with_postprocessing() {
+    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
+    reasoner.fit(&refs, &train_cfg(300));
+
+    let subject = csa_multiplier(16);
+    let preds = reasoner.predict(&subject.aig);
+    let (mut adders, cmp) = compare_extraction(&subject.aig, &preds);
+    let before = cmp.recall();
+    lsb_correction(&subject.aig, &mut adders);
+    let exact = gamora_exact::analyze(&subject.aig);
+    let after = gamora_exact::compare_with_reference(
+        &adders,
+        exact.adders.iter().map(|a| (a.sum, a.carry)),
+    );
+    assert!(
+        after.recall() >= before,
+        "post-processing must not hurt: {before} -> {}",
+        after.recall()
+    );
+    assert!(
+        after.recall() > 0.9,
+        "16-bit CSA adder recall too low: {after}"
+    );
+}
+
+/// The deep model handles Booth multipliers; trained on 6-10 bit, evaluated
+/// on 16-bit.
+#[test]
+fn booth_needs_capacity_but_generalises() {
+    let train: Vec<_> = [6usize, 8, 10].iter().map(|&b| booth_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom { layers: 6, hidden: 48 },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(&refs, &train_cfg(260));
+    let eval = reasoner.evaluate(&booth_multiplier(16).aig);
+    assert!(eval.mean() > 0.9, "Booth 16-bit: {eval}");
+}
+
+/// Multi-task training beats the collapsed single-task formulation on the
+/// same budget (the paper's Figure 4 claim).
+#[test]
+fn multi_task_beats_single_task() {
+    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let subject = csa_multiplier(12);
+
+    let mut multi = GamoraReasoner::new(ReasonerConfig::default());
+    multi.fit(&refs, &train_cfg(200));
+    let multi_acc = multi.evaluate(&subject.aig).mean();
+
+    let mut single = GamoraReasoner::new(ReasonerConfig {
+        multi_task: false,
+        ..ReasonerConfig::default()
+    });
+    single.fit(&refs, &train_cfg(200));
+    let single_acc = single.evaluate(&subject.aig).mean();
+
+    assert!(
+        multi_acc >= single_acc - 0.01,
+        "multi-task {multi_acc:.4} should not lose to single-task {single_acc:.4}"
+    );
+}

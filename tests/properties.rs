@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests: random netlists through mapping,
+//! extraction and algebraic rewriting.
+
+use gamora_aig::{sim, Aig, Lit};
+use gamora_sca::{backward_rewrite, output_signature, RewriteParams};
+use gamora_techmap::{map, Library, MapParams};
+use proptest::prelude::*;
+
+/// Random multi-output AIG recipes (same scheme as the aig crate's
+/// properties, but with several outputs).
+#[derive(Clone, Debug)]
+struct Recipe {
+    num_inputs: usize,
+    steps: Vec<(u8, u16, bool, u16, bool)>,
+    num_outputs: usize,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..6, 3usize..32, 1usize..4).prop_flat_map(|(num_inputs, num_steps, num_outputs)| {
+        let step = (0u8..6, any::<u16>(), any::<bool>(), any::<u16>(), any::<bool>());
+        proptest::collection::vec(step, num_steps).prop_map(move |steps| Recipe {
+            num_inputs,
+            steps,
+            num_outputs,
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut aig = Aig::new();
+    let mut pool: Vec<Lit> = aig.add_inputs(recipe.num_inputs);
+    for &(op, a, ac, b, bc) in &recipe.steps {
+        let la = pool[a as usize % pool.len()].complement_if(ac);
+        let lb = pool[b as usize % pool.len()].complement_if(bc);
+        let r = match op {
+            0 => aig.and(la, lb),
+            1 => aig.or(la, lb),
+            2 => aig.xor(la, lb),
+            3 => aig.nand(la, lb),
+            4 => aig.mux(la, lb, !lb),
+            _ => aig.maj3(la, lb, !la),
+        };
+        pool.push(r);
+    }
+    for i in 0..recipe.num_outputs {
+        aig.add_output(pool[pool.len() - 1 - (i % pool.len().min(4))]);
+    }
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Technology mapping preserves the function of arbitrary logic for
+    /// both built-in libraries.
+    #[test]
+    fn mapping_preserves_arbitrary_logic(r in recipe()) {
+        let aig = build(&r);
+        for lib in [Library::simple(), Library::complex7nm()] {
+            let mapped = map(&aig, &lib, &MapParams::default());
+            let back = mapped.to_aig();
+            prop_assert!(
+                sim::random_equivalence_check(&aig, &back, 4, 0xA11).is_ok(),
+                "library {}", lib.name
+            );
+        }
+    }
+
+    /// Exact analysis never panics and its labels are self-consistent on
+    /// arbitrary netlists (roots are XOR or MAJ labelled).
+    #[test]
+    fn exact_analysis_is_total_and_consistent(r in recipe()) {
+        let aig = build(&r);
+        let analysis = gamora_exact::analyze(&aig);
+        for a in &analysis.adders {
+            prop_assert!(analysis.labels.root_leaf[a.sum.index()].is_root());
+            prop_assert!(analysis.labels.root_leaf[a.carry.index()].is_root());
+            prop_assert!(analysis.labels.is_xor[a.sum.index()]);
+            prop_assert!(analysis.labels.is_maj[a.carry.index()]);
+        }
+    }
+
+    /// Backward rewriting of the output signature agrees with simulation:
+    /// evaluating the reduced polynomial on random inputs equals the
+    /// weighted sum of simulated outputs.
+    #[test]
+    fn rewriting_agrees_with_simulation(r in recipe(), pattern in any::<u64>()) {
+        let aig = build(&r);
+        let sig = output_signature(&aig);
+        let (poly, _) = backward_rewrite(&aig, sig, None, &RewriteParams::default())
+            .expect("small networks fit the budget");
+        let inputs: Vec<bool> = (0..aig.num_inputs()).map(|i| pattern >> i & 1 != 0).collect();
+        let outs = sim::eval(&aig, &inputs);
+        let expected: i128 = outs
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as i128) << i)
+            .sum();
+        let input_ids: Vec<u32> = aig.inputs().iter().map(|n| n.as_u32()).collect();
+        let got = poly.eval(|v| {
+            let pos = input_ids.iter().position(|&x| x == v).expect("input var");
+            inputs[pos]
+        });
+        prop_assert_eq!(got.to_i128(), Some(expected));
+    }
+
+    /// Prediction-driven extraction with oracle labels is *sound* on
+    /// arbitrary netlists: every extracted root really is an exact root
+    /// with the right function label, and the tree stays near-complete.
+    /// (On arithmetic workloads the match is exact — see the unit tests in
+    /// `gamora::extract` — but on adversarial graphs with duplicated
+    /// functions the greedy pairing may legitimately pick a different,
+    /// functionally equivalent partner.)
+    #[test]
+    fn oracle_extraction_is_sound(r in recipe()) {
+        let aig = build(&r);
+        let analysis = gamora_exact::analyze(&aig);
+        let oracle = gamora::Predictions {
+            root_leaf: analysis.labels.root_leaf.iter().map(|c| c.as_index() as u32).collect(),
+            is_xor: analysis.labels.is_xor.clone(),
+            is_maj: analysis.labels.is_maj.clone(),
+        };
+        let (predicted, _) = gamora::compare_extraction(&aig, &oracle);
+        for a in &predicted {
+            prop_assert!(analysis.labels.root_leaf[a.sum.index()].is_root());
+            prop_assert!(analysis.labels.root_leaf[a.carry.index()].is_root());
+            prop_assert!(analysis.labels.is_xor[a.sum.index()]);
+            prop_assert!(analysis.labels.is_maj[a.carry.index()]);
+        }
+    }
+}
