@@ -497,8 +497,12 @@ impl Aig {
         for n in self.node_ids() {
             if reachable[n.index()] && self.is_and(n) {
                 let (f0, f1) = self.fanins(n);
-                let a = map[f0.var().index()].expect("topo order").complement_if(f0.is_complement());
-                let b = map[f1.var().index()].expect("topo order").complement_if(f1.is_complement());
+                let a = map[f0.var().index()]
+                    .expect("topo order")
+                    .complement_if(f0.is_complement());
+                let b = map[f1.var().index()]
+                    .expect("topo order")
+                    .complement_if(f1.is_complement());
                 map[n.index()] = Some(out.and(a, b));
             }
         }
@@ -520,7 +524,11 @@ impl Aig {
         let (cone, map) = scratch.cleanup();
         let lits = roots
             .iter()
-            .map(|r| map[r.var().index()].expect("root retained").complement_if(r.is_complement()))
+            .map(|r| {
+                map[r.var().index()]
+                    .expect("root retained")
+                    .complement_if(r.is_complement())
+            })
             .collect();
         (cone, lits)
     }
@@ -615,7 +623,9 @@ mod tests {
         assert_eq!(clean.num_inputs(), 2);
         assert_eq!(clean.num_outputs(), 1);
         // output literal mapped with polarity preserved
-        let mapped = map[keep.var().index()].unwrap().complement_if(keep.is_complement());
+        let mapped = map[keep.var().index()]
+            .unwrap()
+            .complement_if(keep.is_complement());
         assert_eq!(clean.outputs()[0], mapped);
     }
 

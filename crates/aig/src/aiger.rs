@@ -178,7 +178,8 @@ pub fn read<R: BufRead>(mut r: R) -> Result<Aig, ParseAigerError> {
         return Err(malformed("header must be '<fmt> M I L O A'"));
     }
     let parse = |s: &str| -> Result<u32, ParseAigerError> {
-        s.parse().map_err(|_| malformed(format!("bad number '{s}'")))
+        s.parse()
+            .map_err(|_| malformed(format!("bad number '{s}'")))
     };
     let (m, i, l, o, a) = (
         parse(fields[1])?,
@@ -209,7 +210,9 @@ fn read_ascii_body<R: BufRead>(
     let mut read_line = |expect: &str| -> Result<String, ParseAigerError> {
         let mut line = String::new();
         if r.read_line(&mut line)? == 0 {
-            return Err(malformed(format!("unexpected end of file reading {expect}")));
+            return Err(malformed(format!(
+                "unexpected end of file reading {expect}"
+            )));
         }
         Ok(line.trim().to_string())
     };
@@ -377,14 +380,19 @@ mod tests {
     fn rejects_forward_reference() {
         // and gate referencing literal 8 (variable 4) before it exists
         let text = "aag 3 2 0 1 1\n2\n4\n6\n6 8 2\n";
-        assert!(matches!(read(text.as_bytes()), Err(ParseAigerError::Malformed(_))));
+        assert!(matches!(
+            read(text.as_bytes()),
+            Err(ParseAigerError::Malformed(_))
+        ));
     }
 
     #[test]
     fn error_display_is_informative() {
         let e = malformed("odd literal");
         assert!(e.to_string().contains("odd literal"));
-        assert!(ParseAigerError::Sequential.to_string().contains("sequential"));
+        assert!(ParseAigerError::Sequential
+            .to_string()
+            .contains("sequential"));
     }
 
     #[test]

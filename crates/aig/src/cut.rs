@@ -277,8 +277,16 @@ pub fn cone_function(aig: &Aig, root: Lit, leaves: &[NodeId]) -> Option<u64> {
         match (m0, m1) {
             (Some(t0), Some(t1)) => {
                 stack.pop();
-                let t0 = if f0.is_complement() { !t0 & tt::mask(k) } else { t0 };
-                let t1 = if f1.is_complement() { !t1 & tt::mask(k) } else { t1 };
+                let t0 = if f0.is_complement() {
+                    !t0 & tt::mask(k)
+                } else {
+                    t0
+                };
+                let t1 = if f1.is_complement() {
+                    !t1 & tt::mask(k)
+                } else {
+                    t1
+                };
                 memo.insert(n.as_u32(), t0 & t1);
             }
             _ => {
@@ -292,7 +300,11 @@ pub fn cone_function(aig: &Aig, root: Lit, leaves: &[NodeId]) -> Option<u64> {
         }
     }
     let t = memo[&root.var().as_u32()];
-    Some(if root.is_complement() { !t & tt::mask(k) } else { t })
+    Some(if root.is_complement() {
+        !t & tt::mask(k)
+    } else {
+        t
+    })
 }
 
 #[cfg(test)]
@@ -310,7 +322,11 @@ mod tests {
         let root_cuts = cuts.of(x.var());
         let found = root_cuts.iter().any(|c| {
             c.leaves() == [a.as_u32(), b.as_u32()]
-                && (if x.is_complement() { !c.tt & tt::mask(2) } else { c.tt }) == tt::XOR2
+                && (if x.is_complement() {
+                    !c.tt & tt::mask(2)
+                } else {
+                    c.tt
+                }) == tt::XOR2
         });
         assert!(found, "XOR2 cut not found: {root_cuts:?}");
     }
@@ -329,14 +345,26 @@ mod tests {
             .of(s.var())
             .iter()
             .find(|cut| cut.leaves() == leaf_ids)
-            .map(|cut| if s.is_complement() { !cut.tt & tt::mask(3) } else { cut.tt });
+            .map(|cut| {
+                if s.is_complement() {
+                    !cut.tt & tt::mask(3)
+                } else {
+                    cut.tt
+                }
+            });
         assert_eq!(sum_tt, Some(tt::XOR3));
 
         let carry_tt = cuts
             .of(c.var())
             .iter()
             .find(|cut| cut.leaves() == leaf_ids)
-            .map(|cut| if c.is_complement() { !cut.tt & tt::mask(3) } else { cut.tt });
+            .map(|cut| {
+                if c.is_complement() {
+                    !cut.tt & tt::mask(3)
+                } else {
+                    cut.tt
+                }
+            });
         assert_eq!(carry_tt, Some(tt::MAJ3));
     }
 

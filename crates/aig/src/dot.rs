@@ -29,12 +29,20 @@ pub fn to_dot(aig: &Aig, mut label: impl FnMut(NodeId) -> Option<String>) -> Str
     for n in aig.and_ids() {
         let (f0, f1) = aig.fanins(n);
         for f in [f0, f1] {
-            let style = if f.is_complement() { " [style=dashed]" } else { "" };
+            let style = if f.is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             let _ = writeln!(s, "  n{} -> n{}{style};", f.var().index(), n.index());
         }
     }
     for (i, o) in aig.outputs().iter().enumerate() {
-        let style = if o.is_complement() { ", style=dashed" } else { "" };
+        let style = if o.is_complement() {
+            ", style=dashed"
+        } else {
+            ""
+        };
         let _ = writeln!(s, "  o{i} [shape=invtriangle, label=\"o{i}\"];");
         let _ = writeln!(s, "  n{} -> o{i} [color=blue{style}];", o.var().index());
     }

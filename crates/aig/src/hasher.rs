@@ -1,4 +1,5 @@
-//! A fast, non-cryptographic hasher for structural hashing tables.
+//! A fast, non-cryptographic hasher for structural hashing tables, and the
+//! whole-graph [`structural_fingerprint`] used as a prediction-cache key.
 //!
 //! Building multi-million-node AIGs performs one hash-map probe per created
 //! AND gate, so the default SipHash is a measurable cost. This is a simple
@@ -6,6 +7,7 @@
 //! it is *not* DoS-resistant and is only used for internal tables keyed by
 //! node indices we produced ourselves.
 
+use crate::{Aig, NodeKind};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiply-xor hasher over machine words.
@@ -63,6 +65,128 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
 
+/// SplitMix64 finaliser: full-avalanche mixing of one word.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two words order-sensitively with full avalanche.
+#[inline]
+fn combine(a: u64, b: u64) -> u64 {
+    mix64(a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.rotate_left(32))
+}
+
+const INPUT_TAG: u64 = 0x1157_0000_0000_0001;
+const CONST_TAG: u64 = 0xC057_0000_0000_0002;
+const COMPLEMENT_TAG: u64 = 0xF11F_9E37_79B9_7F4A;
+
+/// A canonical whole-graph structural hash, the prediction-cache key of
+/// `gamora-serve`.
+///
+/// Every node receives a hash derived purely from its *function-relevant
+/// structure*: constants and input positions at the leaves, and for each
+/// AND gate the **unordered** pair of (fanin hash, complement flag)
+/// operands. The fingerprint digests the input count and the ordered,
+/// complement-aware output literals.
+///
+/// Consequently the fingerprint is invariant under
+///
+/// * node renumbering (any topological relabelling, e.g. a binary-AIGER
+///   round trip that moves inputs to the lowest indices), and
+/// * fanin order within an AND gate (AND is commutative);
+///
+/// while distinguishing complement edges, output order, and input order —
+/// the things that change what a served prediction means. Two AIGs with
+/// equal fingerprints have isomorphic *reachable* logic per output, so
+/// cached per-node predictions transfer between them only via their own
+/// node numbering; `gamora-serve` therefore keys on the fingerprint *and*
+/// the node count, and callers submitting structurally identical graphs
+/// (the common repeated-netlist case) get exact reuse.
+///
+/// Unreferenced (dangling) nodes do not affect the fingerprint.
+pub fn structural_fingerprint(aig: &Aig) -> u64 {
+    fingerprint_from_node_hashes(aig, &structural_node_hashes(aig))
+}
+
+/// The per-node canonical hashes underlying [`structural_fingerprint`]:
+/// each node's hash is a pure function of its input-position-rooted cone
+/// (renumber- and fanin-order-invariant). `gamora-serve` uses these to
+/// transfer cached per-node predictions onto an isomorphic, differently
+/// numbered resubmission.
+pub fn structural_node_hashes(aig: &Aig) -> Vec<u64> {
+    let mut node_hash = vec![0u64; aig.num_nodes()];
+    // Input position, not node index: renumber-invariant.
+    for (pos, &input) in aig.inputs().iter().enumerate() {
+        node_hash[input.index()] = mix64(INPUT_TAG ^ (pos as u64));
+    }
+    for n in aig.node_ids() {
+        match aig.kind(n) {
+            NodeKind::Const0 => node_hash[n.index()] = mix64(CONST_TAG),
+            NodeKind::Input => {} // assigned above
+            NodeKind::And => {
+                let (f0, f1) = aig.fanins(n);
+                let mut a = node_hash[f0.var().index()];
+                if f0.is_complement() {
+                    a = mix64(a ^ COMPLEMENT_TAG);
+                }
+                let mut b = node_hash[f1.var().index()];
+                if f1.is_complement() {
+                    b = mix64(b ^ COMPLEMENT_TAG);
+                }
+                // Sort the operand hashes: AND is commutative.
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                node_hash[n.index()] = combine(lo, hi);
+            }
+        }
+    }
+    node_hash
+}
+
+/// Digests pre-computed [`structural_node_hashes`] into the whole-graph
+/// fingerprint (input count plus ordered, complement-aware outputs).
+pub fn fingerprint_from_node_hashes(aig: &Aig, node_hash: &[u64]) -> u64 {
+    let mut acc = mix64(aig.num_inputs() as u64 ^ 0xA16_0000_0000_0003);
+    for &o in aig.outputs() {
+        let mut h = node_hash[o.var().index()];
+        if o.is_complement() {
+            h = mix64(h ^ COMPLEMENT_TAG);
+        }
+        acc = combine(acc, h);
+    }
+    acc
+}
+
+/// An *order-sensitive* exact structural hash: two AIGs share it only if
+/// they have identical node numbering, kinds, fanin literals, and outputs.
+/// Where [`structural_fingerprint`] answers "same circuit up to
+/// renumbering?", this answers "byte-identical structure?" — the test
+/// `gamora-serve` uses to decide whether cached per-node predictions can
+/// be served verbatim (identical numbering) or must be transferred through
+/// canonical node hashes.
+pub fn identity_fingerprint(aig: &Aig) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(aig.num_nodes());
+    h.write_usize(aig.num_inputs());
+    for &i in aig.inputs() {
+        h.write_u32(i.as_u32());
+    }
+    for n in aig.node_ids() {
+        if aig.kind(n) == NodeKind::And {
+            let (f0, f1) = aig.fanins(n);
+            h.write_u32(n.as_u32());
+            h.write_u32(f0.raw());
+            h.write_u32(f1.raw());
+        }
+    }
+    for &o in aig.outputs() {
+        h.write_u32(o.raw());
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +211,101 @@ mod tests {
         }
         assert_eq!(m.get(&(41, 42)), Some(&82));
         assert_eq!(m.len(), 1000);
+    }
+
+    fn full_adder_aig() -> Aig {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s);
+        aig.add_output(c);
+        aig
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_rebuild_stable() {
+        assert_eq!(
+            structural_fingerprint(&full_adder_aig()),
+            structural_fingerprint(&full_adder_aig())
+        );
+    }
+
+    #[test]
+    fn fingerprint_survives_binary_aiger_renumbering() {
+        // write_binary renumbers inputs to the lowest indices; the reloaded
+        // AIG is isomorphic but differently numbered.
+        let aig = full_adder_aig();
+        let mut buf = Vec::new();
+        crate::aiger::write_binary(&aig, &mut buf).unwrap();
+        let back = crate::aiger::read(&buf[..]).unwrap();
+        assert_eq!(structural_fingerprint(&aig), structural_fingerprint(&back));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_function_changes() {
+        let base = structural_fingerprint(&full_adder_aig());
+
+        // Complementing an output changes the function.
+        let mut flipped = full_adder_aig();
+        let out = flipped.outputs()[1];
+        flipped.set_output(1, !out);
+        assert_ne!(base, structural_fingerprint(&flipped));
+
+        // Swapping output order changes the word-level meaning.
+        let mut swapped = Aig::new();
+        let ins = swapped.add_inputs(3);
+        let (s, c) = swapped.full_adder(ins[0], ins[1], ins[2]);
+        swapped.add_output(c);
+        swapped.add_output(s);
+        assert_ne!(base, structural_fingerprint(&swapped));
+
+        // A different circuit entirely.
+        let mut xor = Aig::new();
+        let ins = xor.add_inputs(2);
+        let x = xor.xor(ins[0], ins[1]);
+        xor.add_output(x);
+        assert_ne!(base, structural_fingerprint(&xor));
+    }
+
+    #[test]
+    fn identity_fingerprint_is_numbering_sensitive() {
+        let aig = full_adder_aig();
+        assert_eq!(
+            identity_fingerprint(&aig),
+            identity_fingerprint(&full_adder_aig())
+        );
+        // A binary AIGER round trip renumbers: canonical fingerprint holds,
+        // identity fingerprint (usually) does not need to — but structure
+        // read back from ASCII AIGER written from a canonical AIG is
+        // numbering-identical.
+        let mut buf = Vec::new();
+        crate::aiger::write_ascii(&aig, &mut buf).unwrap();
+        let back = crate::aiger::read(&buf[..]).unwrap();
+        assert_eq!(identity_fingerprint(&aig), identity_fingerprint(&back));
+    }
+
+    #[test]
+    fn node_hashes_align_across_renumbering() {
+        let aig = full_adder_aig();
+        let mut buf = Vec::new();
+        crate::aiger::write_binary(&aig, &mut buf).unwrap();
+        let back = crate::aiger::read(&buf[..]).unwrap();
+        // The multisets of canonical node hashes agree.
+        let mut a = structural_node_hashes(&aig);
+        let mut b = structural_node_hashes(&back);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_is_input_arity_sensitive() {
+        // Same (empty) logic, different input counts.
+        let mut a = Aig::new();
+        a.add_inputs(2);
+        let mut b = Aig::new();
+        b.add_inputs(3);
+        assert_ne!(structural_fingerprint(&a), structural_fingerprint(&b));
     }
 
     #[test]

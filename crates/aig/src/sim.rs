@@ -13,7 +13,11 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `inputs.len() != aig.num_inputs()`.
 pub fn simulate(aig: &Aig, inputs: &[u64]) -> Vec<u64> {
-    assert_eq!(inputs.len(), aig.num_inputs(), "one word per input required");
+    assert_eq!(
+        inputs.len(),
+        aig.num_inputs(),
+        "one word per input required"
+    );
     let mut values = vec![0u64; aig.num_nodes()];
     for (i, &n) in aig.inputs().iter().enumerate() {
         values[n.index()] = inputs[i];
@@ -49,9 +53,15 @@ pub fn output_words(aig: &Aig, values: &[u64]) -> Vec<u64> {
 ///
 /// Panics if `inputs.len() != aig.num_inputs()`.
 pub fn eval(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
-    let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let words: Vec<u64> = inputs
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
     let values = simulate(aig, &words);
-    output_words(aig, &values).iter().map(|&w| w & 1 != 0).collect()
+    output_words(aig, &values)
+        .iter()
+        .map(|&w| w & 1 != 0)
+        .collect()
 }
 
 /// Simulates `words` random 64-pattern words per input (deterministic in

@@ -77,7 +77,9 @@ pub fn depends_on(tt: u64, k: usize, i: usize) -> bool {
 
 /// Bitmask of variables in the functional support of `tt`.
 pub fn support(tt: u64, k: usize) -> u32 {
-    (0..k).filter(|&i| depends_on(tt, k, i)).fold(0, |m, i| m | 1 << i)
+    (0..k)
+        .filter(|&i| depends_on(tt, k, i))
+        .fold(0, |m, i| m | 1 << i)
 }
 
 /// Negates variable `i` inside `tt` (swaps its cofactors).
@@ -202,7 +204,11 @@ pub fn npn_match(target: u64, gate: u64, k: usize) -> Option<NpnTransform> {
                 if t == target {
                     let mut p = [0usize; MAX_VARS];
                     p[..k].copy_from_slice(&perm);
-                    return Some(NpnTransform { perm: p, neg, out_neg });
+                    return Some(NpnTransform {
+                        perm: p,
+                        neg,
+                        out_neg,
+                    });
                 }
             }
         }
@@ -390,7 +396,10 @@ mod tests {
     #[test]
     fn adder_classification() {
         assert_eq!(classify_adder_func(XOR3, 3), Some(AdderFunc::Xor3));
-        assert_eq!(classify_adder_func(!XOR3 & mask(3), 3), Some(AdderFunc::Xor3));
+        assert_eq!(
+            classify_adder_func(!XOR3 & mask(3), 3),
+            Some(AdderFunc::Xor3)
+        );
         assert_eq!(classify_adder_func(MAJ3, 3), Some(AdderFunc::Maj3));
         assert_eq!(classify_adder_func(0xD4, 3), Some(AdderFunc::Maj3));
         assert_eq!(classify_adder_func(XOR2, 2), Some(AdderFunc::Xor2));

@@ -13,11 +13,15 @@ struct Recipe {
 
 fn recipe() -> impl Strategy<Value = Recipe> {
     (2usize..6, 1usize..40).prop_flat_map(|(num_inputs, num_steps)| {
-        let step = (0u8..6, any::<u16>(), any::<bool>(), any::<u16>(), any::<bool>());
-        proptest::collection::vec(step, num_steps).prop_map(move |steps| Recipe {
-            num_inputs,
-            steps,
-        })
+        let step = (
+            0u8..6,
+            any::<u16>(),
+            any::<bool>(),
+            any::<u16>(),
+            any::<bool>(),
+        );
+        proptest::collection::vec(step, num_steps)
+            .prop_map(move |steps| Recipe { num_inputs, steps })
     })
 }
 

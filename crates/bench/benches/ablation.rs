@@ -22,8 +22,18 @@ fn main() {
     println!("\n=== Ablation: message-passing direction ===");
     let m_eval = workload(MultiplierKind::Csa, eval_bits);
     let labels = gamora_exact::analyze(&m_eval.aig).labels;
-    let mut table = Table::new(&["direction", "mean acc (%)", "root/leaf (%)", "xor (%)", "maj (%)"]);
-    for dir in [Direction::Fanin, Direction::Fanout, Direction::Bidirectional] {
+    let mut table = Table::new(&[
+        "direction",
+        "mean acc (%)",
+        "root/leaf (%)",
+        "xor (%)",
+        "maj (%)",
+    ]);
+    for dir in [
+        Direction::Fanin,
+        Direction::Fanout,
+        Direction::Bidirectional,
+    ] {
         let train: Vec<_> = [4usize, 6, 8]
             .iter()
             .map(|&b| workload(MultiplierKind::Csa, b))
@@ -33,7 +43,13 @@ fn main() {
             direction: dir,
             ..ReasonerConfig::default()
         });
-        r.fit(&refs, &TrainConfig { epochs, ..TrainConfig::default() });
+        r.fit(
+            &refs,
+            &TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+        );
         let rep = score_predictions(&r.predict(&m_eval.aig), &labels);
         table.row(vec![
             format!("{dir:?}"),

@@ -32,13 +32,21 @@ fn main() {
 
     println!("\n=== Figure 4: sensitivity on CSA multipliers (scale {scale:?}) ===");
     let settings = [
-        ("Single Task / Structural Info", false, FeatureMode::Structural),
+        (
+            "Single Task / Structural Info",
+            false,
+            FeatureMode::Structural,
+        ),
         (
             "Single Task / Structural + Functional Info",
             false,
             FeatureMode::StructuralFunctional,
         ),
-        ("Multi Task / Structural Info", true, FeatureMode::Structural),
+        (
+            "Multi Task / Structural Info",
+            true,
+            FeatureMode::Structural,
+        ),
         (
             "Multi Task / Structural + Functional Info",
             true,

@@ -6,9 +6,7 @@
 //!
 //! Regenerate: `cargo bench -p gamora-bench --bench fig5_techmap`
 
-use gamora::{
-    score_predictions, GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig,
-};
+use gamora::{score_predictions, GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
 use gamora_aig::Aig;
 use gamora_bench::{pct, time, train_reasoner, workload, Scale, Table};
 use gamora_circuits::MultiplierKind;
@@ -25,7 +23,13 @@ fn fit_on(aigs: &[Aig], depth: ModelDepth, epochs: usize) -> GamoraReasoner {
         depth,
         ..ReasonerConfig::default()
     });
-    r.fit(&refs, &TrainConfig { epochs, ..TrainConfig::default() });
+    r.fit(
+        &refs,
+        &TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    );
     r
 }
 
@@ -40,7 +44,10 @@ fn main() {
     let epochs = scale.pick(120, 220, 400);
 
     println!("\n=== Figure 5: accuracy after technology mapping (scale {scale:?}) ===");
-    let libraries = [("simple", Library::simple()), ("7nm-style", Library::complex7nm())];
+    let libraries = [
+        ("simple", Library::simple()),
+        ("7nm-style", Library::complex7nm()),
+    ];
     for kind in [MultiplierKind::Csa, MultiplierKind::Booth] {
         let depth = match kind {
             MultiplierKind::Csa => ModelDepth::Shallow,
@@ -72,8 +79,7 @@ fn main() {
             for &bits in &eval_widths {
                 let subject = mapped_aig(kind, bits, lib);
                 let labels = gamora_exact::analyze(&subject).labels;
-                let retrained =
-                    score_predictions(&mapped_model.predict(&subject), &labels).mean();
+                let retrained = score_predictions(&mapped_model.predict(&subject), &labels).mean();
                 let transferred =
                     score_predictions(&unmapped_model.predict(&subject), &labels).mean();
                 table.row(vec![bits.to_string(), pct(retrained), pct(transferred)]);

@@ -46,7 +46,14 @@ fn main() {
     let _ = ReasonerConfig::default();
 
     let mut table = Table::new(&[
-        "bits", "|V|", "|E|", "gamora", "exact", "sca-tree", "sca-naive", "exact/gamora",
+        "bits",
+        "|V|",
+        "|E|",
+        "gamora",
+        "exact",
+        "sca-tree",
+        "sca-naive",
+        "exact/gamora",
     ]);
     for &bits in &widths {
         let m = workload(MultiplierKind::Csa, bits);

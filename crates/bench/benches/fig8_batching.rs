@@ -13,7 +13,8 @@ static ALLOC: PeakAlloc = PeakAlloc;
 
 fn main() {
     let scale = Scale::from_env();
-    let widths: Vec<usize> = scale.pick(vec![32], vec![32, 64, 128], vec![128, 256, 512, 1024, 2048]);
+    let widths: Vec<usize> =
+        scale.pick(vec![32], vec![32, 64, 128], vec![128, 256, 512, 1024, 2048]);
     let batch_sizes: Vec<usize> = scale.pick(vec![1, 4], vec![1, 2, 4, 8], vec![1, 4, 8, 16, 32]);
     let epochs = scale.pick(120, 250, 400);
     const DEVICE_LIMIT: usize = 40 << 30; // the paper's A100 has 40 GB

@@ -87,7 +87,13 @@ fn bench_sca(c: &mut Criterion) {
     c.bench_function("sca_verify_8_tree_assisted", |b| {
         b.iter(|| {
             black_box(
-                verify(&m.aig, &spec, Some(&analysis.adders), &RewriteParams::default()).unwrap(),
+                verify(
+                    &m.aig,
+                    &spec,
+                    Some(&analysis.adders),
+                    &RewriteParams::default(),
+                )
+                .unwrap(),
             )
         })
     });

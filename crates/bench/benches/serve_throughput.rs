@@ -1,0 +1,98 @@
+//! Serving throughput of the `gamora-serve` scheduler: AIGs/sec as a
+//! function of micro-batch size, measured **cold** (cache disabled — every
+//! submission pays a GNN forward pass) and **hot** (structural-hash cache
+//! warmed — repeated submissions skip the model entirely).
+//!
+//! This is the baseline every later scaling PR (sharding, async I/O,
+//! multi-backend) is measured against; the numbers are recorded in
+//! CHANGES.md.
+//!
+//! Regenerate: `cargo bench -p gamora-bench --bench serve_throughput`
+
+use gamora::{FeatureMode, ModelDepth};
+use gamora_bench::{time, train_reasoner, workload, Scale, Table};
+use gamora_circuits::MultiplierKind;
+use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bits = scale.pick(8, 16, 64);
+    let count = scale.pick(32, 128, 512);
+    let batch_sizes: Vec<usize> = vec![1, 8, 64];
+    let epochs = scale.pick(80, 200, 400);
+
+    println!(
+        "\n=== Serving throughput: {count} x {bits}-bit CSA submissions (scale {scale:?}) ==="
+    );
+    let reasoner = train_reasoner(
+        MultiplierKind::Csa,
+        &[4, 6, 8],
+        ModelDepth::Shallow,
+        FeatureMode::StructuralFunctional,
+        true,
+        epochs,
+    );
+    let subject = workload(MultiplierKind::Csa, bits);
+    println!(
+        "subject: {} nodes, {} ANDs; model: {} params",
+        subject.aig.num_nodes(),
+        subject.aig.num_ands(),
+        reasoner.num_params()
+    );
+
+    let mut table = Table::new(&[
+        "batch",
+        "cold (AIGs/s)",
+        "hot (AIGs/s)",
+        "speedup",
+        "fwd passes (cold)",
+    ]);
+    for &batch in &batch_sizes {
+        let run = |server: &Server| {
+            for start in (0..count).step_by(batch) {
+                let n = batch.min(count - start);
+                let jobs = (0..n)
+                    .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
+                    .collect();
+                server.submit_all(jobs);
+            }
+        };
+
+        let cold_server = Server::start(
+            reasoner.clone(),
+            ServeConfig {
+                max_batch: batch,
+                workers: 1,
+                cache_capacity: 0,
+            },
+        );
+        let (_, cold_secs) = time(|| run(&cold_server));
+        let cold_stats = cold_server.shutdown();
+
+        let hot_server = Server::start(
+            reasoner.clone(),
+            ServeConfig {
+                max_batch: batch,
+                workers: 1,
+                cache_capacity: 16,
+            },
+        );
+        hot_server
+            .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .wait();
+        let (_, hot_secs) = time(|| run(&hot_server));
+        let hot_stats = hot_server.shutdown();
+        assert_eq!(hot_stats.forward_passes, 1, "hot run must be cache-served");
+
+        let cold_rate = count as f64 / cold_secs;
+        let hot_rate = count as f64 / hot_secs;
+        table.row(vec![
+            batch.to_string(),
+            format!("{cold_rate:.1}"),
+            format!("{hot_rate:.1}"),
+            format!("{:.0}x", hot_rate / cold_rate),
+            cold_stats.forward_passes.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -130,7 +130,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x45);
         for bits in [1usize, 2, 3, 8, 16, 33, 64] {
             let add = kogge_stone_adder(bits);
-            let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             for _ in 0..16 {
                 let a = rng.gen::<u64>() & mask;
                 let b = rng.gen::<u64>() & mask;

@@ -150,7 +150,11 @@ mod tests {
             let m = booth_multiplier(bits);
             for a in 0..(1u64 << bits) {
                 for b in 0..(1u64 << bits) {
-                    assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{bits}-bit {a}*{b}");
+                    assert_eq!(
+                        m.eval(a, b),
+                        (a as u128) * (b as u128),
+                        "{bits}-bit {a}*{b}"
+                    );
                 }
             }
         }
@@ -161,11 +165,19 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xB007);
         for bits in [8usize, 16, 24, 32, 48, 64] {
             let m = booth_multiplier(bits);
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             for _ in 0..8 {
                 let a = rng.gen::<u64>() & mask;
                 let b = rng.gen::<u64>() & mask;
-                assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{bits}-bit {a}*{b}");
+                assert_eq!(
+                    m.eval(a, b),
+                    (a as u128) * (b as u128),
+                    "{bits}-bit {a}*{b}"
+                );
             }
         }
     }
@@ -173,7 +185,15 @@ mod tests {
     #[test]
     fn corner_cases() {
         let m = booth_multiplier(8);
-        for (a, b) in [(0, 0), (0, 255), (255, 0), (255, 255), (1, 255), (128, 128), (85, 170)] {
+        for (a, b) in [
+            (0, 0),
+            (0, 255),
+            (255, 0),
+            (255, 255),
+            (1, 255),
+            (128, 128),
+            (85, 170),
+        ] {
             assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{a}*{b}");
         }
     }

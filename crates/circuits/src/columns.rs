@@ -14,7 +14,13 @@ use gamora_aig::{Aig, Lit};
 /// Constants among the inputs fold structurally (a full adder with one
 /// constant input degenerates into a half-adder pair); the record's kind
 /// reflects the number of non-constant inputs.
-pub(crate) fn add_bits3(aig: &mut Aig, prov: &mut Provenance, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+pub(crate) fn add_bits3(
+    aig: &mut Aig,
+    prov: &mut Provenance,
+    a: Lit,
+    b: Lit,
+    c: Lit,
+) -> (Lit, Lit) {
     let (sum, carry) = aig.full_adder(a, b, c);
     let kind = match [a, b, c].iter().filter(|l| !l.is_const()).count() {
         3 => AdderKind::Full,
@@ -63,7 +69,11 @@ pub fn ripple_merge(
 /// full adder for every three available bits (first-in-first-out), feeding
 /// carries into the next column. Phase 2 merges the remaining ≤2 bits per
 /// column with a ripple carry-propagate chain.
-pub fn reduce_columns(aig: &mut Aig, mut columns: Vec<Vec<Lit>>, prov: &mut Provenance) -> Vec<Lit> {
+pub fn reduce_columns(
+    aig: &mut Aig,
+    mut columns: Vec<Vec<Lit>>,
+    prov: &mut Provenance,
+) -> Vec<Lit> {
     let width = columns.len();
     // Phase 1: carry-save compression to at most two bits per column.
     for w in 0..width {
@@ -92,8 +102,7 @@ pub fn reduce_columns(aig: &mut Aig, mut columns: Vec<Vec<Lit>>, prov: &mut Prov
         let y = col.get(1).copied().unwrap_or(Lit::FALSE);
         if x.is_const() && y.is_const() && carry.is_const() {
             // Pure constants need no gates; fold by hand.
-            let bits =
-                [x, y, carry].iter().filter(|l| **l == Lit::TRUE).count() as u32;
+            let bits = [x, y, carry].iter().filter(|l| **l == Lit::TRUE).count() as u32;
             out.push(if bits & 1 == 1 { Lit::TRUE } else { Lit::FALSE });
             carry = if bits >= 2 { Lit::TRUE } else { Lit::FALSE };
         } else {
@@ -132,7 +141,12 @@ mod tests {
             aig.add_output(s);
         }
         // Try a few assignments.
-        for vals in [[1u64, 2, 3, 4, 5], [7, 7, 7, 7, 7], [0, 0, 0, 0, 0], [5, 0, 7, 1, 2]] {
+        for vals in [
+            [1u64, 2, 3, 4, 5],
+            [7, 7, 7, 7, 7],
+            [0, 0, 0, 0, 0],
+            [5, 0, 7, 1, 2],
+        ] {
             let mut inputs = Vec::new();
             for v in vals {
                 for i in 0..3 {
@@ -140,11 +154,7 @@ mod tests {
                 }
             }
             let out = sim::eval(&aig, &inputs);
-            let got: u64 = out
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| (b as u64) << i)
-                .sum();
+            let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
             assert_eq!(got, vals.iter().sum::<u64>());
         }
         assert!(prov.real_adders().count() > 0);

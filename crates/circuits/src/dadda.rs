@@ -121,7 +121,13 @@ pub fn carry_select_adder(bits: usize) -> ArithCircuit {
         Lit::FALSE,
         &mut provenance,
     );
-    let (hi0, c0) = ripple_merge(&mut aig, &a[half..], &b[half..], Lit::FALSE, &mut provenance);
+    let (hi0, c0) = ripple_merge(
+        &mut aig,
+        &a[half..],
+        &b[half..],
+        Lit::FALSE,
+        &mut provenance,
+    );
     let (hi1, c1) = ripple_merge(&mut aig, &a[half..], &b[half..], Lit::TRUE, &mut provenance);
     let mut outputs = low_sum;
     for (s0, s1) in hi0.iter().zip(&hi1) {
@@ -152,7 +158,11 @@ mod tests {
             let m = dadda_multiplier(bits);
             for a in 0..(1u64 << bits) {
                 for b in 0..(1u64 << bits) {
-                    assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{bits}-bit {a}*{b}");
+                    assert_eq!(
+                        m.eval(a, b),
+                        (a as u128) * (b as u128),
+                        "{bits}-bit {a}*{b}"
+                    );
                 }
             }
         }
@@ -209,5 +219,4 @@ mod tests {
             }
         }
     }
-
 }

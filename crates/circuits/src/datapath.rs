@@ -143,10 +143,7 @@ mod tests {
             let mask = (1u64 << bits) - 1;
             for _ in 0..10 {
                 let vals: Vec<u64> = (0..2 * lanes).map(|_| rng.gen::<u64>() & mask).collect();
-                let expected: u128 = vals
-                    .chunks(2)
-                    .map(|p| p[0] as u128 * p[1] as u128)
-                    .sum();
+                let expected: u128 = vals.chunks(2).map(|p| p[0] as u128 * p[1] as u128).sum();
                 assert_eq!(dp.eval_all(&vals), expected, "{bits}x{lanes} {vals:?}");
             }
         }

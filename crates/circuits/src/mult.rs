@@ -71,7 +71,11 @@ mod tests {
             let m = csa_multiplier(bits);
             for a in 0..(1u64 << bits) {
                 for b in 0..(1u64 << bits) {
-                    assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{bits}-bit {a}*{b}");
+                    assert_eq!(
+                        m.eval(a, b),
+                        (a as u128) * (b as u128),
+                        "{bits}-bit {a}*{b}"
+                    );
                 }
             }
         }
@@ -82,11 +86,19 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xC5A);
         for bits in [8usize, 16, 24, 32, 48, 64] {
             let m = csa_multiplier(bits);
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             for _ in 0..8 {
                 let a = rng.gen::<u64>() & mask;
                 let b = rng.gen::<u64>() & mask;
-                assert_eq!(m.eval(a, b), (a as u128) * (b as u128), "{bits}-bit {a}*{b}");
+                assert_eq!(
+                    m.eval(a, b),
+                    (a as u128) * (b as u128),
+                    "{bits}-bit {a}*{b}"
+                );
             }
         }
     }
@@ -106,7 +118,11 @@ mod tests {
             .real_adders()
             .filter(|r| r.kind == AdderKind::Half)
             .count();
-        assert_eq!((fa, ha), (3, 3), "expected 3 FA + 3 HA, got {fa} FA + {ha} HA");
+        assert_eq!(
+            (fa, ha),
+            (3, 3),
+            "expected 3 FA + 3 HA, got {fa} FA + {ha} HA"
+        );
     }
 
     #[test]

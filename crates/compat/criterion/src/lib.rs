@@ -1,0 +1,117 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` the
+//! micro-benchmarks use: `Criterion::bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics engine — each benchmark is timed over a fixed number of
+//! samples and the median ns/iter is printed. Good enough to spot
+//! order-of-magnitude regressions offline; not a criterion replacement.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.samples.sort_unstable();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or(0);
+        println!(
+            "bench: {name:<48} {median:>12} ns/iter ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing helper, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one sample of the closure (adaptively batching very fast
+    /// routines so timer resolution does not dominate).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration call; batch until ~1ms per sample.
+        let start = Instant::now();
+        let out = f();
+        std::hint::black_box(&out);
+        let once = start.elapsed().as_nanos().max(1);
+        let reps = (1_000_000 / once).clamp(1, 10_000) as usize;
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed().as_nanos() / reps as u128);
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert_eq!(runs, 3);
+    }
+}

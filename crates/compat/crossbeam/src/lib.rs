@@ -1,0 +1,99 @@
+//! Vendored, dependency-free stand-in for `crossbeam::thread` scoped
+//! threads, backed by `std::thread::scope` (stable since 1.63).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the one API it uses. Semantics match crossbeam closely enough
+//! for this codebase: spawned closures receive a `&Scope` they can spawn
+//! from, handles `join()` to a `Result`, and `scope` returns `Ok` when all
+//! threads complete. One divergence: a panicking child thread propagates
+//! the panic out of [`thread::scope`] (std semantics) instead of turning
+//! into an `Err` — callers here treat both as fatal, so this is benign.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// A scope handle from which threads borrowing local data can be
+    /// spawned.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow non-`'static` data;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this implementation: child panics propagate
+    /// as panics (see module docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -53,7 +53,10 @@ pub fn inference_graph(aig: &Aig, mode: FeatureMode, direction: Direction) -> (G
 /// # Panics
 ///
 /// Panics if `parts` is empty or feature widths differ.
-pub fn batch_graphs(parts: &[(&Aig, &Matrix)], direction: Direction) -> (Graph, Matrix, Vec<usize>) {
+pub fn batch_graphs(
+    parts: &[(&Aig, &Matrix)],
+    direction: Direction,
+) -> (Graph, Matrix, Vec<usize>) {
     assert!(!parts.is_empty(), "batch must be non-empty");
     let dim = parts[0].1.cols();
     let total: usize = parts.iter().map(|(a, _)| a.num_nodes()).sum();
@@ -66,14 +69,21 @@ pub fn batch_graphs(parts: &[(&Aig, &Matrix)], direction: Direction) -> (Graph, 
         assert_eq!(x.rows(), aig.num_nodes());
         offsets.push(base);
         for (s, d) in aig.edges() {
-            edges.push(((s.as_u32() as usize + base) as u32, (d.as_u32() as usize + base) as u32));
+            edges.push((
+                (s.as_u32() as usize + base) as u32,
+                (d.as_u32() as usize + base) as u32,
+            ));
         }
         for r in 0..aig.num_nodes() {
             features.row_mut(base + r).copy_from_slice(x.row(r));
         }
         base += aig.num_nodes();
     }
-    (Graph::from_edges(total, &edges, direction), features, offsets)
+    (
+        Graph::from_edges(total, &edges, direction),
+        features,
+        offsets,
+    )
 }
 
 #[cfg(test)]
@@ -115,16 +125,11 @@ mod tests {
         let m2 = csa_multiplier(3);
         let x1 = build_features(&m1.aig, FeatureMode::StructuralFunctional);
         let x2 = build_features(&m2.aig, FeatureMode::StructuralFunctional);
-        let (g, x, offs) = batch_graphs(
-            &[(&m1.aig, &x1), (&m2.aig, &x2)],
-            Direction::Bidirectional,
-        );
+        let (g, x, offs) =
+            batch_graphs(&[(&m1.aig, &x1), (&m2.aig, &x2)], Direction::Bidirectional);
         assert_eq!(g.num_nodes(), m1.aig.num_nodes() + m2.aig.num_nodes());
         assert_eq!(offs, vec![0, m1.aig.num_nodes()]);
-        assert_eq!(
-            g.num_edges(),
-            4 * (m1.aig.num_ands() + m2.aig.num_ands())
-        );
+        assert_eq!(g.num_edges(), 4 * (m1.aig.num_ands() + m2.aig.num_ands()));
         // Features of the second part sit at the offset.
         assert_eq!(x.row(offs[1]), x2.row(0));
         // No cross-part edges: a node of part 1 has no neighbor >= offset.

@@ -62,10 +62,7 @@ pub fn extract_from_predictions(aig: &Aig, preds: &Predictions) -> Vec<Extracted
 }
 
 /// Extracts from predictions and compares against the exact tree.
-pub fn compare_extraction(
-    aig: &Aig,
-    preds: &Predictions,
-) -> (Vec<ExtractedAdder>, TreeComparison) {
+pub fn compare_extraction(aig: &Aig, preds: &Predictions) -> (Vec<ExtractedAdder>, TreeComparison) {
     let cands = detect(aig);
     let exact = extract_adders(aig, &cands);
     let filtered = filter_candidates(&cands, preds);

@@ -18,6 +18,12 @@
 //! 5. [`lsb_correction`] — the paper's post-processing fix for the
 //!    systematically-missed LSB half adder.
 //!
+//! Trained reasoners are durable: [`GamoraReasoner::save`] writes a
+//! versioned, checksummed binary snapshot (see [`snapshot`]) and
+//! [`GamoraReasoner::load`] restores it bit-exactly in a fresh process —
+//! the foundation of the `gamora-serve` inference service, which trains
+//! once and serves many netlists.
+//!
 //! ```
 //! use gamora::{GamoraReasoner, ReasonerConfig, ModelDepth};
 //! use gamora_gnn::TrainConfig;
@@ -40,6 +46,7 @@ pub mod features;
 pub mod labels;
 mod postprocess;
 mod reasoner;
+pub mod snapshot;
 
 pub use extract::{compare_extraction, extract_from_predictions, filter_candidates};
 pub use features::FeatureMode;
@@ -48,6 +55,7 @@ pub use reasoner::{
     inference_memory_estimate, score_predictions, EvalReport, GamoraReasoner, ModelDepth,
     Predictions, ReasonerConfig,
 };
+pub use snapshot::SnapshotError;
 
 // Re-export the neighbouring layers a user needs to drive the pipeline.
 pub use gamora_gnn::{Direction, TrainConfig, TrainReport};

@@ -84,7 +84,9 @@ mod tests {
         let dropped = adders.remove(lsb_pos);
         let added = lsb_correction(&m.aig, &mut adders);
         assert_eq!(added, 1);
-        assert!(adders.iter().any(|a| a.sum == dropped.sum && a.carry == dropped.carry));
+        assert!(adders
+            .iter()
+            .any(|a| a.sum == dropped.sum && a.carry == dropped.carry));
         assert_eq!(adders.len(), analysis.adders.len());
     }
 

@@ -147,6 +147,17 @@ impl GamoraReasoner {
         &self.config
     }
 
+    /// The underlying model (snapshot serialisation).
+    pub(crate) fn model(&self) -> &MultiTaskSage {
+        &self.model
+    }
+
+    /// Mutable access to the underlying model (weight injection when
+    /// loading a snapshot).
+    pub(crate) fn model_mut(&mut self) -> &mut MultiTaskSage {
+        &mut self.model
+    }
+
     /// Scalar parameter count of the underlying model.
     pub fn num_params(&self) -> usize {
         self.model.num_params()
@@ -206,8 +217,7 @@ impl GamoraReasoner {
             .iter()
             .map(|a| crate::features::build_features(a, self.config.feature_mode))
             .collect();
-        let parts: Vec<(&Aig, &Matrix)> =
-            aigs.iter().copied().zip(feats.iter()).collect();
+        let parts: Vec<(&Aig, &Matrix)> = aigs.iter().copied().zip(feats.iter()).collect();
         let (graph, features, offsets) = batch_graphs(&parts, self.config.direction);
         let merged = self.predict_prepared(&graph, &features);
         // Split back per netlist.
@@ -290,7 +300,11 @@ pub fn score_predictions(preds: &Predictions, labels: &gamora_exact::Labels) -> 
 /// nodes under a config — the analytic model behind the Figure 8 memory
 /// plot (feature row + two layer activations + concat buffer + logits,
 /// all `f32`, plus CSR overhead per edge).
-pub fn inference_memory_estimate(config: &ReasonerConfig, num_nodes: usize, num_edges: usize) -> usize {
+pub fn inference_memory_estimate(
+    config: &ReasonerConfig,
+    num_nodes: usize,
+    num_edges: usize,
+) -> usize {
     let (_, hidden) = match config.depth {
         ModelDepth::Shallow => (4usize, 32usize),
         ModelDepth::Deep => (8, 80),
@@ -301,7 +315,7 @@ pub fn inference_memory_estimate(config: &ReasonerConfig, num_nodes: usize, num_
         + 2 * hidden                    // concat buffer
         + hidden                        // next-layer output
         + 32                            // shared layer
-        + 8;                            // logits
+        + 8; // logits
     num_nodes * per_node_f32 * 4 + num_edges * 8
 }
 
@@ -323,7 +337,10 @@ mod tests {
     fn overfits_small_multiplier() {
         let m = csa_multiplier(4);
         let mut reasoner = GamoraReasoner::new(ReasonerConfig {
-            depth: ModelDepth::Custom { layers: 3, hidden: 16 },
+            depth: ModelDepth::Custom {
+                layers: 3,
+                hidden: 16,
+            },
             ..ReasonerConfig::default()
         });
         reasoner.fit(&[&m.aig], &quick_cfg());
@@ -337,7 +354,10 @@ mod tests {
         // the majority-class baseline by a wide margin.
         let train_m = csa_multiplier(4);
         let mut reasoner = GamoraReasoner::new(ReasonerConfig {
-            depth: ModelDepth::Custom { layers: 3, hidden: 16 },
+            depth: ModelDepth::Custom {
+                layers: 3,
+                hidden: 16,
+            },
             ..ReasonerConfig::default()
         });
         reasoner.fit(&[&train_m.aig], &quick_cfg());
@@ -350,10 +370,19 @@ mod tests {
         let m = csa_multiplier(3);
         let mut reasoner = GamoraReasoner::new(ReasonerConfig {
             multi_task: false,
-            depth: ModelDepth::Custom { layers: 2, hidden: 8 },
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
             ..ReasonerConfig::default()
         });
-        reasoner.fit(&[&m.aig], &TrainConfig { epochs: 5, ..quick_cfg() });
+        reasoner.fit(
+            &[&m.aig],
+            &TrainConfig {
+                epochs: 5,
+                ..quick_cfg()
+            },
+        );
         let preds = reasoner.predict(&m.aig);
         assert_eq!(preds.num_nodes(), m.aig.num_nodes());
         assert!(preds.root_leaf.iter().all(|&c| c < 4));
@@ -364,10 +393,19 @@ mod tests {
         let m1 = csa_multiplier(3);
         let m2 = csa_multiplier(4);
         let mut reasoner = GamoraReasoner::new(ReasonerConfig {
-            depth: ModelDepth::Custom { layers: 2, hidden: 8 },
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
             ..ReasonerConfig::default()
         });
-        reasoner.fit(&[&m1.aig], &TrainConfig { epochs: 10, ..quick_cfg() });
+        reasoner.fit(
+            &[&m1.aig],
+            &TrainConfig {
+                epochs: 10,
+                ..quick_cfg()
+            },
+        );
         let batched = reasoner.predict_batch(&[&m1.aig, &m2.aig]);
         let solo1 = reasoner.predict(&m1.aig);
         let solo2 = reasoner.predict(&m2.aig);

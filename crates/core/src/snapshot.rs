@@ -1,0 +1,479 @@
+//! Versioned binary snapshots of trained reasoners (`.gsnap`).
+//!
+//! The format is hand-rolled little-endian with no external dependencies —
+//! the first durable on-disk artifact of the workspace, written once by
+//! `gamora train` and served many times by `gamora infer` / `gamora-serve`.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    : 4 bytes  b"GMRS"
+//! version  : u32      (currently 1)
+//! config   : depth tag u8, layers u32, hidden u32,
+//!            feature_mode u8, direction u8, multi_task u8, seed u64
+//! tensors  : count u32, then per tensor { len u32, f32 data (LE bits) }
+//! checksum : u64      Fx hash of every byte from magic through the last
+//!                     tensor, in file order
+//! ```
+//!
+//! Floats are serialised via `f32::to_le_bytes`, so a save/load round trip
+//! is bit-exact and a reloaded reasoner reproduces in-process predictions
+//! and `evaluate` scores exactly. The trailing checksum turns truncation
+//! and bit corruption into [`SnapshotError::Corrupt`] instead of a silently
+//! wrong model.
+
+use crate::features::FeatureMode;
+use crate::reasoner::{GamoraReasoner, ModelDepth, ReasonerConfig};
+use gamora_aig::hasher::FxHasher;
+use gamora_gnn::Direction;
+use std::fmt;
+use std::fs::File;
+use std::hash::Hasher;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic: "GaMoRa Snapshot".
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GMRS";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors produced by snapshot I/O.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file is a snapshot, but of an unknown format version.
+    UnsupportedVersion(u32),
+    /// Structurally invalid or checksum-mismatched content.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a gamora snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Writer adapter that Fx-hashes every byte it forwards.
+struct HashingWriter<W> {
+    inner: W,
+    hasher: FxHasher,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hasher: FxHasher::default(),
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.write(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter that Fx-hashes every byte it yields.
+struct HashingReader<R> {
+    inner: R,
+    hasher: FxHasher,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hasher: FxHasher::default(),
+        }
+    }
+
+    fn read_exact_hashed(&mut self, buf: &mut [u8]) -> Result<(), SnapshotError> {
+        self.inner.read_exact(buf).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => corrupt("truncated snapshot"),
+            _ => SnapshotError::Io(e),
+        })?;
+        self.hasher.write(buf);
+        Ok(())
+    }
+
+    fn read_u8(&mut self) -> Result<u8, SnapshotError> {
+        let mut b = [0u8; 1];
+        self.read_exact_hashed(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, SnapshotError> {
+        let mut b = [0u8; 4];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+fn depth_tag(depth: ModelDepth) -> (u8, u32, u32) {
+    match depth {
+        ModelDepth::Shallow => (0, 0, 0),
+        ModelDepth::Deep => (1, 0, 0),
+        ModelDepth::Custom { layers, hidden } => (2, layers as u32, hidden as u32),
+    }
+}
+
+fn depth_from_tag(tag: u8, layers: u32, hidden: u32) -> Result<ModelDepth, SnapshotError> {
+    match tag {
+        0 => Ok(ModelDepth::Shallow),
+        1 => Ok(ModelDepth::Deep),
+        2 => {
+            // Sanity caps: a corrupt header must not trigger a huge model
+            // allocation before the checksum gets a chance to reject it.
+            if layers == 0 || hidden == 0 || layers > 1024 || hidden > 65536 {
+                return Err(corrupt(format!(
+                    "implausible custom depth ({layers} layers, {hidden} hidden)"
+                )));
+            }
+            Ok(ModelDepth::Custom {
+                layers: layers as usize,
+                hidden: hidden as usize,
+            })
+        }
+        t => Err(corrupt(format!("unknown depth tag {t}"))),
+    }
+}
+
+fn feature_mode_tag(mode: FeatureMode) -> u8 {
+    match mode {
+        FeatureMode::Structural => 0,
+        FeatureMode::StructuralFunctional => 1,
+    }
+}
+
+fn feature_mode_from_tag(tag: u8) -> Result<FeatureMode, SnapshotError> {
+    match tag {
+        0 => Ok(FeatureMode::Structural),
+        1 => Ok(FeatureMode::StructuralFunctional),
+        t => Err(corrupt(format!("unknown feature-mode tag {t}"))),
+    }
+}
+
+fn direction_tag(dir: Direction) -> u8 {
+    match dir {
+        Direction::Fanin => 0,
+        Direction::Fanout => 1,
+        Direction::Bidirectional => 2,
+    }
+}
+
+fn direction_from_tag(tag: u8) -> Result<Direction, SnapshotError> {
+    match tag {
+        0 => Ok(Direction::Fanin),
+        1 => Ok(Direction::Fanout),
+        2 => Ok(Direction::Bidirectional),
+        t => Err(corrupt(format!("unknown direction tag {t}"))),
+    }
+}
+
+/// Serialises a reasoner (config + every parameter tensor) to `w`.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_snapshot<W: Write>(reasoner: &GamoraReasoner, w: W) -> Result<(), SnapshotError> {
+    let mut w = HashingWriter::new(BufWriter::new(w));
+    w.write_all(&SNAPSHOT_MAGIC)?;
+    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+
+    let cfg = reasoner.config();
+    let (tag, layers, hidden) = depth_tag(cfg.depth);
+    w.write_all(&[tag])?;
+    w.write_all(&layers.to_le_bytes())?;
+    w.write_all(&hidden.to_le_bytes())?;
+    w.write_all(&[feature_mode_tag(cfg.feature_mode)])?;
+    w.write_all(&[direction_tag(cfg.direction)])?;
+    w.write_all(&[cfg.multi_task as u8])?;
+    w.write_all(&cfg.seed.to_le_bytes())?;
+
+    let tensors = reasoner.model().param_slices();
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in tensors {
+        w.write_all(&(t.len() as u32).to_le_bytes())?;
+        for &v in t {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+
+    let checksum = w.hasher.finish();
+    w.inner.write_all(&checksum.to_le_bytes())?;
+    w.inner.flush()?;
+    Ok(())
+}
+
+/// Deserialises a reasoner previously written by [`write_snapshot`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure, wrong magic, unknown version,
+/// shape mismatch, or checksum mismatch.
+pub fn read_snapshot<R: Read>(r: R) -> Result<GamoraReasoner, SnapshotError> {
+    let mut r = HashingReader::new(BufReader::new(r));
+
+    let mut magic = [0u8; 4];
+    r.read_exact_hashed(&mut magic)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.read_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    let depth_tag = r.read_u8()?;
+    let layers = r.read_u32()?;
+    let hidden = r.read_u32()?;
+    let config = ReasonerConfig {
+        depth: depth_from_tag(depth_tag, layers, hidden)?,
+        feature_mode: feature_mode_from_tag(r.read_u8()?)?,
+        direction: direction_from_tag(r.read_u8()?)?,
+        multi_task: match r.read_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(corrupt(format!("bad multi_task flag {t}"))),
+        },
+        seed: r.read_u64()?,
+    };
+
+    // Build the skeleton from the config, then inject the stored weights.
+    let mut reasoner = GamoraReasoner::new(config);
+    let num_tensors = r.read_u32()? as usize;
+    {
+        let mut slots = reasoner.model_mut().param_slices_mut();
+        if num_tensors != slots.len() {
+            return Err(corrupt(format!(
+                "tensor count {num_tensors} does not match model shape ({} expected)",
+                slots.len()
+            )));
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let len = r.read_u32()? as usize;
+            if len != slot.len() {
+                return Err(corrupt(format!(
+                    "tensor {i} has {len} scalars, model expects {}",
+                    slot.len()
+                )));
+            }
+            let mut buf = [0u8; 4];
+            for v in slot.iter_mut() {
+                r.read_exact_hashed(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+        }
+    }
+
+    let expected = r.hasher.finish();
+    // The checksum itself is not part of the hashed payload.
+    let mut tail = [0u8; 8];
+    r.inner.read_exact(&mut tail).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => corrupt("truncated snapshot (missing checksum)"),
+        _ => SnapshotError::Io(e),
+    })?;
+    let stored = u64::from_le_bytes(tail);
+    if stored != expected {
+        return Err(corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {expected:#018x})"
+        )));
+    }
+    // Trailing garbage after the checksum is also corruption.
+    let mut probe = [0u8; 1];
+    match r.inner.read(&mut probe)? {
+        0 => Ok(reasoner),
+        _ => Err(corrupt("trailing bytes after checksum")),
+    }
+}
+
+impl GamoraReasoner {
+    /// Saves the trained reasoner to `path` in the versioned `.gsnap`
+    /// binary format (see the [`crate::snapshot`] module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        write_snapshot(self, File::create(path)?)
+    }
+
+    /// Loads a reasoner saved by [`GamoraReasoner::save`]. The result is
+    /// bit-exact: predictions and `evaluate` scores match the saved
+    /// instance's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] for missing files, foreign formats,
+    /// version skew, or corruption (checksum mismatch).
+    pub fn load(path: impl AsRef<Path>) -> Result<GamoraReasoner, SnapshotError> {
+        read_snapshot(File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reasoner::{ModelDepth, ReasonerConfig};
+    use gamora_circuits::csa_multiplier;
+    use gamora_gnn::TrainConfig;
+
+    fn trained_reasoner() -> GamoraReasoner {
+        let m = csa_multiplier(3);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(
+            &[&m.aig],
+            &TrainConfig {
+                epochs: 20,
+                log_every: 0,
+                ..TrainConfig::default()
+            },
+        );
+        reasoner
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let reasoner = trained_reasoner();
+        let mut buf = Vec::new();
+        write_snapshot(&reasoner, &mut buf).unwrap();
+        let mut back = read_snapshot(&buf[..]).unwrap();
+
+        assert_eq!(back.config(), reasoner.config());
+        let src: Vec<Vec<f32>> = reasoner
+            .model()
+            .param_slices()
+            .iter()
+            .map(|s| s.to_vec())
+            .collect();
+        let dst: Vec<Vec<f32>> = back
+            .model()
+            .param_slices()
+            .iter()
+            .map(|s| s.to_vec())
+            .collect();
+        assert_eq!(src, dst, "weights must survive bit-exactly");
+
+        // And behaviour matches exactly on a fresh workload.
+        let subject = csa_multiplier(4);
+        let mut original = reasoner;
+        let a = original.predict(&subject.aig);
+        let b = back.predict(&subject.aig);
+        assert_eq!(a.root_leaf, b.root_leaf);
+        assert_eq!(a.is_xor, b.is_xor);
+        assert_eq!(a.is_maj, b.is_maj);
+    }
+
+    #[test]
+    fn file_roundtrip_via_save_load() {
+        let reasoner = trained_reasoner();
+        let path =
+            std::env::temp_dir().join(format!("gamora-snap-test-{}.gsnap", std::process::id()));
+        reasoner.save(&path).unwrap();
+        let back = GamoraReasoner::load(&path).unwrap();
+        assert_eq!(back.config(), reasoner.config());
+        assert_eq!(back.num_params(), reasoner.num_params());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_snapshot(&b"NOPE....."[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        buf[4] = 99; // bump the version field
+        let err = read_snapshot(&buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(_)), "{err}");
+    }
+
+    #[test]
+    fn corruption_anywhere_fails_checksum() {
+        let mut pristine = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut pristine).unwrap();
+        // Flip one bit in several places across the payload (skipping the
+        // magic/version, which produce their own error kinds).
+        for pos in [16usize, 40, pristine.len() / 2, pristine.len() - 9] {
+            let mut buf = pristine.clone();
+            buf[pos] ^= 0x10;
+            assert!(
+                read_snapshot(&buf[..]).is_err(),
+                "bit flip at {pos} must not load cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_corruption() {
+        let mut buf = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 13);
+        let err = read_snapshot(&buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_corruption() {
+        let mut buf = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        buf.extend_from_slice(b"junk");
+        let err = read_snapshot(&buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+}

@@ -106,11 +106,19 @@ pub fn detect(aig: &Aig) -> Candidates {
                 }
                 AdderFunc::Xor3 => {
                     cands.is_xor[n.index()] = true;
-                    cands.xor3_by_leaves.entry(leaves).or_default().push(n.as_u32());
+                    cands
+                        .xor3_by_leaves
+                        .entry(leaves)
+                        .or_default()
+                        .push(n.as_u32());
                 }
                 AdderFunc::Maj3 => {
                     cands.is_maj3[n.index()] = true;
-                    cands.maj3_by_leaves.entry(leaves).or_default().push(n.as_u32());
+                    cands
+                        .maj3_by_leaves
+                        .entry(leaves)
+                        .or_default()
+                        .push(n.as_u32());
                 }
                 AdderFunc::And2 => {
                     // Any product of two literals can be a half-adder carry
@@ -194,7 +202,10 @@ mod tests {
         aig.add_output(c);
         let cands = detect(&aig);
         assert!(cands.is_xor[s.var().index()]);
-        assert!(cands.is_maj3[c.var().index()], "negated-input MAJ is NPN MAJ");
+        assert!(
+            cands.is_maj3[c.var().index()],
+            "negated-input MAJ is NPN MAJ"
+        );
     }
 
     #[test]

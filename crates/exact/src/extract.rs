@@ -89,9 +89,15 @@ pub fn extract_adders(aig: &Aig, cands: &Candidates) -> Vec<ExtractedAdder> {
                 .copied()
                 .filter(|&m| m != x && !used[m as usize])
                 .collect();
-            let Some(m) =
-                choose_partner(aig, NodeId::new(x), key, &eligible, &fan_off, &fan_tgt, &drives_output)
-            else {
+            let Some(m) = choose_partner(
+                aig,
+                NodeId::new(x),
+                key,
+                &eligible,
+                &fan_off,
+                &fan_tgt,
+                &drives_output,
+            ) else {
                 continue;
             };
             used[x as usize] = true;
@@ -127,9 +133,15 @@ pub fn extract_adders(aig: &Aig, cands: &Candidates) -> Vec<ExtractedAdder> {
                 .copied()
                 .filter(|&c| c != x && !used[c as usize] && !covered[c as usize])
                 .collect();
-            let Some(c) =
-                choose_partner(aig, NodeId::new(x), key, &eligible, &fan_off, &fan_tgt, &drives_output)
-            else {
+            let Some(c) = choose_partner(
+                aig,
+                NodeId::new(x),
+                key,
+                &eligible,
+                &fan_off,
+                &fan_tgt,
+                &drives_output,
+            ) else {
                 continue;
             };
             used[x as usize] = true;
@@ -287,7 +299,13 @@ mod tests {
         aig.add_output(c);
         let cands = detect(&aig);
         let adders = extract_adders(&aig, &cands);
-        assert_eq!(adders.iter().filter(|a| a.kind == ExtractedKind::Half).count(), 0);
+        assert_eq!(
+            adders
+                .iter()
+                .filter(|a| a.kind == ExtractedKind::Half)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -307,11 +325,17 @@ mod tests {
         aig.add_output(c2);
         let cands = detect(&aig);
         let adders = extract_adders(&aig, &cands);
-        assert_eq!(adders.iter().filter(|a| a.kind == ExtractedKind::Full).count(), 1);
+        assert_eq!(
+            adders
+                .iter()
+                .filter(|a| a.kind == ExtractedKind::Full)
+                .count(),
+            1
+        );
     }
 
     #[test]
-    fn no_adders_in_random_and_tree(){
+    fn no_adders_in_random_and_tree() {
         let mut aig = Aig::new();
         let ins = aig.add_inputs(8);
         let root = aig.and_multi(&ins);

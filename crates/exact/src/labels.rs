@@ -145,7 +145,10 @@ mod tests {
         let adders = extract_adders(&aig, &cands);
         assert_eq!(adders.len(), 2);
         let labels = build_labels(&aig, &cands, &adders);
-        assert_eq!(labels.root_leaf[c1.var().index()], RootLeafClass::RootAndLeaf);
+        assert_eq!(
+            labels.root_leaf[c1.var().index()],
+            RootLeafClass::RootAndLeaf
+        );
         assert_eq!(labels.root_leaf[s1.var().index()], RootLeafClass::Root);
         assert_eq!(labels.root_leaf[ins[0].var().index()], RootLeafClass::Leaf);
     }

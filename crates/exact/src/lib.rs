@@ -81,7 +81,8 @@ mod tests {
                 .collect();
             let cmp = compare_with_reference(&analysis.adders, reference);
             assert_eq!(
-                cmp.missing, 0,
+                cmp.missing,
+                0,
                 "{bits}-bit CSA: {cmp} (adders {})",
                 analysis.adders.len()
             );
@@ -140,6 +141,9 @@ mod tests {
         let m = gamora_circuits::kogge_stone_adder(16);
         let analysis = analyze(&m.aig);
         let tree = build_tree(&analysis.adders);
-        assert!(tree.num_full() <= 1, "unexpected FAs in prefix logic: {tree}");
+        assert!(
+            tree.num_full() <= 1,
+            "unexpected FAs in prefix logic: {tree}"
+        );
     }
 }

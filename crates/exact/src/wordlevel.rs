@@ -35,7 +35,11 @@ impl AdderTree {
 
     /// Depth of the tree (max rank + 1), 0 when empty.
     pub fn depth(&self) -> usize {
-        self.ranks.iter().map(|&r| r as usize + 1).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -50,8 +50,8 @@ impl Graph {
                 "edge ({s}, {d}) out of range"
             );
             match direction {
-                Direction::Fanin => pairs.push((d, s)),    // node gathers from fanin
-                Direction::Fanout => pairs.push((s, d)),   // node gathers from fanout
+                Direction::Fanin => pairs.push((d, s)), // node gathers from fanin
+                Direction::Fanout => pairs.push((s, d)), // node gathers from fanout
                 Direction::Bidirectional => {
                     pairs.push((d, s));
                     pairs.push((s, d));
@@ -223,11 +223,23 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..40)
             .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
             .collect();
-        for dir in [Direction::Fanin, Direction::Fanout, Direction::Bidirectional] {
+        for dir in [
+            Direction::Fanin,
+            Direction::Fanout,
+            Direction::Bidirectional,
+        ] {
             let g = Graph::from_edges(n, &edges, dir);
             let dim = 3;
-            let x = Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect());
-            let y = Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let x = Matrix::from_vec(
+                n,
+                dim,
+                (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            let y = Matrix::from_vec(
+                n,
+                dim,
+                (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
             let ax = g.mean_aggregate(&x);
             let aty = g.mean_aggregate_backward(&y);
             let dot = |a: &Matrix, b: &Matrix| -> f64 {

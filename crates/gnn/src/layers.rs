@@ -61,7 +61,8 @@ impl Linear {
         } else {
             grad_out.clone()
         };
-        self.gw.add_scaled(&self.cache_x.transpose_matmul(&grad_pre), 1.0);
+        self.gw
+            .add_scaled(&self.cache_x.transpose_matmul(&grad_pre), 1.0);
         for (g, v) in self.gb.iter_mut().zip(grad_pre.column_sums()) {
             *g += v;
         }
@@ -80,6 +81,17 @@ impl Linear {
             (self.w.as_mut_slice(), self.gw.as_slice()),
             (&mut self.b, &self.gb),
         ]
+    }
+
+    /// Parameter tensors in the same stable order as [`Linear::param_grads`]
+    /// (weights, then bias) — the serialisation order of model snapshots.
+    pub fn param_slices(&self) -> Vec<&[f32]> {
+        vec![self.w.as_slice(), &self.b]
+    }
+
+    /// Mutable parameter tensors in snapshot order (weight injection).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.w.as_mut_slice(), &mut self.b]
     }
 
     /// Number of scalar parameters.
@@ -137,6 +149,16 @@ impl SageLayer {
         self.lin.param_grads()
     }
 
+    /// Parameter tensors in snapshot order (see [`Linear::param_slices`]).
+    pub fn param_slices(&self) -> Vec<&[f32]> {
+        self.lin.param_slices()
+    }
+
+    /// Mutable parameter tensors in snapshot order (weight injection).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        self.lin.param_slices_mut()
+    }
+
     /// Number of scalar parameters.
     pub fn num_params(&self) -> usize {
         self.lin.num_params()
@@ -156,9 +178,8 @@ mod tests {
         let mut lin = Linear::new(3, 2, true, &mut rng);
         let x = Matrix::glorot(4, 3, &mut rng);
         // Loss = sum of outputs; d(loss)/d(y) = ones.
-        let loss = |lin: &mut Linear, x: &Matrix| -> f32 {
-            lin.forward(x, false).as_slice().iter().sum()
-        };
+        let loss =
+            |lin: &mut Linear, x: &Matrix| -> f32 { lin.forward(x, false).as_slice().iter().sum() };
         let y = lin.forward(&x, true);
         let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
         let gx = lin.backward(&ones);
@@ -193,7 +214,11 @@ mod tests {
     #[test]
     fn sage_gradcheck() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-        let graph = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], Direction::Bidirectional);
+        let graph = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+            Direction::Bidirectional,
+        );
         let mut layer = SageLayer::new(2, 3, &mut rng);
         let x = Matrix::glorot(5, 2, &mut rng);
         let loss = |l: &mut SageLayer, x: &Matrix| -> f32 {

@@ -173,6 +173,36 @@ impl MultiTaskSage {
         }
         out
     }
+
+    /// All parameter tensors, in the same stable order as
+    /// [`MultiTaskSage::param_grads`] — the canonical serialisation order
+    /// for model snapshots (trunk layers, shared linear, task heads; each
+    /// layer contributes weights then bias).
+    pub fn param_slices(&self) -> Vec<&[f32]> {
+        let mut out = Vec::new();
+        for l in &self.sage {
+            out.extend(l.param_slices());
+        }
+        out.extend(self.shared.param_slices());
+        for h in &self.heads {
+            out.extend(h.param_slices());
+        }
+        out
+    }
+
+    /// Mutable access to all parameter tensors in snapshot order, for
+    /// injecting deserialised weights into a freshly constructed model.
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::new();
+        for l in &mut self.sage {
+            out.extend(l.param_slices_mut());
+        }
+        out.extend(self.shared.param_slices_mut());
+        for h in &mut self.heads {
+            out.extend(h.param_slices_mut());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +222,11 @@ mod tests {
     }
 
     fn tiny_graph() -> Graph {
-        Graph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5)], Direction::Bidirectional)
+        Graph::from_edges(
+            6,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
+            Direction::Bidirectional,
+        )
     }
 
     #[test]
@@ -228,6 +262,38 @@ mod tests {
         assert!(m.num_params() > 50_000, "deep model is non-trivial");
     }
 
+    /// `param_slices` exposes every parameter exactly once, in an order
+    /// stable enough that injecting them into a differently seeded model
+    /// reproduces the source model bit for bit.
+    #[test]
+    fn param_slices_roundtrip_into_fresh_model() {
+        let mut src = tiny_model();
+        let total: usize = src.param_slices().iter().map(|s| s.len()).sum();
+        assert_eq!(total, src.num_params());
+
+        let saved: Vec<Vec<f32>> = src.param_slices().iter().map(|s| s.to_vec()).collect();
+        let mut dst = MultiTaskSage::new(ModelConfig {
+            seed: 0xBEEF,
+            ..src.config().clone()
+        });
+        let mut slots = dst.param_slices_mut();
+        assert_eq!(slots.len(), saved.len());
+        for (slot, tensor) in slots.iter_mut().zip(&saved) {
+            slot.copy_from_slice(tensor);
+        }
+
+        let graph = tiny_graph();
+        let mut x = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            x.set(r, r % 3, 1.0);
+        }
+        let la = src.forward(&graph, &x, false);
+        let lb = dst.forward(&graph, &x, false);
+        for (a, b) in la.iter().zip(&lb) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
     /// A gradient step on a toy problem must reduce the loss.
     #[test]
     fn one_adam_step_reduces_loss() {
@@ -239,7 +305,11 @@ mod tests {
         for r in 0..6 {
             x.set(r, r % 3, 1.0);
         }
-        let targets: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 0, 1], vec![0, 1, 0, 1, 0, 1], vec![1, 0, 1, 0, 1, 0]];
+        let targets: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3, 0, 1],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![1, 0, 1, 0, 1, 0],
+        ];
         let mut opt = Adam::new(0.01);
         let mut losses = Vec::new();
         for _ in 0..30 {

@@ -36,7 +36,10 @@ where
     if data.is_empty() {
         return;
     }
-    assert!(width > 0 && data.len().is_multiple_of(width), "bad row width");
+    assert!(
+        width > 0 && data.len().is_multiple_of(width),
+        "bad row width"
+    );
     let rows = data.len() / width;
     let nt = num_threads().min(rows / MIN_ROWS_PER_THREAD);
     if nt <= 1 {

@@ -183,7 +183,11 @@ mod tests {
             log_every: 0,
         };
         let report = train(&mut model, &data, &cfg);
-        assert!(report.epoch_losses.last().unwrap() < &0.2, "loss {:?}", report.epoch_losses.last());
+        assert!(
+            report.epoch_losses.last().unwrap() < &0.2,
+            "loss {:?}",
+            report.epoch_losses.last()
+        );
         assert!(
             report.train_accuracy.iter().all(|&a| a > 0.95),
             "accuracy {:?}",

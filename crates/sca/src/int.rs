@@ -77,11 +77,7 @@ impl Int {
                 mag[i + limbs + 1] |= w >> (64 - bits);
             }
         }
-        Int {
-            neg: self.neg,
-            mag,
-        }
-        .normalised()
+        Int { neg: self.neg, mag }.normalised()
     }
 
     /// Converts to `i128`, if the value fits.
@@ -122,8 +118,8 @@ impl Int {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let (s1, c1) = long[i].overflowing_add(*short.get(i).unwrap_or(&0));
+        for (i, &word) in long.iter().enumerate() {
+            let (s1, c1) = word.overflowing_add(*short.get(i).unwrap_or(&0));
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -139,9 +135,9 @@ impl Int {
         debug_assert!(Int::mag_cmp(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..a.len() {
+        for (i, &word) in a.iter().enumerate() {
             let rhs = *b.get(i).unwrap_or(&0);
-            let (d1, b1) = a[i].overflowing_sub(rhs);
+            let (d1, b1) = word.overflowing_sub(rhs);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = (b1 as u64) + (b2 as u64);

@@ -71,7 +71,11 @@ impl std::error::Error for RewriteError {}
 
 /// The polynomial of a literal (`x`, `1 - x`, `0` or `1`).
 pub fn lit_poly(l: Lit) -> Poly {
-    Poly::lit(l.var().as_u32(), l.is_complement(), l.var() == NodeId::CONST0)
+    Poly::lit(
+        l.var().as_u32(),
+        l.is_complement(),
+        l.var() == NodeId::CONST0,
+    )
 }
 
 /// The word polynomial `Σ 2^i lit_i` of a little-endian pin vector.

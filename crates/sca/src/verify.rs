@@ -26,7 +26,11 @@ impl fmt::Display for VerifyReport {
         write!(
             f,
             "{} (residual {} terms, {} substitutions, peak {} terms)",
-            if self.equivalent { "EQUIVALENT" } else { "NOT EQUIVALENT" },
+            if self.equivalent {
+                "EQUIVALENT"
+            } else {
+                "NOT EQUIVALENT"
+            },
             self.residual_terms,
             self.stats.substitutions,
             self.stats.peak_terms

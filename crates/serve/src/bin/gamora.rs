@@ -1,0 +1,438 @@
+//! The `gamora` command-line front end: train once, serve many.
+//!
+//! * `gamora train`       — fit a reasoner on generated multipliers and
+//!   snapshot it to disk (`.gsnap`).
+//! * `gamora infer`       — load a snapshot and serve AIGER netlists
+//!   through the micro-batching scheduler, emitting a JSON report.
+//! * `gamora bench-serve` — measure serving throughput (AIGs/sec) across
+//!   batch sizes, cold (cache off) and hot (cache on).
+//!
+//! Argument parsing is hand-rolled (no external dependencies).
+
+use gamora::{
+    score_predictions, GamoraReasoner, ModelDepth, Predictions, ReasonerConfig, TrainConfig,
+};
+use gamora_aig::{aiger, Aig};
+use gamora_circuits::{generate_multiplier, MultiplierKind};
+use gamora_serve::report::Json;
+use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+gamora — persistent-model inference service for AIG symbolic reasoning
+
+USAGE:
+    gamora train --out MODEL.gsnap [--bits 3,4,5,6,7,8] [--epochs 300]
+                 [--kind csa|booth] [--depth shallow|deep|LxH] [--seed N]
+    gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
+                 [--workers N] [--cache N] [--compact] FILE.aag [FILE.aig ...]
+                 (--cache 0 disables the structural-hash cache)
+    gamora bench-serve --model MODEL.gsnap [--bits 16] [--count 64]
+                       [--batches 1,8,64] [--workers N]
+
+Reports are JSON on stdout; diagnostics go to stderr.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--bits",
+    "--epochs",
+    "--kind",
+    "--depth",
+    "--seed",
+    "--model",
+    "--batch",
+    "--workers",
+    "--count",
+    "--batches",
+    "--cache",
+];
+const SWITCH_FLAGS: &[&str] = &["--extract", "--score", "--compact", "--quiet"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            pairs: Vec::new(),
+            switches: Vec::new(),
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+                flags.pairs.push((a.clone(), v.clone()));
+            } else if SWITCH_FLAGS.contains(&a.as_str()) {
+                flags.switches.push(a.clone());
+            } else if a.starts_with("--") {
+                return Err(format!("unknown flag '{a}'"));
+            } else {
+                flags.positional.push(a.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key} expects a number, got '{v}'")),
+        }
+    }
+
+    fn usize_list_or(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("{key}: bad number '{s}'"))
+                })
+                .collect(),
+        }
+    }
+}
+
+fn parse_depth(s: &str) -> Result<ModelDepth, String> {
+    match s {
+        "shallow" => Ok(ModelDepth::Shallow),
+        "deep" => Ok(ModelDepth::Deep),
+        custom => {
+            let (l, h) = custom
+                .split_once(['x', 'X'])
+                .ok_or_else(|| format!("--depth expects shallow, deep, or LxH; got '{custom}'"))?;
+            let layers = l.parse().map_err(|_| format!("bad layer count '{l}'"))?;
+            let hidden = h.parse().map_err(|_| format!("bad hidden width '{h}'"))?;
+            Ok(ModelDepth::Custom { layers, hidden })
+        }
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = flags
+        .get("--out")
+        .ok_or("train requires --out MODEL.gsnap")?
+        .to_string();
+    let bits = flags.usize_list_or("--bits", &[3, 4, 5, 6, 7, 8])?;
+    let epochs = flags.usize_or("--epochs", 300)?;
+    let kind = match flags.get("--kind").unwrap_or("csa") {
+        "csa" => MultiplierKind::Csa,
+        "booth" => MultiplierKind::Booth,
+        other => return Err(format!("--kind expects csa or booth, got '{other}'")),
+    };
+    let depth = parse_depth(flags.get("--depth").unwrap_or("shallow"))?;
+    let seed: u64 = match flags.get("--seed") {
+        None => ReasonerConfig::default().seed,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--seed expects a number, got '{v}'"))?,
+    };
+
+    let t0 = Instant::now();
+    let train_set: Vec<_> = bits.iter().map(|&b| generate_multiplier(kind, b)).collect();
+    let refs: Vec<&Aig> = train_set.iter().map(|m| &m.aig).collect();
+    eprintln!(
+        "training on {} {kind:?} multipliers ({} total nodes), {epochs} epochs ...",
+        refs.len(),
+        refs.iter().map(|a| a.num_nodes()).sum::<usize>()
+    );
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth,
+        seed,
+        ..ReasonerConfig::default()
+    });
+    let report = reasoner.fit(
+        &refs,
+        &TrainConfig {
+            epochs,
+            log_every: if flags.has("--quiet") { 0 } else { 50 },
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+        .save(&out)
+        .map_err(|e| format!("saving '{out}': {e}"))?;
+
+    let json = Json::obj([
+        ("command", Json::str("train")),
+        ("model", Json::str(&out)),
+        ("kind", Json::str(format!("{kind:?}").to_lowercase())),
+        ("train_bits", Json::arr(bits.iter().map(|&b| Json::uint(b)))),
+        ("epochs", Json::uint(epochs)),
+        ("num_params", Json::uint(reasoner.num_params())),
+        (
+            "final_train_accuracy",
+            Json::arr(report.train_accuracy.iter().map(|&a| Json::Num(a))),
+        ),
+        (
+            "final_loss",
+            Json::Num(report.epoch_losses.last().copied().unwrap_or(f32::NAN) as f64),
+        ),
+        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
+    ]);
+    println!("{json}");
+    Ok(())
+}
+
+fn read_aiger_file(path: &str) -> Result<Aig, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening '{path}': {e}"))?;
+    let mut aig =
+        aiger::read(BufReader::new(file)).map_err(|e| format!("parsing '{path}': {e}"))?;
+    if aig.name().is_empty() {
+        aig.set_name(path);
+    }
+    Ok(aig)
+}
+
+fn class_histogram(preds: &Predictions) -> Json {
+    let mut counts = [0usize; 4];
+    for &c in &preds.root_leaf {
+        counts[(c as usize).min(3)] += 1;
+    }
+    Json::obj([
+        // Class 0 is gamora_exact::RootLeafClass::Other — ordinary logic
+        // outside any extracted adder boundary.
+        ("other", Json::uint(counts[0])),
+        ("root", Json::uint(counts[1])),
+        ("leaf", Json::uint(counts[2])),
+        ("root_and_leaf", Json::uint(counts[3])),
+        (
+            "xor",
+            Json::uint(preds.is_xor.iter().filter(|&&b| b).count()),
+        ),
+        (
+            "maj",
+            Json::uint(preds.is_maj.iter().filter(|&&b| b).count()),
+        ),
+    ])
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags
+        .get("--model")
+        .ok_or("infer requires --model MODEL.gsnap")?;
+    if flags.positional.is_empty() {
+        return Err("infer requires at least one AIGER file".into());
+    }
+    let max_batch = flags.usize_or("--batch", 8)?;
+    let workers = flags.usize_or("--workers", 1)?;
+    let cache_capacity = flags.usize_or("--cache", ServeConfig::default().cache_capacity)?;
+    let kind = if flags.has("--extract") {
+        AnalysisKind::ExtractAdders
+    } else {
+        AnalysisKind::Classify
+    };
+
+    let reasoner =
+        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    let server = Server::start(
+        reasoner,
+        ServeConfig {
+            max_batch,
+            workers,
+            cache_capacity,
+        },
+    );
+
+    let aigs: Vec<Aig> = flags
+        .positional
+        .iter()
+        .map(|p| read_aiger_file(p))
+        .collect::<Result<_, _>>()?;
+    let t0 = Instant::now();
+    let outputs = server.submit_all(aigs.iter().map(|a| (a.clone(), kind)).collect());
+    let wall = t0.elapsed();
+
+    let mut files = Vec::new();
+    for ((path, aig), out) in flags.positional.iter().zip(&aigs).zip(&outputs) {
+        let mut fields = vec![
+            ("file", Json::str(path)),
+            ("nodes", Json::uint(aig.num_nodes())),
+            ("inputs", Json::uint(aig.num_inputs())),
+            ("ands", Json::uint(aig.num_ands())),
+            ("outputs", Json::uint(aig.num_outputs())),
+            ("cache_hit", Json::Bool(out.cache_hit)),
+            ("latency_micros", Json::uint(out.latency_micros as usize)),
+            ("classes", class_histogram(&out.predictions)),
+        ];
+        if let Some(adders) = &out.adders {
+            fields.push(("adders", Json::uint(adders.len())));
+        }
+        if flags.has("--score") {
+            let analysis = gamora_exact::analyze(aig);
+            let eval = score_predictions(&out.predictions, &analysis.labels);
+            fields.push((
+                "accuracy",
+                Json::obj([
+                    ("root_leaf", Json::Num(eval.task_accuracy[0])),
+                    ("xor", Json::Num(eval.task_accuracy[1])),
+                    ("maj", Json::Num(eval.task_accuracy[2])),
+                    ("mean", Json::Num(eval.mean())),
+                ]),
+            ));
+        }
+        files.push(Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ));
+    }
+    let stats = server.shutdown();
+    let json = Json::obj([
+        ("command", Json::str("infer")),
+        ("model", Json::str(model_path)),
+        ("files", Json::Arr(files)),
+        (
+            "serving",
+            Json::obj([
+                ("jobs", Json::uint(stats.jobs as usize)),
+                ("batches", Json::uint(stats.batches as usize)),
+                ("forward_passes", Json::uint(stats.forward_passes as usize)),
+                ("cache_hits", Json::uint(stats.cache_hits as usize)),
+                ("cache_misses", Json::uint(stats.cache_misses as usize)),
+                ("wall_seconds", Json::Num(wall.as_secs_f64())),
+            ]),
+        ),
+    ]);
+    if flags.has("--compact") {
+        println!("{}", json.compact());
+    } else {
+        println!("{json}");
+    }
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags
+        .get("--model")
+        .ok_or("bench-serve requires --model MODEL.gsnap")?;
+    let bits = flags.usize_or("--bits", 16)?;
+    let count = flags.usize_or("--count", 64)?;
+    let batch_sizes = flags.usize_list_or("--batches", &[1, 8, 64])?;
+    let workers = flags.usize_or("--workers", 1)?;
+
+    let reasoner =
+        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    let subject = generate_multiplier(MultiplierKind::Csa, bits);
+    eprintln!(
+        "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes) ...",
+        subject.aig.num_nodes()
+    );
+
+    let mut rows = Vec::new();
+    for &batch in &batch_sizes {
+        // Cold: cache disabled, every submission runs the model.
+        let server = Server::start(
+            reasoner.clone(),
+            ServeConfig {
+                max_batch: batch,
+                workers,
+                cache_capacity: 0,
+            },
+        );
+        let t0 = Instant::now();
+        for chunk_start in (0..count).step_by(batch) {
+            let n = batch.min(count - chunk_start);
+            let jobs = (0..n)
+                .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
+                .collect();
+            server.submit_all(jobs);
+        }
+        let cold = count as f64 / t0.elapsed().as_secs_f64();
+        server.shutdown();
+
+        // Hot: cache enabled and pre-warmed — the repeated-netlist path.
+        let server = Server::start(
+            reasoner.clone(),
+            ServeConfig {
+                max_batch: batch,
+                workers,
+                cache_capacity: 16,
+            },
+        );
+        server
+            .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .wait();
+        let t0 = Instant::now();
+        for chunk_start in (0..count).step_by(batch) {
+            let n = batch.min(count - chunk_start);
+            let jobs = (0..n)
+                .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
+                .collect();
+            server.submit_all(jobs);
+        }
+        let hot = count as f64 / t0.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.forward_passes, 1,
+            "hot runs must be answered from the cache"
+        );
+
+        eprintln!("  batch {batch:>3}: cold {cold:>10.1} AIGs/sec   hot {hot:>12.1} AIGs/sec");
+        rows.push(Json::obj([
+            ("batch", Json::uint(batch)),
+            ("cold_aigs_per_sec", Json::Num(cold)),
+            ("hot_aigs_per_sec", Json::Num(hot)),
+        ]));
+    }
+
+    let json = Json::obj([
+        ("command", Json::str("bench-serve")),
+        ("model", Json::str(model_path)),
+        ("subject_bits", Json::uint(bits)),
+        ("subject_nodes", Json::uint(subject.aig.num_nodes())),
+        ("submissions", Json::uint(count)),
+        ("workers", Json::uint(workers)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    println!("{json}");
+    Ok(())
+}

@@ -1,0 +1,456 @@
+//! Structural-hash prediction cache: an LRU map from canonical AIG
+//! fingerprints to served predictions.
+//!
+//! The key is the whole-graph canonical hash of
+//! [`gamora_aig::hasher::structural_fingerprint`] plus the node/input/AND
+//! counts, so repeated — and isomorphic, renumbered — submissions of a
+//! netlist skip the GNN forward pass entirely.
+//!
+//! Serving is two-tier:
+//!
+//! 1. **verbatim** — if the submission's order-sensitive
+//!    [`identity_fingerprint`](gamora_aig::hasher::identity_fingerprint)
+//!    matches the cached entry, the stored per-node prediction vectors are
+//!    returned unchanged: bit-exact reproduction of the original forward
+//!    pass (the common repeated-netlist case);
+//! 2. **transfer** — otherwise the entry's predictions are re-indexed
+//!    through canonical per-node hashes onto the submission's numbering.
+//!    Transfer is refused (an honest miss) if the cached graph contains
+//!    duplicate canonical node hashes — with fanout-sensitive message
+//!    passing, structurally identical cones can still predict differently
+//!    — or if any submission hash cannot be resolved (a genuine
+//!    fingerprint collision).
+//!
+//! Eviction is true LRU in O(1) via an index-linked list over a slab.
+
+use gamora::Predictions;
+use gamora_aig::hasher::{
+    fingerprint_from_node_hashes, identity_fingerprint, structural_node_hashes, FxHashMap,
+};
+use gamora_aig::Aig;
+
+/// Cache key: canonical fingerprint qualified by coarse shape counts.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Whole-graph canonical structural hash.
+    pub fingerprint: u64,
+    /// Total node count (collision guard and prediction-length check).
+    pub num_nodes: usize,
+    /// Primary-input count.
+    pub num_inputs: usize,
+    /// AND-gate count.
+    pub num_ands: usize,
+}
+
+/// Everything the cache needs to know about one submission, computed in a
+/// single O(nodes) pass.
+#[derive(Clone, Debug)]
+pub struct GraphSignature {
+    /// The LRU key.
+    pub key: CacheKey,
+    /// Order-sensitive exact hash (verbatim-serve test).
+    pub identity: u64,
+    /// Canonical per-node hashes (transfer-serve index).
+    pub node_hashes: Vec<u64>,
+}
+
+impl GraphSignature {
+    /// Computes the signature of an AIG.
+    pub fn of(aig: &Aig) -> GraphSignature {
+        let node_hashes = structural_node_hashes(aig);
+        GraphSignature {
+            key: CacheKey {
+                fingerprint: fingerprint_from_node_hashes(aig, &node_hashes),
+                num_nodes: aig.num_nodes(),
+                num_inputs: aig.num_inputs(),
+                num_ands: aig.num_ands(),
+            },
+            identity: identity_fingerprint(aig),
+            node_hashes,
+        }
+    }
+}
+
+struct Entry {
+    key: CacheKey,
+    identity: u64,
+    predictions: Predictions,
+    /// Canonical node hash -> (root_leaf, is_xor, is_maj), valid only when
+    /// `hashes_unique`: with duplicate intra-graph hashes (unstrashed
+    /// duplicate cones) a node's prediction is *not* determined by its
+    /// fanin cone — the bidirectional GNN also sees fanout context — so
+    /// transfer-serving would guess. We refuse instead (transfer miss).
+    by_hash: FxHashMap<u64, (u32, bool, bool)>,
+    /// Whether every node of the cached graph has a distinct canonical
+    /// hash (precondition for sound transfer serving).
+    hashes_unique: bool,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// How a [`PredictionCache::lookup`] hit was produced.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HitKind {
+    /// Identical numbering: stored vectors served unchanged.
+    Verbatim,
+    /// Isomorphic renumbering: predictions transferred through canonical
+    /// node hashes.
+    Transferred,
+}
+
+/// An LRU-bounded map from structural fingerprints to predictions.
+pub struct PredictionCache {
+    capacity: usize,
+    map: FxHashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl PredictionCache {
+    /// Creates a cache holding at most `capacity` graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PredictionCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PredictionCache {
+            capacity,
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached graphs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up predictions for a submission, marking it most recently
+    /// used on a hit.
+    pub fn lookup(&mut self, sig: &GraphSignature) -> Option<(Predictions, HitKind)> {
+        let Some(&idx) = self.map.get(&sig.key) else {
+            self.misses += 1;
+            return None;
+        };
+        let served = {
+            let entry = &self.slab[idx];
+            if entry.identity == sig.identity {
+                Some((entry.predictions.clone(), HitKind::Verbatim))
+            } else {
+                transfer(entry, sig).map(|p| (p, HitKind::Transferred))
+            }
+        };
+        match served {
+            Some(hit) => {
+                self.detach(idx);
+                self.push_front(idx);
+                self.hits += 1;
+                Some(hit)
+            }
+            None => {
+                // Fingerprint collision with unresolvable node mapping:
+                // honest miss.
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the predictions for a submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prediction length disagrees with the signature's node
+    /// count.
+    pub fn insert(&mut self, sig: &GraphSignature, predictions: Predictions) {
+        assert_eq!(
+            predictions.num_nodes(),
+            sig.key.num_nodes,
+            "predictions must cover every node"
+        );
+        if let Some(&idx) = self.map.get(&sig.key) {
+            // Refresh in place (e.g. re-inserted after a transfer miss).
+            self.detach(idx);
+            let (by_hash, hashes_unique) = index_by_hash(sig, &predictions);
+            self.slab[idx].identity = sig.identity;
+            self.slab[idx].by_hash = by_hash;
+            self.slab[idx].hashes_unique = hashes_unique;
+            self.slab[idx].predictions = predictions;
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+        }
+        let (by_hash, hashes_unique) = index_by_hash(sig, &predictions);
+        let entry = Entry {
+            key: sig.key,
+            identity: sig.identity,
+            by_hash,
+            hashes_unique,
+            predictions,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(sig.key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// Builds the canonical-hash prediction index; the flag reports whether
+/// every node hash was distinct (the soundness precondition for transfer).
+fn index_by_hash(
+    sig: &GraphSignature,
+    preds: &Predictions,
+) -> (FxHashMap<u64, (u32, bool, bool)>, bool) {
+    let mut by_hash = FxHashMap::default();
+    let mut unique = true;
+    for (i, &h) in sig.node_hashes.iter().enumerate() {
+        if by_hash
+            .insert(h, (preds.root_leaf[i], preds.is_xor[i], preds.is_maj[i]))
+            .is_some()
+        {
+            unique = false;
+        }
+    }
+    (by_hash, unique)
+}
+
+fn transfer(entry: &Entry, sig: &GraphSignature) -> Option<Predictions> {
+    // Duplicate canonical hashes in the cached graph mean per-node
+    // predictions are not a function of the canonical hash (fanout context
+    // differs); refuse to guess.
+    if !entry.hashes_unique {
+        return None;
+    }
+    let n = sig.node_hashes.len();
+    let mut preds = Predictions {
+        root_leaf: Vec::with_capacity(n),
+        is_xor: Vec::with_capacity(n),
+        is_maj: Vec::with_capacity(n),
+    };
+    for h in &sig.node_hashes {
+        let &(rl, xor, maj) = entry.by_hash.get(h)?;
+        preds.root_leaf.push(rl);
+        preds.is_xor.push(xor);
+        preds.is_maj.push(maj);
+    }
+    Some(preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora_aig::aiger;
+
+    fn toy_aig(outputs_complemented: bool) -> Aig {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(3);
+        let (s, c) = aig.full_adder(ins[0], ins[1], ins[2]);
+        aig.add_output(s.complement_if(outputs_complemented));
+        aig.add_output(c);
+        aig
+    }
+
+    fn toy_predictions(aig: &Aig) -> Predictions {
+        let n = aig.num_nodes();
+        Predictions {
+            root_leaf: (0..n as u32).map(|i| i % 4).collect(),
+            is_xor: (0..n).map(|i| i % 2 == 0).collect(),
+            is_maj: (0..n).map(|i| i % 3 == 0).collect(),
+        }
+    }
+
+    #[test]
+    fn repeated_submission_hits_verbatim() {
+        let aig = toy_aig(false);
+        let sig = GraphSignature::of(&aig);
+        let mut cache = PredictionCache::new(4);
+        assert!(cache.lookup(&sig).is_none());
+        let preds = toy_predictions(&aig);
+        cache.insert(&sig, preds.clone());
+
+        let resub = GraphSignature::of(&toy_aig(false));
+        let (served, kind) = cache.lookup(&resub).expect("hit");
+        assert_eq!(kind, HitKind::Verbatim);
+        assert_eq!(served.root_leaf, preds.root_leaf);
+        assert_eq!(served.is_xor, preds.is_xor);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn renumbered_isomorph_hits_by_transfer() {
+        // Interleave inputs and ANDs so the graph is *not* in canonical
+        // AIGER order; write_binary then genuinely renumbers it.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(2);
+        let x = aig.xor(ins[0], ins[1]);
+        let carry_in = aig.add_input().lit();
+        let s = aig.xor(x, carry_in);
+        aig.add_output(s);
+        let sig = GraphSignature::of(&aig);
+        let mut cache = PredictionCache::new(4);
+        cache.insert(&sig, toy_predictions(&aig));
+
+        // A binary AIGER round trip renumbers the graph.
+        let mut buf = Vec::new();
+        aiger::write_binary(&aig, &mut buf).unwrap();
+        let back = aiger::read(&buf[..]).unwrap();
+        assert_ne!(
+            gamora_aig::hasher::identity_fingerprint(&aig),
+            gamora_aig::hasher::identity_fingerprint(&back),
+            "round trip must renumber this graph for the test to bite"
+        );
+        let back_sig = GraphSignature::of(&back);
+        assert_eq!(
+            back_sig.key, sig.key,
+            "canonical key must survive renumbering"
+        );
+
+        let (served, kind) = cache.lookup(&back_sig).expect("transfer hit");
+        // Transferred predictions follow the canonical node identity: node
+        // i of `back` gets the prediction of the original node with the
+        // same canonical hash.
+        assert_eq!(kind, HitKind::Transferred);
+        let orig = toy_predictions(&aig);
+        let orig_hashes = sig.node_hashes.clone();
+        for (i, h) in back_sig.node_hashes.iter().enumerate() {
+            let j = orig_hashes.iter().position(|x| x == h).unwrap();
+            assert_eq!(served.root_leaf[i], orig.root_leaf[j]);
+        }
+    }
+
+    #[test]
+    fn transfer_refused_for_duplicate_cone_graphs() {
+        // Two identical AND gates (possible only in unstrashed graphs, e.g.
+        // read from AIGER): their canonical node hashes collide, but their
+        // predictions may differ (fanout context), so transfer must refuse.
+        let text = "aag 4 2 0 2 2\n2\n4\n6\n8\n6 2 4\n8 2 4\n";
+        let aig = aiger::read(text.as_bytes()).unwrap();
+        let sig = GraphSignature::of(&aig);
+        assert_eq!(
+            sig.node_hashes[3], sig.node_hashes[4],
+            "duplicate cones share a canonical hash"
+        );
+        let mut cache = PredictionCache::new(2);
+        cache.insert(&sig, toy_predictions(&aig));
+
+        // Identical resubmission still serves verbatim, bit-exactly.
+        let (_, kind) = cache.lookup(&sig).expect("verbatim hit");
+        assert_eq!(kind, HitKind::Verbatim);
+
+        // A renumbered isomorph (different identity hash) must miss rather
+        // than guess which duplicate's prediction to serve.
+        let mut renumbered = sig.clone();
+        renumbered.identity ^= 1;
+        assert!(cache.lookup(&renumbered).is_none());
+    }
+
+    #[test]
+    fn different_functions_do_not_collide() {
+        let a = toy_aig(false);
+        let b = toy_aig(true);
+        let mut cache = PredictionCache::new(4);
+        cache.insert(&GraphSignature::of(&a), toy_predictions(&a));
+        assert!(cache.lookup(&GraphSignature::of(&b)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut graphs = Vec::new();
+        for i in 0..4usize {
+            let mut aig = Aig::new();
+            let ins = aig.add_inputs(i + 2);
+            let x = aig.xor(ins[0], ins[1]);
+            aig.add_output(x);
+            graphs.push(aig);
+        }
+        let sigs: Vec<_> = graphs.iter().map(GraphSignature::of).collect();
+        let mut cache = PredictionCache::new(2);
+        cache.insert(&sigs[0], toy_predictions(&graphs[0]));
+        cache.insert(&sigs[1], toy_predictions(&graphs[1]));
+        // Touch 0 so 1 becomes LRU, then insert 2 -> evicts 1.
+        assert!(cache.lookup(&sigs[0]).is_some());
+        cache.insert(&sigs[2], toy_predictions(&graphs[2]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&sigs[1]).is_none(), "1 was evicted");
+        assert!(cache.lookup(&sigs[0]).is_some(), "0 survived");
+        assert!(cache.lookup(&sigs[2]).is_some());
+        // Insert two more: everything older rolls out.
+        cache.insert(&sigs[3], toy_predictions(&graphs[3]));
+        cache.insert(&sigs[1], toy_predictions(&graphs[1]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&sigs[0]).is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! # gamora-serve
+//!
+//! Persistent-model batch inference service for the Gamora reproduction:
+//! the chassis that turns the train-and-evaluate-in-one-process pipeline
+//! into a train-once / serve-many system.
+//!
+//! * **Model persistence** — `gamora::GamoraReasoner::save` / `load`
+//!   (versioned, checksummed binary snapshots; see `gamora::snapshot`)
+//!   make a trained reasoner a durable artifact served across processes.
+//! * [`cache`] — an LRU prediction cache keyed on the canonical
+//!   structural fingerprint of `gamora_aig::hasher`, so repeated or
+//!   isomorphic submissions skip the GNN forward pass entirely.
+//! * [`scheduler`] — a `std::thread` + channel worker pool that coalesces
+//!   concurrent jobs into micro-batches for `predict_batch` and fans the
+//!   results back out (the serving analogue of the paper's Figure 8).
+//! * [`report`] — dependency-free JSON for the `gamora` binary's output.
+//!
+//! The `gamora` binary (this crate's `src/bin/gamora.rs`) wires it
+//! together: `gamora train` fits and snapshots a model, `gamora infer`
+//! serves AIGER netlists from a snapshot, `gamora bench-serve` measures
+//! serving throughput across batch sizes.
+//!
+//! ```
+//! use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+//! use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+//!
+//! let m = gamora_circuits::csa_multiplier(3);
+//! let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+//!     depth: ModelDepth::Custom { layers: 2, hidden: 8 },
+//!     ..ReasonerConfig::default()
+//! });
+//! reasoner.fit(&[&m.aig], &TrainConfig { epochs: 5, ..TrainConfig::default() });
+//!
+//! let server = Server::start(reasoner, ServeConfig::default());
+//! let out = server.submit(m.aig.clone(), AnalysisKind::Classify).wait();
+//! assert_eq!(out.predictions.num_nodes(), m.aig.num_nodes());
+//! let repeat = server.submit(m.aig.clone(), AnalysisKind::Classify).wait();
+//! assert!(repeat.cache_hit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod report;
+pub mod scheduler;
+
+pub use cache::{CacheKey, GraphSignature, HitKind, PredictionCache};
+pub use report::Json;
+pub use scheduler::{AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeStats, Server};

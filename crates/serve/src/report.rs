@@ -1,0 +1,199 @@
+//! Hand-rolled JSON serialisation for the `gamora` binary's reports.
+//!
+//! No external dependencies: a small value tree with RFC 8259-compliant
+//! string escaping and deterministic field order (fields appear in
+//! insertion order, so reports diff cleanly across runs).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (serialised via Rust's shortest-roundtrip float
+    /// formatting; integers print without a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array from values.
+    pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| < 2^53).
+    pub fn int(n: impl Into<i64>) -> Json {
+        Json::Num(n.into() as f64)
+    }
+
+    /// A `usize` value (exact for n < 2^53).
+    pub fn uint(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Serialises with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Serialises without whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => write_seq(out, depth, pretty, '[', ']', items.len(), |out, i| {
+                items[i].write(out, depth + 1, pretty);
+            }),
+            Json::Obj(fields) => write_seq(out, depth, pretty, '{', '}', fields.len(), |out, i| {
+                write_string(out, &fields[i].0);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                fields[i].1.write(out, depth + 1, pretty);
+            }),
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; serialise as null like most encoders.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            for _ in 0..(depth + 1) * 2 {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth * 2 {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_in_insertion_order() {
+        let j = Json::obj([
+            ("b", Json::uint(2)),
+            ("a", Json::arr([Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(j.compact(), r#"{"b":2,"a":[true,null]}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.compact(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn numbers_print_integers_exactly() {
+        assert_eq!(Json::uint(123456789).compact(), "123456789");
+        assert_eq!(Json::Num(0.25).compact(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+        assert_eq!(Json::int(-7i32).compact(), "-7");
+    }
+
+    #[test]
+    fn pretty_is_indented_and_stable() {
+        let j = Json::obj([("xs", Json::arr([Json::uint(1), Json::uint(2)]))]);
+        assert_eq!(j.pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_are_tight() {
+        assert_eq!(Json::arr([]).pretty(), "[]");
+        assert_eq!(Json::obj([]).pretty(), "{}");
+    }
+}

@@ -1,0 +1,546 @@
+//! Micro-batching worker-pool scheduler.
+//!
+//! Jobs (an AIG plus the requested analysis) are submitted from any thread
+//! and answered through per-job channels. Worker threads drain the shared
+//! queue in batches of up to `max_batch`, answer what they can from the
+//! structural-hash [`PredictionCache`], coalesce the remaining misses into
+//! **one** GNN forward pass via [`GamoraReasoner::predict_batch`], then fan
+//! the results back out — the serving analogue of the paper's Figure 8
+//! batched inference.
+//!
+//! Built on `std::thread` + `std::sync::mpsc` channels only (the same
+//! no-external-runtime discipline as `gamora_gnn::parallel`). Each worker
+//! owns a clone of the trained reasoner, so forward passes never contend
+//! on a lock; the cache and queue are the only shared state.
+
+use crate::cache::{GraphSignature, HitKind, PredictionCache};
+use gamora::{extract_from_predictions, lsb_correction, GamoraReasoner, Predictions};
+use gamora_aig::hasher::FxHashMap;
+use gamora_aig::Aig;
+use gamora_exact::ExtractedAdder;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Which analysis a job requests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum AnalysisKind {
+    /// Per-node classification only (tasks 1–3).
+    #[default]
+    Classify,
+    /// Classification plus adder-tree extraction with the paper's LSB
+    /// post-processing.
+    ExtractAdders,
+}
+
+/// Scheduler configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum jobs coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Inference worker threads (each owns a model clone).
+    pub workers: usize,
+    /// Capacity of the structural-hash prediction cache, in graphs.
+    /// `0` disables every structural-hash shortcut — cache lookups *and*
+    /// intra-batch duplicate coalescing — so each job pays a full model
+    /// slot (the cold-path throughput benchmark).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            workers: 1,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A completed job.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Per-node predictions for the submitted AIG.
+    pub predictions: Predictions,
+    /// Extracted adders (present iff [`AnalysisKind::ExtractAdders`]).
+    pub adders: Option<Vec<ExtractedAdder>>,
+    /// Whether the predictions came from the structural-hash cache.
+    pub cache_hit: bool,
+    /// Wall time from submission to completion, in microseconds.
+    pub latency_micros: u64,
+}
+
+/// Receiving side of a submitted job.
+pub struct JobTicket {
+    rx: mpsc::Receiver<JobOutput>,
+}
+
+impl JobTicket {
+    /// Blocks until the job completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was shut down before answering (a worker
+    /// panic or a `shutdown` racing the submission).
+    pub fn wait(self) -> JobOutput {
+        self.rx.recv().expect("serve worker dropped the job")
+    }
+}
+
+struct Job {
+    aig: Aig,
+    kind: AnalysisKind,
+    submitted: Instant,
+    tx: mpsc::Sender<JobOutput>,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicU64,
+    batches: AtomicU64,
+    forward_passes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of server counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Batches executed (cache-only batches included).
+    pub batches: u64,
+    /// GNN forward passes run (one per batch with at least one miss).
+    pub forward_passes: u64,
+    /// Jobs answered from the cache.
+    pub cache_hits: u64,
+    /// Jobs that needed the model.
+    pub cache_misses: u64,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// `None` when caching is disabled (`cache_capacity == 0`).
+    cache: Mutex<Option<PredictionCache>>,
+    /// Whether structural-hash shortcuts (cache + intra-batch dedup) are on.
+    hashing_enabled: bool,
+    counters: Counters,
+    max_batch: usize,
+}
+
+/// A running inference server over one trained reasoner.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool. Each worker receives a clone of `reasoner`,
+    /// so the trained weights are shared read-only by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.workers` is zero.
+    pub fn start(reasoner: GamoraReasoner, config: ServeConfig) -> Server {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.workers > 0, "at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(
+                (config.cache_capacity > 0).then(|| PredictionCache::new(config.cache_capacity)),
+            ),
+            hashing_enabled: config.cache_capacity > 0,
+            counters: Counters::default(),
+            max_batch: config.max_batch,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let mut model = reasoner.clone();
+                std::thread::Builder::new()
+                    .name(format!("gamora-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &mut model))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Enqueues a job; returns a ticket to wait on.
+    pub fn submit(&self, aig: Aig, kind: AnalysisKind) -> JobTicket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            aig,
+            kind,
+            submitted: Instant::now(),
+            tx,
+        };
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(job);
+        self.shared.available.notify_one();
+        JobTicket { rx }
+    }
+
+    /// Submits many jobs atomically (one queue lock, so an idle worker
+    /// sees them as one coalescable burst) and waits for all of them,
+    /// preserving input order.
+    pub fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Vec<JobOutput> {
+        let mut tickets = Vec::with_capacity(jobs.len());
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            for (aig, kind) in jobs {
+                let (tx, rx) = mpsc::channel();
+                queue.push_back(Job {
+                    aig,
+                    kind,
+                    submitted: Instant::now(),
+                    tx,
+                });
+                tickets.push(JobTicket { rx });
+            }
+        }
+        self.shared.available.notify_all();
+        tickets.into_iter().map(JobTicket::wait).collect()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            jobs: c.jobs.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            forward_passes: c.forward_passes.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains outstanding work and stops the workers.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_workers();
+        self.stats()
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(shared: &Shared, model: &mut GamoraReasoner) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if !queue.is_empty() {
+                    let take = shared.max_batch.min(queue.len());
+                    break queue.drain(..take).collect::<Vec<Job>>();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue poisoned");
+            }
+        };
+        run_batch(shared, model, batch);
+    }
+}
+
+fn run_batch(shared: &Shared, model: &mut GamoraReasoner, batch: Vec<Job>) {
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+    // Phase 1: resolve from the cache under one short lock. With hashing
+    // disabled the signatures are provably unused — skip the O(nodes)
+    // hash passes entirely so cold mode measures pure model throughput.
+    let signatures: Vec<GraphSignature> = if shared.hashing_enabled {
+        batch.iter().map(|j| GraphSignature::of(&j.aig)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut served: Vec<Option<(Predictions, HitKind)>> = {
+        let mut cache = shared.cache.lock().expect("cache poisoned");
+        match cache.as_mut() {
+            Some(cache) => signatures.iter().map(|sig| cache.lookup(sig)).collect(),
+            None => vec![None; batch.len()],
+        }
+    };
+
+    // Phase 2: one coalesced forward pass over the misses. Duplicate
+    // submissions inside the batch (the common hammering pattern) share a
+    // single forward slot, so they are answered without extra model work
+    // and report as structural-hash hits just like phase-1 resolutions.
+    let mut hit_flags: Vec<bool> = served.iter().map(Option::is_some).collect();
+    let miss_idx: Vec<usize> = (0..batch.len()).filter(|&i| !hit_flags[i]).collect();
+    if !miss_idx.is_empty() {
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(miss_idx.len());
+        if shared.hashing_enabled {
+            let mut seen: FxHashMap<(u64, u64), usize> = FxHashMap::default();
+            for &i in &miss_idx {
+                let sig = &signatures[i];
+                let key = (sig.key.fingerprint, sig.identity);
+                match seen.get(&key) {
+                    Some(&slot) => {
+                        slot_of.push(slot);
+                        hit_flags[i] = true; // coalesced duplicate
+                    }
+                    None => {
+                        seen.insert(key, unique.len());
+                        slot_of.push(unique.len());
+                        unique.push(i);
+                    }
+                }
+            }
+        } else {
+            // Cold mode: no signatures, no coalescing — one slot per job.
+            for &i in &miss_idx {
+                slot_of.push(unique.len());
+                unique.push(i);
+            }
+        }
+        let aigs: Vec<&Aig> = unique.iter().map(|&i| &batch[i].aig).collect();
+        let fresh = model.predict_batch(&aigs);
+        shared
+            .counters
+            .forward_passes
+            .fetch_add(1, Ordering::Relaxed);
+        {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            if let Some(cache) = cache.as_mut() {
+                for (&i, preds) in unique.iter().zip(&fresh) {
+                    cache.insert(&signatures[i], preds.clone());
+                }
+            }
+        }
+        for (pos, &i) in miss_idx.iter().enumerate() {
+            served[i] = Some((fresh[slot_of[pos]].clone(), HitKind::Verbatim));
+        }
+        shared
+            .counters
+            .cache_misses
+            .fetch_add(unique.len() as u64, Ordering::Relaxed);
+    }
+    let hits = hit_flags.iter().filter(|&&h| h).count() as u64;
+    shared
+        .counters
+        .cache_hits
+        .fetch_add(hits, Ordering::Relaxed);
+
+    // Phase 3: per-job post-processing and fan-out.
+    for ((job, slot), cache_hit) in batch.into_iter().zip(served).zip(hit_flags) {
+        let (predictions, _) = slot.expect("every job resolved");
+        let adders = match job.kind {
+            AnalysisKind::Classify => None,
+            AnalysisKind::ExtractAdders => {
+                let mut adders = extract_from_predictions(&job.aig, &predictions);
+                lsb_correction(&job.aig, &mut adders);
+                Some(adders)
+            }
+        };
+        let out = JobOutput {
+            predictions,
+            adders,
+            cache_hit,
+            latency_micros: job.submitted.elapsed().as_micros() as u64,
+        };
+        shared.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        let _ = job.tx.send(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora::{ModelDepth, ReasonerConfig, TrainConfig};
+    use gamora_circuits::csa_multiplier;
+
+    fn tiny_trained() -> GamoraReasoner {
+        let m = csa_multiplier(3);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(
+            &[&m.aig],
+            &TrainConfig {
+                epochs: 15,
+                log_every: 0,
+                ..TrainConfig::default()
+            },
+        );
+        reasoner
+    }
+
+    #[test]
+    fn served_predictions_match_in_process() {
+        let reasoner = tiny_trained();
+        let mut solo = reasoner.clone();
+        let subject = csa_multiplier(4);
+        let expected = solo.predict(&subject.aig);
+
+        let server = Server::start(reasoner, ServeConfig::default());
+        let out = server
+            .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .wait();
+        assert!(!out.cache_hit);
+        assert_eq!(out.predictions.root_leaf, expected.root_leaf);
+        assert_eq!(out.predictions.is_xor, expected.is_xor);
+        assert_eq!(out.predictions.is_maj, expected.is_maj);
+        assert!(out.adders.is_none());
+    }
+
+    #[test]
+    fn repeat_submission_is_a_cache_hit_with_no_extra_forward() {
+        let server = Server::start(tiny_trained(), ServeConfig::default());
+        let subject = csa_multiplier(4);
+        let first = server
+            .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .wait();
+        assert!(!first.cache_hit);
+        let passes_after_first = server.stats().forward_passes;
+        assert_eq!(passes_after_first, 1);
+
+        let second = server
+            .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .wait();
+        assert!(
+            second.cache_hit,
+            "repeat submission must be served from cache"
+        );
+        assert_eq!(second.predictions.root_leaf, first.predictions.root_leaf);
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.forward_passes, passes_after_first,
+            "cache hit must not run the model"
+        );
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.jobs, 2);
+    }
+
+    #[test]
+    fn extraction_jobs_return_postprocessed_adders() {
+        let server = Server::start(tiny_trained(), ServeConfig::default());
+        let subject = csa_multiplier(4);
+        let out = server
+            .submit(subject.aig.clone(), AnalysisKind::ExtractAdders)
+            .wait();
+        let adders = out.adders.expect("extraction requested");
+        assert!(!adders.is_empty(), "a 4-bit CSA multiplier contains adders");
+    }
+
+    #[test]
+    fn distinct_graphs_coalesce_into_one_batch() {
+        // One worker + a pre-filled queue: all jobs land in one batch and
+        // therefore one forward pass.
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 16,
+                workers: 1,
+                cache_capacity: 16,
+            },
+        );
+        let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (2..6usize)
+            .map(|b| (csa_multiplier(b).aig, AnalysisKind::Classify))
+            .collect();
+        let outs = server.submit_all(jobs);
+        assert_eq!(outs.len(), 4);
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(
+            stats.forward_passes, 1,
+            "an atomic burst under one idle worker coalesces into one pass"
+        );
+    }
+
+    #[test]
+    fn duplicate_submissions_in_one_burst_share_a_forward_slot() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 8,
+                workers: 1,
+                cache_capacity: 8,
+            },
+        );
+        let aig = csa_multiplier(3).aig;
+        let outs = server.submit_all(vec![
+            (aig.clone(), AnalysisKind::Classify),
+            (aig.clone(), AnalysisKind::Classify),
+            (aig.clone(), AnalysisKind::Classify),
+        ]);
+        assert_eq!(outs[0].predictions.root_leaf, outs[1].predictions.root_leaf);
+        assert!(!outs[0].cache_hit);
+        assert!(outs[1].cache_hit && outs[2].cache_hit);
+        let stats = server.shutdown();
+        assert_eq!(stats.forward_passes, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_all_structural_reuse() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 1,
+                workers: 1,
+                cache_capacity: 0,
+            },
+        );
+        let aig = csa_multiplier(3).aig;
+        let a = server.submit(aig.clone(), AnalysisKind::Classify).wait();
+        let b = server.submit(aig.clone(), AnalysisKind::Classify).wait();
+        assert!(!a.cache_hit && !b.cache_hit);
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.forward_passes, 2,
+            "cold mode must run the model per job"
+        );
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn worker_pool_answers_everything_under_contention() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 4,
+                workers: 3,
+                cache_capacity: 8,
+            },
+        );
+        // 3 distinct graphs, resubmitted 4x each.
+        let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (0..12usize)
+            .map(|i| (csa_multiplier(2 + i % 3).aig, AnalysisKind::Classify))
+            .collect();
+        let outs = server.submit_all(jobs);
+        assert_eq!(outs.len(), 12);
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs, 12);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 12);
+        assert!(stats.cache_misses >= 3, "three distinct graphs");
+    }
+}

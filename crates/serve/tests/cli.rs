@@ -1,0 +1,191 @@
+//! End-to-end test of the `gamora` binary: a model trained and saved by
+//! one process is reloaded by a fresh process (the binary), serves AIGER
+//! submissions with *exactly* the in-process evaluation scores, and
+//! answers repeated submissions from the structural-hash cache without
+//! additional forward passes.
+
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_aig::aiger;
+use gamora_circuits::csa_multiplier;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gamora-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn train_small() -> GamoraReasoner {
+    let train: Vec<_> = [3usize, 4].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &refs,
+        &TrainConfig {
+            epochs: 120,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+}
+
+#[test]
+fn saved_model_served_by_binary_reproduces_in_process_scores() {
+    let dir = tmpdir("infer");
+    let reasoner = train_small();
+
+    // In-process reference score on a held-out workload.
+    let subject = csa_multiplier(6);
+    let expected = reasoner.clone().evaluate(&subject.aig);
+
+    // Persist the model and the workload.
+    let model_path = dir.join("model.gsnap");
+    reasoner.save(&model_path).unwrap();
+    let aag_path = dir.join("subject.aag");
+    let mut buf = Vec::new();
+    aiger::write_ascii(&subject.aig, &mut buf).unwrap();
+    std::fs::write(&aag_path, &buf).unwrap();
+
+    // Fresh process: serve the same file twice through the binary.
+    let out = Command::new(env!("CARGO_BIN_EXE_gamora"))
+        .args(["infer", "--score", "--compact", "--batch", "4", "--model"])
+        .arg(&model_path)
+        .arg(&aag_path)
+        .arg(&aag_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "infer failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    // Exact score reproduction: the binary's mean accuracy string is the
+    // shortest-roundtrip rendering of the identical f64.
+    let mean_field = format!("\"mean\":{}", render_f64(expected.mean()));
+    assert_eq!(
+        stdout.matches(&mean_field).count(),
+        2,
+        "both submissions must report exactly the in-process mean accuracy \
+         ({mean_field}); got: {stdout}"
+    );
+
+    // Cache behaviour: first submission misses, the repeat hits, and the
+    // whole run needs exactly one forward pass.
+    assert!(stdout.contains("\"cache_hit\":false"), "{stdout}");
+    assert!(stdout.contains("\"cache_hit\":true"), "{stdout}");
+    assert!(stdout.contains("\"forward_passes\":1"), "{stdout}");
+    assert!(stdout.contains("\"cache_hits\":1"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Mirrors the binary's JSON number rendering (integers without a point).
+fn render_f64(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[test]
+fn corrupt_snapshot_is_rejected_by_the_binary() {
+    let dir = tmpdir("corrupt");
+    let model_path = dir.join("model.gsnap");
+    train_small().save(&model_path).unwrap();
+
+    let mut bytes = std::fs::read(&model_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&model_path, &bytes).unwrap();
+
+    let aag_path = dir.join("x.aag");
+    let mut buf = Vec::new();
+    aiger::write_ascii(&csa_multiplier(3).aig, &mut buf).unwrap();
+    std::fs::write(&aag_path, &buf).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_gamora"))
+        .args(["infer", "--model"])
+        .arg(&model_path)
+        .arg(&aag_path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "corrupt snapshot must not serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt") || stderr.contains("checksum"),
+        "diagnostic should name the corruption: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_serve_reports_cold_and_hot_throughput() {
+    let dir = tmpdir("bench");
+    let model_path = dir.join("model.gsnap");
+    train_small().save(&model_path).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_gamora"))
+        .args([
+            "bench-serve",
+            "--bits",
+            "4",
+            "--count",
+            "8",
+            "--batches",
+            "1,4",
+            "--model",
+        ])
+        .arg(&model_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "bench-serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"cold_aigs_per_sec\""), "{stdout}");
+    assert!(stdout.contains("\"hot_aigs_per_sec\""), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_subcommand_writes_a_loadable_snapshot() {
+    let dir = tmpdir("train");
+    let model_path = dir.join("model.gsnap");
+    let out = Command::new(env!("CARGO_BIN_EXE_gamora"))
+        .args([
+            "train", "--bits", "3", "--epochs", "10", "--depth", "2x8", "--quiet", "--out",
+        ])
+        .arg(&model_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reasoner = GamoraReasoner::load(&model_path).expect("snapshot loads");
+    assert_eq!(
+        reasoner.config().depth,
+        ModelDepth::Custom {
+            layers: 2,
+            hidden: 8
+        }
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

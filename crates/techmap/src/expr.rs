@@ -258,11 +258,12 @@ impl Expr {
             Expr::Const(_) => None,
             Expr::Pin(i) => Some(*i),
             Expr::Not(e) => e.max_pin(),
-            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => match (a.max_pin(), b.max_pin())
-            {
-                (Some(x), Some(y)) => Some(x.max(y)),
-                (x, y) => x.or(y),
-            },
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                match (a.max_pin(), b.max_pin()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
         }
     }
 }

@@ -56,7 +56,11 @@ pub struct ParseGenlibError {
 
 impl fmt::Display for ParseGenlibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "genlib parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "genlib parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -93,7 +97,9 @@ impl Library {
                 message,
             };
             let mut parts = rest.split_whitespace();
-            let cell_name = parts.next().ok_or_else(|| err("missing gate name".into()))?;
+            let cell_name = parts
+                .next()
+                .ok_or_else(|| err("missing gate name".into()))?;
             let area: f64 = parts
                 .next()
                 .ok_or_else(|| err("missing area".into()))?
@@ -109,8 +115,8 @@ impl Library {
                 .split_once('=')
                 .ok_or_else(|| err("formula must be OUT=expr".into()))?;
             let mut pins = Vec::new();
-            let expr = parse_expr(body, &mut pins)
-                .map_err(|e: ParseExprError| err(e.to_string()))?;
+            let expr =
+                parse_expr(body, &mut pins).map_err(|e: ParseExprError| err(e.to_string()))?;
             cells.push(Cell {
                 name: cell_name.to_string(),
                 area,
@@ -245,9 +251,7 @@ GATE MUXI2x1  6   O=!(s*a+!s*b);
         self.cells
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                !c.is_multi_output() && c.num_pins() == 1 && c.truth_table(0) == 0x1
-            })
+            .filter(|(_, c)| !c.is_multi_output() && c.num_pins() == 1 && c.truth_table(0) == 0x1)
             .min_by(|a, b| a.1.area.total_cmp(&b.1.area))
             .map(|(i, _)| i)
             .expect("library must contain an inverter")
@@ -323,7 +327,10 @@ mod tests {
 
     #[test]
     fn inverter_lookup() {
-        assert_eq!(Library::simple().cells[Library::simple().inverter()].name, "inv1");
+        assert_eq!(
+            Library::simple().cells[Library::simple().inverter()].name,
+            "inv1"
+        );
         let lib = Library::complex7nm();
         assert_eq!(lib.cells[lib.inverter()].name, "INVx1");
     }

@@ -83,8 +83,10 @@ impl MappedNetlist {
         for i in &self.instances {
             *counts.entry(&self.library.cells[i.cell].name).or_default() += 1;
         }
-        let mut out: Vec<(String, usize)> =
-            counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -186,7 +188,10 @@ struct AdderMatch {
 ///
 /// Panics if `params.max_cut > 4` or the library lacks an inverter.
 pub fn map(aig: &Aig, library: &Library, params: &MapParams) -> MappedNetlist {
-    assert!(params.max_cut >= 2 && params.max_cut <= 4, "NPN matching supports cuts of 2..=4");
+    assert!(
+        params.max_cut >= 2 && params.max_cut <= 4,
+        "NPN matching supports cuts of 2..=4"
+    );
     let inv_cell = library.inverter();
     let inv_area = library.cells[inv_cell].area;
 
@@ -219,8 +224,7 @@ pub fn map(aig: &Aig, library: &Library, params: &MapParams) -> MappedNetlist {
                         None => continue,
                     },
                 };
-                let leaves: Vec<NodeId> =
-                    a.leaf_slice().iter().map(|&l| NodeId::new(l)).collect();
+                let leaves: Vec<NodeId> = a.leaf_slice().iter().map(|&l| NodeId::new(l)).collect();
                 let k = leaves.len();
                 let Some(sum_tt) = cone_function(aig, a.sum.lit(), &leaves) else {
                     continue;
@@ -238,7 +242,9 @@ pub fn map(aig: &Aig, library: &Library, params: &MapParams) -> MappedNetlist {
                         }
                     }
                 }
-                let Some((mask, carry_neg)) = found else { continue };
+                let Some((mask, carry_neg)) = found else {
+                    continue;
+                };
                 let sum_neg = tt::transform(base_sum, k, &id, mask, false) != sum_tt;
                 // Confirm the sum is consistent under the same mask.
                 if tt::transform(base_sum, k, &id, mask, sum_neg) != sum_tt {
@@ -356,7 +362,13 @@ pub fn map(aig: &Aig, library: &Library, params: &MapParams) -> MappedNetlist {
                         for (i, &leaf) in am.leaves.iter().enumerate() {
                             total += cost[leaf as usize][am.neg[i] as usize];
                         }
-                        relax(&mut cost[v], &mut choice[v], ph, total, Choice::AdderCell { adder: ai });
+                        relax(
+                            &mut cost[v],
+                            &mut choice[v],
+                            ph,
+                            total,
+                            Choice::AdderCell { adder: ai },
+                        );
                     }
                 }
                 // Phase closure through an inverter.
@@ -569,7 +581,11 @@ mod tests {
         let m = csa_multiplier(6);
         let mapped = roundtrip_equivalent(&m.aig, &Library::complex7nm(), &MapParams::default());
         let hist = mapped.cell_histogram();
-        let fadds = hist.iter().find(|(n, _)| n == "FADDx1").map(|&(_, c)| c).unwrap_or(0);
+        let fadds = hist
+            .iter()
+            .find(|(n, _)| n == "FADDx1")
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
         assert!(fadds > 0, "expected FADD cells, got {hist:?}");
     }
 

@@ -14,7 +14,10 @@ use gamora_exact::build_tree;
 
 fn main() {
     // Train on small, clean multipliers only.
-    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train: Vec<_> = [3usize, 4, 5, 6]
+        .iter()
+        .map(|&b| csa_multiplier(b))
+        .collect();
     let train_refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
     println!("training on {} small CSA multipliers ...", train.len());
@@ -29,7 +32,10 @@ fn main() {
     // Reverse engineer unseen, composite datapaths.
     let mac = multiply_accumulate(8);
     let dot = dot_product(6, 4);
-    for (name, circuit) in [("8-bit MAC (a*b + c)", &mac), ("4-lane 6-bit dot product", &dot)] {
+    for (name, circuit) in [
+        ("8-bit MAC (a*b + c)", &mac),
+        ("4-lane 6-bit dot product", &dot),
+    ] {
         println!("\n=== {name}: {} ===", circuit.aig.stats());
         let eval = reasoner.evaluate(&circuit.aig);
         println!("node annotation:     {eval}");

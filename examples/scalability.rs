@@ -19,7 +19,13 @@ fn main() {
     let train: Vec<_> = [4usize, 6, 8].iter().map(|&b| csa_multiplier(b)).collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     eprintln!("training once on 4-8 bit multipliers ...");
-    reasoner.fit(&refs, &TrainConfig { epochs: 250, ..TrainConfig::default() });
+    reasoner.fit(
+        &refs,
+        &TrainConfig {
+            epochs: 250,
+            ..TrainConfig::default()
+        },
+    );
 
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",

@@ -27,7 +27,10 @@ fn main() {
     // Show what mapping does to the netlist.
     let m8 = csa_multiplier(8);
     println!("original 8-bit CSA multiplier: {}", m8.aig.stats());
-    for (name, lib) in [("simple (mcnc-style)", &simple), ("complex (ASAP7-style)", &complex)] {
+    for (name, lib) in [
+        ("simple (mcnc-style)", &simple),
+        ("complex (ASAP7-style)", &complex),
+    ] {
         let mapped = map(&m8.aig, lib, &MapParams::default());
         println!(
             "\nmapped with {name}: {} instances, area {:.0}",
@@ -53,11 +56,20 @@ fn main() {
     unmapped_model.fit(&train_refs, &cfg);
 
     println!("\n-- generalisation of the unmapped-trained model --");
-    println!("unmapped 8-bit:        {}", unmapped_model.evaluate(&m8.aig));
+    println!(
+        "unmapped 8-bit:        {}",
+        unmapped_model.evaluate(&m8.aig)
+    );
     let simple_mapped = mapped_aig(8, &simple);
-    println!("simple-mapped 8-bit:   {}", unmapped_model.evaluate(&simple_mapped));
+    println!(
+        "simple-mapped 8-bit:   {}",
+        unmapped_model.evaluate(&simple_mapped)
+    );
     let complex_mapped = mapped_aig(8, &complex);
-    println!("complex-mapped 8-bit:  {}", unmapped_model.evaluate(&complex_mapped));
+    println!(
+        "complex-mapped 8-bit:  {}",
+        unmapped_model.evaluate(&complex_mapped)
+    );
 
     // Retrain on mapped netlists.
     for (name, lib) in [("simple", &simple), ("complex", &complex)] {

@@ -14,7 +14,9 @@
 //!
 //! Run with: `cargo run --release --example verify_multiplier`
 
-use gamora::{extract_from_predictions, lsb_correction, GamoraReasoner, ReasonerConfig, TrainConfig};
+use gamora::{
+    extract_from_predictions, lsb_correction, GamoraReasoner, ReasonerConfig, TrainConfig,
+};
 use gamora_circuits::csa_multiplier;
 use gamora_sca::{product_spec, verify, RewriteParams};
 use std::time::Instant;
@@ -45,9 +47,18 @@ fn main() {
 
     // 3. Gamora-assisted
     let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
-    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train: Vec<_> = [3usize, 4, 5, 6]
+        .iter()
+        .map(|&b| csa_multiplier(b))
+        .collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
-    reasoner.fit(&refs, &TrainConfig { epochs: 300, ..TrainConfig::default() });
+    reasoner.fit(
+        &refs,
+        &TrainConfig {
+            epochs: 300,
+            ..TrainConfig::default()
+        },
+    );
     let t = Instant::now();
     let preds = reasoner.predict(&m.aig);
     let mut adders = extract_from_predictions(&m.aig, &preds);

@@ -1,9 +1,10 @@
 //! Umbrella crate for the Gamora reproduction: re-exports every workspace
 //! crate so examples and integration tests can use one import root.
+pub use gamora as core;
 pub use gamora_aig as aig;
 pub use gamora_circuits as circuits;
 pub use gamora_exact as exact;
 pub use gamora_gnn as gnn;
 pub use gamora_sca as sca;
+pub use gamora_serve as serve;
 pub use gamora_techmap as techmap;
-pub use gamora as core;

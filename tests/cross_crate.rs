@@ -67,8 +67,13 @@ fn sca_verifies_post_mapping_netlists() {
         let back = mapped.to_aig();
         // Input order is preserved by construction; verify directly.
         let analysis = gamora_exact::analyze(&back);
-        let report = verify(&back, &spec, Some(&analysis.adders), &RewriteParams::default())
-            .expect("within budget");
+        let report = verify(
+            &back,
+            &spec,
+            Some(&analysis.adders),
+            &RewriteParams::default(),
+        )
+        .expect("within budget");
         assert!(report.equivalent, "{}: {report}", lib.name);
     }
 }
@@ -81,7 +86,13 @@ fn assisted_rewriting_is_cheaper() {
     let spec = product_spec(&m.a, &m.b);
     let naive = verify(&m.aig, &spec, None, &RewriteParams::default()).unwrap();
     let analysis = gamora_exact::analyze(&m.aig);
-    let aware = verify(&m.aig, &spec, Some(&analysis.adders), &RewriteParams::default()).unwrap();
+    let aware = verify(
+        &m.aig,
+        &spec,
+        Some(&analysis.adders),
+        &RewriteParams::default(),
+    )
+    .unwrap();
     assert!(naive.equivalent && aware.equivalent);
     assert!(aware.stats.substitutions < naive.stats.substitutions);
     assert!(aware.stats.peak_terms <= naive.stats.peak_terms);
@@ -107,10 +118,7 @@ fn exact_extraction_matches_provenance_matrix() {
                     .real_adders()
                     .map(|r| (r.sum.var(), r.carry.var())),
             );
-            assert!(
-                cmp.recall() >= min_recall,
-                "{kind} {bits}-bit: {cmp}"
-            );
+            assert!(cmp.recall() >= min_recall, "{kind} {bits}-bit: {cmp}");
         }
     }
 }
@@ -143,6 +151,12 @@ fn alternative_architectures_are_extractable() {
 
     // And the Dadda product is algebraically correct.
     let spec = product_spec(&dadda.a, &dadda.b);
-    let report = verify(&dadda.aig, &spec, Some(&gamora_exact::analyze(&dadda.aig).adders), &RewriteParams::default()).unwrap();
+    let report = verify(
+        &dadda.aig,
+        &spec,
+        Some(&gamora_exact::analyze(&dadda.aig).adders),
+        &RewriteParams::default(),
+    )
+    .unwrap();
     assert!(report.equivalent, "{report}");
 }

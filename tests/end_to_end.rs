@@ -1,10 +1,15 @@
 //! End-to-end integration: train Gamora on small multipliers, reason about
-//! larger ones, extract adder trees — the full pipeline of the paper.
+//! larger ones, extract adder trees — the full pipeline of the paper —
+//! plus the serve-path round trips (AIGER ingest, model snapshots, and the
+//! structural-hash prediction cache of `gamora-serve`).
 
 use gamora::{
-    compare_extraction, lsb_correction, GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig,
+    compare_extraction, extract_from_predictions, lsb_correction, snapshot, GamoraReasoner,
+    ModelDepth, ReasonerConfig, SnapshotError, TrainConfig,
 };
+use gamora_aig::aiger;
 use gamora_circuits::{booth_multiplier, csa_multiplier};
+use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
 
 fn train_cfg(epochs: usize) -> TrainConfig {
     TrainConfig {
@@ -17,7 +22,10 @@ fn train_cfg(epochs: usize) -> TrainConfig {
 /// generalises to a 32-bit multiplier with near-perfect node accuracy.
 #[test]
 fn csa_generalisation_small_to_large() {
-    let train: Vec<_> = [3usize, 4, 5, 6, 7, 8].iter().map(|&b| csa_multiplier(b)).collect();
+    let train: Vec<_> = [3usize, 4, 5, 6, 7, 8]
+        .iter()
+        .map(|&b| csa_multiplier(b))
+        .collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
     reasoner.fit(&refs, &train_cfg(300));
@@ -32,7 +40,10 @@ fn csa_generalisation_small_to_large() {
 /// LSB post-processing closes the systematic shallow misses.
 #[test]
 fn extraction_recall_with_postprocessing() {
-    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train: Vec<_> = [3usize, 4, 5, 6]
+        .iter()
+        .map(|&b| csa_multiplier(b))
+        .collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     let mut reasoner = GamoraReasoner::new(ReasonerConfig::default());
     reasoner.fit(&refs, &train_cfg(300));
@@ -62,10 +73,16 @@ fn extraction_recall_with_postprocessing() {
 /// on 16-bit.
 #[test]
 fn booth_needs_capacity_but_generalises() {
-    let train: Vec<_> = [6usize, 8, 10].iter().map(|&b| booth_multiplier(b)).collect();
+    let train: Vec<_> = [6usize, 8, 10]
+        .iter()
+        .map(|&b| booth_multiplier(b))
+        .collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     let mut reasoner = GamoraReasoner::new(ReasonerConfig {
-        depth: ModelDepth::Custom { layers: 6, hidden: 48 },
+        depth: ModelDepth::Custom {
+            layers: 6,
+            hidden: 48,
+        },
         ..ReasonerConfig::default()
     });
     reasoner.fit(&refs, &train_cfg(260));
@@ -73,11 +90,137 @@ fn booth_needs_capacity_but_generalises() {
     assert!(eval.mean() > 0.9, "Booth 16-bit: {eval}");
 }
 
+fn quick_reasoner() -> GamoraReasoner {
+    let train: Vec<_> = [3usize, 4].iter().map(|&b| csa_multiplier(b)).collect();
+    let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(&refs, &train_cfg(120));
+    reasoner
+}
+
+/// The full serving round trip: a netlist written to AIGER, parsed back,
+/// predicted on by a snapshot-restored model, and extracted — with results
+/// identical to the in-process pipeline at every step.
+#[test]
+fn aiger_parse_predict_extract_roundtrip() {
+    let mut reasoner = quick_reasoner();
+    let subject = csa_multiplier(8);
+
+    // In-process reference: predict + extract + LSB post-processing.
+    let expected_preds = reasoner.predict(&subject.aig);
+    let mut expected_adders = extract_from_predictions(&subject.aig, &expected_preds);
+    lsb_correction(&subject.aig, &mut expected_adders);
+
+    // AIGER round trip (ASCII is the identity on canonical netlists).
+    let mut buf = Vec::new();
+    aiger::write_ascii(&subject.aig, &mut buf).unwrap();
+    let parsed = aiger::read(&buf[..]).unwrap();
+    assert_eq!(parsed.num_nodes(), subject.aig.num_nodes());
+
+    // Snapshot round trip into a fresh reasoner.
+    let mut snap = Vec::new();
+    snapshot::write_snapshot(&reasoner, &mut snap).unwrap();
+    let restored = snapshot::read_snapshot(&snap[..]).unwrap();
+
+    // Serve the parsed netlist with the restored model.
+    let server = Server::start(restored, ServeConfig::default());
+    let out = server.submit(parsed, AnalysisKind::ExtractAdders).wait();
+    assert_eq!(out.predictions.root_leaf, expected_preds.root_leaf);
+    assert_eq!(out.predictions.is_xor, expected_preds.is_xor);
+    assert_eq!(out.predictions.is_maj, expected_preds.is_maj);
+    let served_adders = out.adders.expect("extraction requested");
+    let served_pairs: Vec<_> = served_adders.iter().map(|a| (a.sum, a.carry)).collect();
+    let expected_pairs: Vec<_> = expected_adders.iter().map(|a| (a.sum, a.carry)).collect();
+    assert_eq!(served_pairs, expected_pairs);
+}
+
+/// Repeated submissions are answered from the structural-hash cache with
+/// zero additional forward passes; distinct netlists miss.
+#[test]
+fn serve_cache_hit_and_miss_accounting() {
+    let server = Server::start(quick_reasoner(), ServeConfig::default());
+    let subject = csa_multiplier(6);
+
+    let first = server
+        .submit(subject.aig.clone(), AnalysisKind::Classify)
+        .wait();
+    assert!(!first.cache_hit);
+    let baseline = server.stats().forward_passes;
+
+    // Repeat: cache hit, forward-pass counter frozen.
+    let repeat = server
+        .submit(subject.aig.clone(), AnalysisKind::Classify)
+        .wait();
+    assert!(repeat.cache_hit);
+    assert_eq!(repeat.predictions.root_leaf, first.predictions.root_leaf);
+    assert_eq!(
+        server.stats().forward_passes,
+        baseline,
+        "cache hits must not run the GNN"
+    );
+
+    // A renumbered isomorph (binary AIGER round trip) also hits.
+    let mut buf = Vec::new();
+    aiger::write_binary(&subject.aig, &mut buf).unwrap();
+    let isomorph = aiger::read(&buf[..]).unwrap();
+    let transferred = server.submit(isomorph, AnalysisKind::Classify).wait();
+    assert!(
+        transferred.cache_hit,
+        "isomorphic submission should be cache-served"
+    );
+    assert_eq!(server.stats().forward_passes, baseline);
+
+    // A different netlist is a genuine miss.
+    let other = server
+        .submit(csa_multiplier(5).aig, AnalysisKind::Classify)
+        .wait();
+    assert!(!other.cache_hit);
+    let stats = server.shutdown();
+    assert_eq!(stats.forward_passes, baseline + 1);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+/// A corrupted snapshot never loads: any bit flip trips the checksum (or
+/// an earlier structural check), and truncation is caught too.
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let reasoner = quick_reasoner();
+    let mut pristine = Vec::new();
+    snapshot::write_snapshot(&reasoner, &mut pristine).unwrap();
+    assert!(snapshot::read_snapshot(&pristine[..]).is_ok());
+
+    for pos in [9usize, 30, pristine.len() / 3, pristine.len() - 10] {
+        let mut bad = pristine.clone();
+        bad[pos] ^= 0x08;
+        assert!(
+            snapshot::read_snapshot(&bad[..]).is_err(),
+            "bit flip at byte {pos} must be detected"
+        );
+    }
+
+    let mut truncated = pristine.clone();
+    truncated.truncate(truncated.len() / 2);
+    assert!(matches!(
+        snapshot::read_snapshot(&truncated[..]),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
+
 /// Multi-task training beats the collapsed single-task formulation on the
 /// same budget (the paper's Figure 4 claim).
 #[test]
 fn multi_task_beats_single_task() {
-    let train: Vec<_> = [3usize, 4, 5, 6].iter().map(|&b| csa_multiplier(b)).collect();
+    let train: Vec<_> = [3usize, 4, 5, 6]
+        .iter()
+        .map(|&b| csa_multiplier(b))
+        .collect();
     let refs: Vec<&gamora_aig::Aig> = train.iter().map(|m| &m.aig).collect();
     let subject = csa_multiplier(12);
 

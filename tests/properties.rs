@@ -17,7 +17,13 @@ struct Recipe {
 
 fn recipe() -> impl Strategy<Value = Recipe> {
     (2usize..6, 3usize..32, 1usize..4).prop_flat_map(|(num_inputs, num_steps, num_outputs)| {
-        let step = (0u8..6, any::<u16>(), any::<bool>(), any::<u16>(), any::<bool>());
+        let step = (
+            0u8..6,
+            any::<u16>(),
+            any::<bool>(),
+            any::<u16>(),
+            any::<bool>(),
+        );
         proptest::collection::vec(step, num_steps).prop_map(move |steps| Recipe {
             num_inputs,
             steps,
