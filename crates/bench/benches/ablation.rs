@@ -88,7 +88,7 @@ fn main() {
     table.print();
 
     println!("\n=== Ablation: LSB post-processing on extraction ===");
-    let mut r = train_reasoner(
+    let r = train_reasoner(
         MultiplierKind::Csa,
         &[4, 6, 8],
         gamora::ModelDepth::Shallow,

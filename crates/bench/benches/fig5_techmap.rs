@@ -74,8 +74,6 @@ fn main() {
             );
             eprintln!("  trained mapped model in {secs:.1}s");
             let mut table = Table::new(&["eval bits", "retrained (%)", "trained w/o mapping (%)"]);
-            let mut mapped_model = mapped_model;
-            let mut unmapped_model = unmapped_model;
             for &bits in &eval_widths {
                 let subject = mapped_aig(kind, bits, lib);
                 let labels = gamora_exact::analyze(&subject).labels;

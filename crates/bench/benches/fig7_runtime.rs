@@ -29,8 +29,8 @@ fn main() {
 
     println!("\n=== Figure 7: runtime comparison on CSA multipliers (scale {scale:?}) ===");
     eprintln!("training the reasoner once on 4-8 bit multipliers ...");
-    let mut reasoner = {
-        let mut r = train_reasoner(
+    let reasoner = {
+        let r = train_reasoner(
             MultiplierKind::Csa,
             &[4, 6, 8],
             ModelDepth::Shallow,

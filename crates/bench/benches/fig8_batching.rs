@@ -20,7 +20,7 @@ fn main() {
     const DEVICE_LIMIT: usize = 40 << 30; // the paper's A100 has 40 GB
 
     println!("\n=== Figure 8: batched reasoning (scale {scale:?}) ===");
-    let mut reasoner = train_reasoner(
+    let reasoner = train_reasoner(
         MultiplierKind::Csa,
         &[4, 6, 8],
         ModelDepth::Shallow,

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gamora::dataset::build_graph;
 use gamora::features::{build_features, FeatureMode};
 use gamora_circuits::csa_multiplier;
-use gamora_gnn::{Direction, Matrix, ModelConfig, MultiTaskSage};
+use gamora_gnn::{Direction, InferenceScratch, Matrix, ModelConfig, MultiTaskSage};
 use gamora_sca::{product_spec, verify, RewriteParams};
 use gamora_techmap::{map, Library, MapParams};
 use std::hint::black_box;
@@ -40,7 +40,7 @@ fn bench_gnn_forward(c: &mut Criterion) {
     let m = csa_multiplier(32);
     let graph = build_graph(&m.aig, Direction::Bidirectional);
     let x = build_features(&m.aig, FeatureMode::StructuralFunctional);
-    let mut model = MultiTaskSage::new(ModelConfig {
+    let model = MultiTaskSage::new(ModelConfig {
         in_dim: 3,
         hidden: 32,
         layers: 4,
@@ -49,7 +49,14 @@ fn bench_gnn_forward(c: &mut Criterion) {
         seed: 1,
     });
     c.bench_function("sage_forward_32 (4x32 model)", |b| {
-        b.iter(|| black_box(model.forward(&graph, &x, false)))
+        b.iter(|| black_box(model.forward(&graph, &x)))
+    });
+    let mut scratch = InferenceScratch::default();
+    model.infer(&graph, &x, &mut scratch); // warm the buffers
+    c.bench_function("sage_infer_32 (4x32 model, reused scratch)", |b| {
+        b.iter(|| {
+            model.infer(&graph, &x, &mut scratch);
+        })
     });
 }
 

@@ -13,6 +13,7 @@ use gamora::{FeatureMode, ModelDepth};
 use gamora_bench::{time, train_reasoner, workload, Scale, Table};
 use gamora_circuits::MultiplierKind;
 use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_env();
@@ -24,14 +25,16 @@ fn main() {
     println!(
         "\n=== Serving throughput: {count} x {bits}-bit CSA submissions (scale {scale:?}) ==="
     );
-    let reasoner = train_reasoner(
+    // One shared model for every server below: workers borrow it through
+    // the `Arc`, nobody clones the weights.
+    let reasoner = Arc::new(train_reasoner(
         MultiplierKind::Csa,
         &[4, 6, 8],
         ModelDepth::Shallow,
         FeatureMode::StructuralFunctional,
         true,
         epochs,
-    );
+    ));
     let subject = workload(MultiplierKind::Csa, bits);
     println!(
         "subject: {} nodes, {} ANDs; model: {} params",
@@ -54,12 +57,12 @@ fn main() {
                 let jobs = (0..n)
                     .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
                     .collect();
-                server.submit_all(jobs);
+                server.submit_all(jobs).expect("all jobs answered");
             }
         };
 
-        let cold_server = Server::start(
-            reasoner.clone(),
+        let cold_server = Server::start_shared(
+            Arc::clone(&reasoner),
             ServeConfig {
                 max_batch: batch,
                 workers: 1,
@@ -69,8 +72,8 @@ fn main() {
         let (_, cold_secs) = time(|| run(&cold_server));
         let cold_stats = cold_server.shutdown();
 
-        let hot_server = Server::start(
-            reasoner.clone(),
+        let hot_server = Server::start_shared(
+            Arc::clone(&reasoner),
             ServeConfig {
                 max_batch: batch,
                 workers: 1,
@@ -79,7 +82,8 @@ fn main() {
         );
         hot_server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
-            .wait();
+            .wait()
+            .expect("warmup job answered");
         let (_, hot_secs) = time(|| run(&hot_server));
         let hot_stats = hot_server.shutdown();
         assert_eq!(hot_stats.forward_passes, 1, "hot run must be cache-served");

@@ -58,4 +58,4 @@ pub use reasoner::{
 pub use snapshot::SnapshotError;
 
 // Re-export the neighbouring layers a user needs to drive the pipeline.
-pub use gamora_gnn::{Direction, TrainConfig, TrainReport};
+pub use gamora_gnn::{Direction, InferenceScratch, TrainConfig, TrainReport};

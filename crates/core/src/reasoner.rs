@@ -7,8 +7,8 @@ use crate::labels::{decode_joint, SINGLE_TASK_CLASSES, TASK_CLASSES};
 use gamora_aig::Aig;
 use gamora_gnn::loss::argmax;
 use gamora_gnn::{
-    train, Direction, Graph, GraphData, Matrix, ModelConfig, MultiTaskSage, TrainConfig,
-    TrainReport,
+    train, Direction, Graph, GraphData, InferenceScratch, Matrix, ModelConfig, MultiTaskSage,
+    TrainConfig, TrainReport,
 };
 
 /// Model capacity presets (paper §IV-A).
@@ -79,7 +79,7 @@ impl ReasonerConfig {
 }
 
 /// Per-node predictions for the three reasoning tasks.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Predictions {
     /// Task 1: root/leaf class index per node (see
     /// [`gamora_exact::RootLeafClass`]).
@@ -196,30 +196,104 @@ impl GamoraReasoner {
         cfg
     }
 
+    /// Creates a reusable inference workspace for this reasoner.
+    ///
+    /// Buffers are sized lazily on first use, so a fresh scratch is cheap;
+    /// the point is to *keep* one per worker/thread and pass it to the
+    /// `_with`/`_into` prediction variants, which then run allocation-free
+    /// once warmed up.
+    pub fn scratch(&self) -> InferenceScratch {
+        InferenceScratch::default()
+    }
+
     /// Predicts node functions for a netlist.
-    pub fn predict(&mut self, aig: &Aig) -> Predictions {
+    pub fn predict(&self, aig: &Aig) -> Predictions {
+        self.predict_with(&mut InferenceScratch::default(), aig)
+    }
+
+    /// [`GamoraReasoner::predict`] through a caller-owned workspace.
+    pub fn predict_with(&self, scratch: &mut InferenceScratch, aig: &Aig) -> Predictions {
         let (graph, features) =
             inference_graph(aig, self.config.feature_mode, self.config.direction);
-        self.predict_prepared(&graph, &features)
+        self.predict_prepared_with(scratch, &graph, &features)
     }
 
     /// Predicts node functions on a pre-built graph (or a batch built with
     /// [`crate::dataset::batch_graphs`]).
-    pub fn predict_prepared(&mut self, graph: &Graph, features: &Matrix) -> Predictions {
-        let logits = self.model.forward(graph, features, false);
-        self.logits_to_predictions(&logits)
+    pub fn predict_prepared(&self, graph: &Graph, features: &Matrix) -> Predictions {
+        self.predict_prepared_with(&mut InferenceScratch::default(), graph, features)
+    }
+
+    /// [`GamoraReasoner::predict_prepared`] through a caller-owned
+    /// workspace.
+    pub fn predict_prepared_with(
+        &self,
+        scratch: &mut InferenceScratch,
+        graph: &Graph,
+        features: &Matrix,
+    ) -> Predictions {
+        let mut out = Predictions::default();
+        self.predict_prepared_into(scratch, graph, features, &mut out);
+        out
+    }
+
+    /// The allocation-free hot path: predicts into a caller-owned
+    /// [`Predictions`] through a caller-owned workspace. After one warmup
+    /// call at a given graph size, subsequent calls at the same or smaller
+    /// size perform **zero heap allocations** (guarded by the
+    /// `alloc_regression` test) while the tensor kernels stay serial;
+    /// graphs large enough to cross `gamora_gnn::parallel`'s per-thread
+    /// row cutoff spawn scoped worker threads, which allocate.
+    pub fn predict_prepared_into(
+        &self,
+        scratch: &mut InferenceScratch,
+        graph: &Graph,
+        features: &Matrix,
+        out: &mut Predictions,
+    ) {
+        let logits = self.model.infer(graph, features, scratch);
+        let n = logits[0].rows();
+        out.root_leaf.clear();
+        out.is_xor.clear();
+        out.is_maj.clear();
+        out.root_leaf.reserve(n);
+        out.is_xor.reserve(n);
+        out.is_maj.reserve(n);
+        if self.config.multi_task {
+            for r in 0..n {
+                out.root_leaf.push(argmax(logits[0].row(r)) as u32);
+                out.is_xor.push(argmax(logits[1].row(r)) == 1);
+                out.is_maj.push(argmax(logits[2].row(r)) == 1);
+            }
+        } else {
+            for r in 0..n {
+                let (rl, xor, maj) = decode_joint(argmax(logits[0].row(r)) as u32);
+                out.root_leaf.push(rl);
+                out.is_xor.push(xor == 1);
+                out.is_maj.push(maj == 1);
+            }
+        }
     }
 
     /// Runs batched inference over several netlists in one forward pass
     /// (the paper's Figure 8 batching), returning per-netlist predictions.
-    pub fn predict_batch(&mut self, aigs: &[&Aig]) -> Vec<Predictions> {
+    pub fn predict_batch(&self, aigs: &[&Aig]) -> Vec<Predictions> {
+        self.predict_batch_with(&mut InferenceScratch::default(), aigs)
+    }
+
+    /// [`GamoraReasoner::predict_batch`] through a caller-owned workspace.
+    pub fn predict_batch_with(
+        &self,
+        scratch: &mut InferenceScratch,
+        aigs: &[&Aig],
+    ) -> Vec<Predictions> {
         let feats: Vec<Matrix> = aigs
             .iter()
             .map(|a| crate::features::build_features(a, self.config.feature_mode))
             .collect();
         let parts: Vec<(&Aig, &Matrix)> = aigs.iter().copied().zip(feats.iter()).collect();
         let (graph, features, offsets) = batch_graphs(&parts, self.config.direction);
-        let merged = self.predict_prepared(&graph, &features);
+        let merged = self.predict_prepared_with(scratch, &graph, &features);
         // Split back per netlist.
         let mut out = Vec::with_capacity(aigs.len());
         for (i, &aig) in aigs.iter().enumerate() {
@@ -234,32 +308,8 @@ impl GamoraReasoner {
         out
     }
 
-    fn logits_to_predictions(&self, logits: &[Matrix]) -> Predictions {
-        let n = logits[0].rows();
-        let mut preds = Predictions {
-            root_leaf: Vec::with_capacity(n),
-            is_xor: Vec::with_capacity(n),
-            is_maj: Vec::with_capacity(n),
-        };
-        if self.config.multi_task {
-            for r in 0..n {
-                preds.root_leaf.push(argmax(logits[0].row(r)) as u32);
-                preds.is_xor.push(argmax(logits[1].row(r)) == 1);
-                preds.is_maj.push(argmax(logits[2].row(r)) == 1);
-            }
-        } else {
-            for r in 0..n {
-                let (rl, xor, maj) = decode_joint(argmax(logits[0].row(r)) as u32);
-                preds.root_leaf.push(rl);
-                preds.is_xor.push(xor == 1);
-                preds.is_maj.push(maj == 1);
-            }
-        }
-        preds
-    }
-
     /// Predicts and scores against exact ground truth.
-    pub fn evaluate(&mut self, aig: &Aig) -> EvalReport {
+    pub fn evaluate(&self, aig: &Aig) -> EvalReport {
         let preds = self.predict(aig);
         let analysis = gamora_exact::analyze(aig);
         score_predictions(&preds, &analysis.labels)
@@ -386,6 +436,48 @@ mod tests {
         let preds = reasoner.predict(&m.aig);
         assert_eq!(preds.num_nodes(), m.aig.num_nodes());
         assert!(preds.root_leaf.iter().all(|&c| c < 4));
+    }
+
+    /// One scratch workspace reused across differently sized netlists (and
+    /// across `predict`/`predict_prepared_into`) yields predictions
+    /// bit-identical to fresh-scratch calls.
+    #[test]
+    fn reused_scratch_is_bit_identical() {
+        let m1 = csa_multiplier(3);
+        let m2 = csa_multiplier(5);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(
+            &[&m1.aig],
+            &TrainConfig {
+                epochs: 10,
+                ..quick_cfg()
+            },
+        );
+        let mut scratch = reasoner.scratch();
+        // Big netlist first, then a smaller one into the same buffers.
+        let big = reasoner.predict_with(&mut scratch, &m2.aig);
+        let small = reasoner.predict_with(&mut scratch, &m1.aig);
+        assert_eq!(big.root_leaf, reasoner.predict(&m2.aig).root_leaf);
+        assert_eq!(small.root_leaf, reasoner.predict(&m1.aig).root_leaf);
+
+        // The in-place variant refills a reused output without drift.
+        let (graph, features) = crate::dataset::inference_graph(
+            &m1.aig,
+            reasoner.config().feature_mode,
+            reasoner.config().direction,
+        );
+        let mut out = Predictions::default();
+        reasoner.predict_prepared_into(&mut scratch, &graph, &features, &mut out);
+        reasoner.predict_prepared_into(&mut scratch, &graph, &features, &mut out);
+        assert_eq!(out.root_leaf, small.root_leaf);
+        assert_eq!(out.is_xor, small.is_xor);
+        assert_eq!(out.is_maj, small.is_maj);
     }
 
     #[test]

@@ -389,7 +389,7 @@ mod tests {
         let reasoner = trained_reasoner();
         let mut buf = Vec::new();
         write_snapshot(&reasoner, &mut buf).unwrap();
-        let mut back = read_snapshot(&buf[..]).unwrap();
+        let back = read_snapshot(&buf[..]).unwrap();
 
         assert_eq!(back.config(), reasoner.config());
         let src: Vec<Vec<f32>> = reasoner
@@ -408,7 +408,7 @@ mod tests {
 
         // And behaviour matches exactly on a fresh workload.
         let subject = csa_multiplier(4);
-        let mut original = reasoner;
+        let original = reasoner;
         let a = original.predict(&subject.aig);
         let b = back.predict(&subject.aig);
         assert_eq!(a.root_leaf, b.root_leaf);

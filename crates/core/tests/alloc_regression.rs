@@ -1,0 +1,110 @@
+//! Steady-state allocation regression guard for the inference hot path.
+//!
+//! The whole point of the tape/scratch refactor is that a warmed-up
+//! `predict_prepared_into` call performs **zero** heap allocations: every
+//! buffer (per-layer activations, aggregation/concat scratch, logits, the
+//! output `Predictions`) is reused at its high-water capacity. This test
+//! installs a counting global allocator and fails if the steady state ever
+//! touches the heap again.
+//!
+//! It must stay the only `#[test]` in this binary: a global allocator is
+//! process-wide, and concurrent tests would perturb the counter. Counting
+//! is additionally gated on a thread-local flag so that only the
+//! measuring thread is observed — the libtest harness thread runs
+//! concurrently and its channel waits can allocate at arbitrary points.
+
+use gamora::{GamoraReasoner, ModelDepth, Predictions, ReasonerConfig, TrainConfig};
+use gamora_circuits::csa_multiplier;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Set only on the measuring thread, only around the measured window.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // `try_with` so allocations during TLS teardown never panic.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+/// System allocator wrapper that counts allocation calls on the opted-in
+/// thread (deallocations are free to happen; only new acquisitions
+/// indicate churn).
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting_here() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting_here() {
+            ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn predict_prepared_into_is_allocation_free_after_warmup() {
+    let m = csa_multiplier(4);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let reasoner = reasoner; // frozen: inference is `&self` from here on
+
+    let (graph, features) = gamora::dataset::inference_graph(
+        &m.aig,
+        reasoner.config().feature_mode,
+        reasoner.config().direction,
+    );
+    let mut scratch = reasoner.scratch();
+    let mut out = Predictions::default();
+
+    // Warmup: buffers grow to their high-water marks.
+    reasoner.predict_prepared_into(&mut scratch, &graph, &features, &mut out);
+    let expected = out.clone();
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..32 {
+        reasoner.predict_prepared_into(&mut scratch, &graph, &features, &mut out);
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state predict_prepared_into must not allocate"
+    );
+
+    // And the allocation-free passes still compute the right thing.
+    assert_eq!(out.root_leaf, expected.root_leaf);
+    assert_eq!(out.is_xor, expected.is_xor);
+    assert_eq!(out.is_maj, expected.is_maj);
+}

@@ -103,9 +103,21 @@ impl Graph {
     ///
     /// Panics if `h.rows() != num_nodes`.
     pub fn mean_aggregate(&self, h: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.mean_aggregate_into(h, &mut out);
+        out
+    }
+
+    /// [`Graph::mean_aggregate`] into a caller-owned buffer (no heap
+    /// allocation once `out` has enough capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows() != num_nodes`.
+    pub fn mean_aggregate_into(&self, h: &Matrix, out: &mut Matrix) {
         assert_eq!(h.rows(), self.num_nodes, "one embedding row per node");
         let dim = h.cols();
-        let mut out = Matrix::zeros(self.num_nodes, dim);
+        out.reset(self.num_nodes, dim);
         parallel::for_each_row(out.as_mut_slice(), dim.max(1), |v, row| {
             let neigh = self.neighbors(v);
             if neigh.is_empty() {
@@ -121,7 +133,6 @@ impl Graph {
                 *o *= inv;
             }
         });
-        out
     }
 
     /// Backward of [`Graph::mean_aggregate`]: given `d(out)`, returns

@@ -1,9 +1,26 @@
 //! Neural layers with explicit forward/backward passes: GraphSAGE
 //! convolution and dense linear layers.
+//!
+//! Layers are **immutable in the forward direction**: inference borrows a
+//! layer by `&self` and can write into caller-owned scratch buffers
+//! (`forward_into`), so one model instance can be shared read-only across
+//! threads. Training-mode forwards record activations on an external
+//! [`LinearTape`] owned by the trainer instead of inside the layer; the
+//! backward pass consumes that tape and accumulates gradients (`gw`/`gb`)
+//! in the layer for the optimiser.
 
 use crate::graph::Graph;
 use crate::tensor::Matrix;
 use rand::Rng;
+
+/// Activations recorded by a training-mode forward through one [`Linear`]
+/// (layer input and post-activation output), consumed by
+/// [`Linear::backward`]. Buffers are reused across training steps.
+#[derive(Clone, Debug, Default)]
+pub struct LinearTape {
+    x: Matrix,
+    y: Matrix,
+}
 
 /// A dense layer `y = act(x @ W + b)` with optional ReLU.
 #[derive(Clone, Debug)]
@@ -17,8 +34,6 @@ pub struct Linear {
     /// Bias gradient accumulator.
     pub gb: Vec<f32>,
     relu: bool,
-    cache_x: Matrix,
-    cache_y: Matrix,
 }
 
 impl Linear {
@@ -30,22 +45,32 @@ impl Linear {
             gw: Matrix::zeros(in_dim, out_dim),
             gb: vec![0.0; out_dim],
             relu,
-            cache_x: Matrix::zeros(0, 0),
-            cache_y: Matrix::zeros(0, 0),
         }
     }
 
-    /// Forward pass; caches activations when `train` is set.
-    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let mut y = x.matmul(&self.w);
+    /// Inference forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Inference forward pass into a caller-owned buffer (no heap
+    /// allocation once `y` has enough capacity).
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        x.matmul_into(&self.w, y);
         y.add_row_vector(&self.b);
         if self.relu {
-            y = y.relu();
+            y.relu_in_place();
         }
-        if train {
-            self.cache_x = x.clone();
-            self.cache_y = y.clone();
-        }
+    }
+
+    /// Training forward pass: records the input and output on `tape` for
+    /// the backward pass.
+    pub fn forward_train(&self, x: &Matrix, tape: &mut LinearTape) -> Matrix {
+        tape.x.copy_from(x);
+        let y = self.forward(x);
+        tape.y.copy_from(&y);
         y
     }
 
@@ -53,16 +78,16 @@ impl Linear {
     ///
     /// # Panics
     ///
-    /// Panics if called without a preceding training-mode forward.
-    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        assert!(self.cache_x.rows() > 0, "backward without cached forward");
+    /// Panics if `tape` was not filled by a preceding
+    /// [`Linear::forward_train`].
+    pub fn backward(&mut self, grad_out: &Matrix, tape: &LinearTape) -> Matrix {
+        assert!(tape.x.rows() > 0, "backward without a training forward");
         let grad_pre = if self.relu {
-            grad_out.relu_backward(&self.cache_y)
+            grad_out.relu_backward(&tape.y)
         } else {
             grad_out.clone()
         };
-        self.gw
-            .add_scaled(&self.cache_x.transpose_matmul(&grad_pre), 1.0);
+        self.gw.add_scaled(&tape.x.transpose_matmul(&grad_pre), 1.0);
         for (g, v) in self.gb.iter_mut().zip(grad_pre.column_sums()) {
             *g += v;
         }
@@ -100,6 +125,15 @@ impl Linear {
     }
 }
 
+/// Reusable aggregation/concatenation buffers for allocation-free SAGE
+/// forwards (shared by every layer of a model, since layers run in
+/// sequence).
+#[derive(Clone, Debug, Default)]
+pub struct SageScratch {
+    agg: Matrix,
+    concat: Matrix,
+}
+
 /// One GraphSAGE convolution (Hamilton et al., Eq. 1 of the paper):
 ///
 /// `h_v <- ReLU(W @ concat(h_v, mean_{u in N(v)} h_u) + b)`.
@@ -107,7 +141,6 @@ impl Linear {
 pub struct SageLayer {
     lin: Linear,
     in_dim: usize,
-    cache_input: Matrix,
 }
 
 impl SageLayer {
@@ -116,23 +149,40 @@ impl SageLayer {
         SageLayer {
             lin: Linear::new(2 * in_dim, out_dim, true, rng),
             in_dim,
-            cache_input: Matrix::zeros(0, 0),
         }
     }
 
-    /// Forward pass over a graph.
-    pub fn forward(&mut self, graph: &Graph, h: &Matrix, train: bool) -> Matrix {
+    /// Inference forward pass over a graph.
+    pub fn forward(&self, graph: &Graph, h: &Matrix) -> Matrix {
+        let mut ws = SageScratch::default();
+        let mut out = Matrix::default();
+        self.forward_into(graph, h, &mut ws, &mut out);
+        out
+    }
+
+    /// Inference forward pass into caller-owned buffers (no heap
+    /// allocation once `ws` and `out` have enough capacity).
+    pub fn forward_into(&self, graph: &Graph, h: &Matrix, ws: &mut SageScratch, out: &mut Matrix) {
+        graph.mean_aggregate_into(h, &mut ws.agg);
+        h.hconcat_into(&ws.agg, &mut ws.concat);
+        self.lin.forward_into(&ws.concat, out);
+    }
+
+    /// Training forward pass: records activations on `tape`.
+    pub fn forward_train(&self, graph: &Graph, h: &Matrix, tape: &mut LinearTape) -> Matrix {
         let h_n = graph.mean_aggregate(h);
         let concat = h.hconcat(&h_n);
-        if train {
-            self.cache_input = h.clone();
-        }
-        self.lin.forward(&concat, train)
+        self.lin.forward_train(&concat, tape)
     }
 
     /// Backward pass; returns the gradient w.r.t. the layer input.
-    pub fn backward(&mut self, graph: &Graph, grad_out: &Matrix) -> Matrix {
-        let grad_concat = self.lin.backward(grad_out);
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` was not filled by a preceding
+    /// [`SageLayer::forward_train`].
+    pub fn backward(&mut self, graph: &Graph, grad_out: &Matrix, tape: &LinearTape) -> Matrix {
+        let grad_concat = self.lin.backward(grad_out, tape);
         let (grad_self, grad_neigh) = grad_concat.hsplit(self.in_dim);
         let mut grad_h = grad_self;
         grad_h.add_scaled(&graph.mean_aggregate_backward(&grad_neigh), 1.0);
@@ -178,18 +228,18 @@ mod tests {
         let mut lin = Linear::new(3, 2, true, &mut rng);
         let x = Matrix::glorot(4, 3, &mut rng);
         // Loss = sum of outputs; d(loss)/d(y) = ones.
-        let loss =
-            |lin: &mut Linear, x: &Matrix| -> f32 { lin.forward(x, false).as_slice().iter().sum() };
-        let y = lin.forward(&x, true);
+        let loss = |lin: &Linear, x: &Matrix| -> f32 { lin.forward(x).as_slice().iter().sum() };
+        let mut tape = LinearTape::default();
+        let y = lin.forward_train(&x, &mut tape);
         let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
-        let gx = lin.backward(&ones);
+        let gx = lin.backward(&ones, &tape);
 
         let eps = 1e-3;
         // Check d(loss)/d(w[0,0]).
-        let base = loss(&mut lin, &x);
+        let base = loss(&lin, &x);
         let orig = lin.w.get(0, 0);
         lin.w.set(0, 0, orig + eps);
-        let plus = loss(&mut lin, &x);
+        let plus = loss(&lin, &x);
         lin.w.set(0, 0, orig);
         let numeric = (plus - base) / eps;
         let analytic = lin.gw.get(0, 0);
@@ -200,7 +250,7 @@ mod tests {
         // Check d(loss)/d(x[1,2]).
         let mut x2 = x.clone();
         x2.set(1, 2, x.get(1, 2) + eps);
-        let plus_x = loss(&mut lin, &x2);
+        let plus_x = loss(&lin, &x2);
         let numeric_x = (plus_x - base) / eps;
         let analytic_x = gx.get(1, 2);
         assert!(
@@ -221,24 +271,42 @@ mod tests {
         );
         let mut layer = SageLayer::new(2, 3, &mut rng);
         let x = Matrix::glorot(5, 2, &mut rng);
-        let loss = |l: &mut SageLayer, x: &Matrix| -> f32 {
-            l.forward(&graph, x, false).as_slice().iter().sum()
-        };
-        let y = layer.forward(&graph, &x, true);
+        let loss =
+            |l: &SageLayer, x: &Matrix| -> f32 { l.forward(&graph, x).as_slice().iter().sum() };
+        let mut tape = LinearTape::default();
+        let y = layer.forward_train(&graph, &x, &mut tape);
         let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
-        let gx = layer.backward(&graph, &ones);
+        let gx = layer.backward(&graph, &ones, &tape);
 
         let eps = 1e-3;
-        let base = loss(&mut layer, &x);
+        let base = loss(&layer, &x);
         for (r, c) in [(0usize, 0usize), (2, 1), (4, 0)] {
             let mut x2 = x.clone();
             x2.set(r, c, x.get(r, c) + eps);
-            let numeric = (loss(&mut layer, &x2) - base) / eps;
+            let numeric = (loss(&layer, &x2) - base) / eps;
             let analytic = gx.get(r, c);
             assert!(
                 (numeric - analytic).abs() < 2e-2,
                 "d(x[{r},{c}]) numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    /// The scratch-buffer forward is bit-identical to the allocating one,
+    /// including when the scratch is reused across differently sized
+    /// inputs.
+    #[test]
+    fn forward_into_matches_allocating_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let layer = SageLayer::new(3, 4, &mut rng);
+        let mut ws = SageScratch::default();
+        let mut out = Matrix::default();
+        for n in [7usize, 5, 9] {
+            let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let graph = Graph::from_edges(n, &edges, Direction::Bidirectional);
+            let h = Matrix::glorot(n, 3, &mut rng);
+            layer.forward_into(&graph, &h, &mut ws, &mut out);
+            assert_eq!(out, layer.forward(&graph, &h), "n = {n}");
         }
     }
 
@@ -256,9 +324,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let mut lin = Linear::new(2, 2, false, &mut rng);
         let x = Matrix::glorot(3, 2, &mut rng);
-        let y = lin.forward(&x, true);
+        let mut tape = LinearTape::default();
+        let y = lin.forward_train(&x, &mut tape);
         let g = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; 6]);
-        lin.backward(&g);
+        lin.backward(&g, &tape);
         assert!(lin.gw.norm() > 0.0);
         lin.zero_grad();
         assert_eq!(lin.gw.norm(), 0.0);

@@ -13,16 +13,25 @@
 //!   heads (hard parameter sharing, paper Eq. 2);
 //! * [`Adam`], [`train`] — optimisation and full-batch multi-task training.
 //!
+//! Inference is `&self`: one model instance can be shared read-only across
+//! serve workers, each carrying its own [`InferenceScratch`] so warmed-up
+//! forward passes never touch the heap. Training state (per-layer
+//! activation tapes) lives in a [`Tape`] owned by the trainer, not inside
+//! the layers.
+//!
 //! ```
-//! use gamora_gnn::{Direction, Graph, Matrix, ModelConfig, MultiTaskSage};
+//! use gamora_gnn::{Direction, Graph, InferenceScratch, Matrix, ModelConfig, MultiTaskSage};
 //! let graph = Graph::from_edges(4, &[(0, 2), (1, 2), (2, 3)], Direction::Bidirectional);
-//! let mut model = MultiTaskSage::new(ModelConfig {
+//! let model = MultiTaskSage::new(ModelConfig {
 //!     in_dim: 3, hidden: 8, layers: 2, shared_dim: 8,
 //!     task_classes: vec![4, 2, 2], seed: 1,
 //! });
 //! let x = Matrix::zeros(4, 3);
-//! let logits = model.forward(&graph, &x, false);
+//! let logits = model.forward(&graph, &x);
 //! assert_eq!(logits.len(), 3);
+//! // Hot loops reuse a scratch workspace instead:
+//! let mut scratch = InferenceScratch::default();
+//! assert_eq!(model.infer(&graph, &x, &mut scratch), &logits[..]);
 //! ```
 
 #![warn(missing_docs)]
@@ -38,7 +47,7 @@ mod trainer;
 
 pub use adam::Adam;
 pub use graph::{Direction, Graph};
-pub use layers::{Linear, SageLayer};
-pub use model::{ModelConfig, MultiTaskSage};
+pub use layers::{Linear, LinearTape, SageLayer, SageScratch};
+pub use model::{InferenceScratch, ModelConfig, MultiTaskSage, Tape};
 pub use tensor::Matrix;
 pub use trainer::{evaluate, train, GraphData, TrainConfig, TrainReport};

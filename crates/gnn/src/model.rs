@@ -8,9 +8,39 @@
 //! model for Booth multipliers and complex technology mapping.
 
 use crate::graph::Graph;
-use crate::layers::{Linear, SageLayer};
+use crate::layers::{Linear, LinearTape, SageLayer, SageScratch};
 use crate::tensor::Matrix;
 use rand::SeedableRng;
+
+/// Training state recorded by [`MultiTaskSage::forward_train`] and
+/// consumed by [`MultiTaskSage::backward`]: one activation tape per layer.
+///
+/// The tape is owned by the trainer (not the model), so the model itself
+/// stays immutable through the forward pass and can be shared across
+/// threads. Buffers are reused across training steps.
+#[derive(Clone, Debug, Default)]
+pub struct Tape {
+    sage: Vec<LinearTape>,
+    shared: LinearTape,
+    heads: Vec<LinearTape>,
+}
+
+/// Reusable per-worker buffers for allocation-free inference: ping-pong
+/// embedding matrices, aggregation/concat scratch, the shared-layer
+/// output, and one logit matrix per task.
+///
+/// A warmed-up scratch (after one [`MultiTaskSage::infer`] call at a given
+/// graph size) lets every subsequent inference at the same or smaller size
+/// run without touching the heap. One scratch serves models and graphs of
+/// any shape — buffers are resized lazily, reusing capacity.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceScratch {
+    ws: SageScratch,
+    h_in: Matrix,
+    h_out: Matrix,
+    z: Matrix,
+    logits: Vec<Matrix>,
+}
 
 /// Hyper-parameters of a [`MultiTaskSage`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,44 +139,118 @@ impl MultiTaskSage {
             + self.heads.iter().map(Linear::num_params).sum::<usize>()
     }
 
-    /// Forward pass: per-task logits, one row per node.
+    /// Inference forward pass: per-task logits, one row per node.
+    ///
+    /// Allocates fresh output matrices; hot loops should hold an
+    /// [`InferenceScratch`] and call [`MultiTaskSage::infer`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong feature width or row count.
-    pub fn forward(&mut self, graph: &Graph, x: &Matrix, train: bool) -> Vec<Matrix> {
-        assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
-        assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
-        let mut h = x.clone();
-        for layer in &mut self.sage {
-            h = layer.forward(graph, &h, train);
-        }
-        let z = self.shared.forward(&h, train);
-        self.heads
-            .iter_mut()
-            .map(|head| head.forward(&z, train))
-            .collect()
+    pub fn forward(&self, graph: &Graph, x: &Matrix) -> Vec<Matrix> {
+        let mut scratch = InferenceScratch::default();
+        self.infer(graph, x, &mut scratch);
+        scratch.logits
     }
 
-    /// Backward pass from per-task logit gradients (after a training-mode
-    /// forward).
+    /// Inference forward pass through caller-owned scratch buffers.
+    ///
+    /// Returns the per-task logits, which live inside `scratch` (they stay
+    /// valid until the next call with the same scratch). After a warmup
+    /// call at a given graph size, subsequent calls perform **zero heap
+    /// allocations** as long as the kernels stay on their serial path
+    /// (graphs below `parallel`'s per-thread row cutoff); above it, the
+    /// scoped worker threads spawned per call allocate.
     ///
     /// # Panics
     ///
-    /// Panics if `grads.len() != num_tasks()`.
-    pub fn backward(&mut self, graph: &Graph, grads: &[Matrix]) {
+    /// Panics if `x` has the wrong feature width or row count.
+    pub fn infer<'a>(
+        &self,
+        graph: &Graph,
+        x: &Matrix,
+        scratch: &'a mut InferenceScratch,
+    ) -> &'a [Matrix] {
+        assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
+        assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
+        for (l, layer) in self.sage.iter().enumerate() {
+            {
+                let InferenceScratch {
+                    ws, h_in, h_out, ..
+                } = &mut *scratch;
+                let input = if l == 0 { x } else { &*h_in };
+                layer.forward_into(graph, input, ws, h_out);
+            }
+            std::mem::swap(&mut scratch.h_in, &mut scratch.h_out);
+        }
+        let InferenceScratch {
+            h_in, z, logits, ..
+        } = &mut *scratch;
+        self.shared.forward_into(h_in, z);
+        if logits.len() != self.heads.len() {
+            logits.resize_with(self.heads.len(), Matrix::default);
+        }
+        for (head, out) in self.heads.iter().zip(logits.iter_mut()) {
+            head.forward_into(z, out);
+        }
+        &scratch.logits
+    }
+
+    /// Training forward pass: like [`MultiTaskSage::forward`], but records
+    /// every layer's activations on `tape` for [`MultiTaskSage::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong feature width or row count.
+    pub fn forward_train(&self, graph: &Graph, x: &Matrix, tape: &mut Tape) -> Vec<Matrix> {
+        assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
+        assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
+        if tape.sage.len() != self.sage.len() {
+            tape.sage.resize_with(self.sage.len(), LinearTape::default);
+        }
+        if tape.heads.len() != self.heads.len() {
+            tape.heads
+                .resize_with(self.heads.len(), LinearTape::default);
+        }
+        let mut h = x.clone();
+        for (layer, t) in self.sage.iter().zip(tape.sage.iter_mut()) {
+            h = layer.forward_train(graph, &h, t);
+        }
+        let z = self.shared.forward_train(&h, &mut tape.shared);
+        self.heads
+            .iter()
+            .zip(tape.heads.iter_mut())
+            .map(|(head, t)| head.forward_train(&z, t))
+            .collect()
+    }
+
+    /// Backward pass from per-task logit gradients, consuming the tape of
+    /// the preceding [`MultiTaskSage::forward_train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != num_tasks()` or `tape` does not match a
+    /// training forward through this model.
+    pub fn backward(&mut self, graph: &Graph, grads: &[Matrix], tape: &Tape) {
         assert_eq!(grads.len(), self.heads.len());
+        assert_eq!(
+            (tape.sage.len(), tape.heads.len()),
+            (self.sage.len(), self.heads.len()),
+            "tape does not match a training forward through this model"
+        );
         let mut grad_z: Option<Matrix> = None;
-        for (head, g) in self.heads.iter_mut().zip(grads) {
-            let gz = head.backward(g);
+        for ((head, g), t) in self.heads.iter_mut().zip(grads).zip(&tape.heads) {
+            let gz = head.backward(g, t);
             match &mut grad_z {
                 None => grad_z = Some(gz),
                 Some(acc) => acc.add_scaled(&gz, 1.0),
             }
         }
-        let mut grad_h = self.shared.backward(&grad_z.expect("at least one task"));
-        for layer in self.sage.iter_mut().rev() {
-            grad_h = layer.backward(graph, &grad_h);
+        let mut grad_h = self
+            .shared
+            .backward(&grad_z.expect("at least one task"), &tape.shared);
+        for (layer, t) in self.sage.iter_mut().rev().zip(tape.sage.iter().rev()) {
+            grad_h = layer.backward(graph, &grad_h, t);
         }
     }
 
@@ -231,10 +335,10 @@ mod tests {
 
     #[test]
     fn forward_shapes() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         let graph = tiny_graph();
         let x = Matrix::zeros(6, 3);
-        let logits = model.forward(&graph, &x, false);
+        let logits = model.forward(&graph, &x);
         assert_eq!(logits.len(), 3);
         assert_eq!((logits[0].rows(), logits[0].cols()), (6, 4));
         assert_eq!((logits[1].rows(), logits[1].cols()), (6, 2));
@@ -242,13 +346,54 @@ mod tests {
 
     #[test]
     fn deterministic_construction() {
-        let mut a = tiny_model();
-        let mut b = tiny_model();
+        let a = tiny_model();
+        let b = tiny_model();
         let graph = tiny_graph();
         let x = Matrix::zeros(6, 3);
-        let la = a.forward(&graph, &x, false);
-        let lb = b.forward(&graph, &x, false);
+        let la = a.forward(&graph, &x);
+        let lb = b.forward(&graph, &x);
         assert_eq!(la[0].as_slice(), lb[0].as_slice());
+    }
+
+    /// A reused scratch produces logits bit-identical to the allocating
+    /// forward, across graphs of different sizes and both orders
+    /// (grow-then-shrink and shrink-then-grow).
+    #[test]
+    fn infer_with_reused_scratch_matches_forward() {
+        let model = tiny_model();
+        let mut scratch = InferenceScratch::default();
+        for n in [6usize, 11, 4, 9] {
+            let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let graph = Graph::from_edges(n, &edges, Direction::Bidirectional);
+            let mut x = Matrix::zeros(n, 3);
+            for r in 0..n {
+                x.set(r, r % 3, 1.0);
+            }
+            let expected = model.forward(&graph, &x);
+            let logits = model.infer(&graph, &x, &mut scratch);
+            assert_eq!(logits.len(), expected.len());
+            for (a, b) in logits.iter().zip(&expected) {
+                assert_eq!(a, b, "n = {n}");
+            }
+        }
+    }
+
+    /// The training-mode forward (which detours through the tape) computes
+    /// the same logits as inference.
+    #[test]
+    fn forward_train_matches_inference_logits() {
+        let model = tiny_model();
+        let graph = tiny_graph();
+        let mut x = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            x.set(r, r % 3, 1.0);
+        }
+        let mut tape = Tape::default();
+        let trained = model.forward_train(&graph, &x, &mut tape);
+        let inferred = model.forward(&graph, &x);
+        for (a, b) in trained.iter().zip(&inferred) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]
@@ -267,7 +412,7 @@ mod tests {
     /// reproduces the source model bit for bit.
     #[test]
     fn param_slices_roundtrip_into_fresh_model() {
-        let mut src = tiny_model();
+        let src = tiny_model();
         let total: usize = src.param_slices().iter().map(|s| s.len()).sum();
         assert_eq!(total, src.num_params());
 
@@ -287,8 +432,8 @@ mod tests {
         for r in 0..6 {
             x.set(r, r % 3, 1.0);
         }
-        let la = src.forward(&graph, &x, false);
-        let lb = dst.forward(&graph, &x, false);
+        let la = src.forward(&graph, &x);
+        let lb = dst.forward(&graph, &x);
         for (a, b) in la.iter().zip(&lb) {
             assert_eq!(a.as_slice(), b.as_slice());
         }
@@ -311,10 +456,11 @@ mod tests {
             vec![1, 0, 1, 0, 1, 0],
         ];
         let mut opt = Adam::new(0.01);
+        let mut tape = Tape::default();
         let mut losses = Vec::new();
         for _ in 0..30 {
             model.zero_grad();
-            let logits = model.forward(&graph, &x, true);
+            let logits = model.forward_train(&graph, &x, &mut tape);
             let mut total = 0.0;
             let mut grads = Vec::new();
             for (t, l) in logits.iter().enumerate() {
@@ -322,7 +468,7 @@ mod tests {
                 total += loss;
                 grads.push(grad);
             }
-            model.backward(&graph, &grads);
+            model.backward(&graph, &grads, &tape);
             opt.step(model.param_grads());
             losses.push(total);
         }

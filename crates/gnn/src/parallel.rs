@@ -6,15 +6,22 @@
 
 /// Number of worker threads: `GAMORA_THREADS` env override, else the
 /// machine's available parallelism.
+///
+/// Hardware detection is cached: `available_parallelism` reads cgroup
+/// files on Linux (allocating on every call), which would put heap churn
+/// and syscalls on the allocation-free inference hot path.
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var("GAMORA_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static DETECTED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Minimum rows each worker thread must have to justify its spawn cost
@@ -41,7 +48,15 @@ where
         "bad row width"
     );
     let rows = data.len() / width;
-    let nt = num_threads().min(rows / MIN_ROWS_PER_THREAD);
+    // Decide serial vs parallel from the row count alone first: the serial
+    // path must stay completely free of env lookups and allocations (it is
+    // the steady state of warmed-up inference).
+    let max_useful = rows / MIN_ROWS_PER_THREAD;
+    let nt = if max_useful <= 1 {
+        1
+    } else {
+        num_threads().min(max_useful)
+    };
     if nt <= 1 {
         for (r, chunk) in data.chunks_mut(width).enumerate() {
             f(r, chunk);

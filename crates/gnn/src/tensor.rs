@@ -92,14 +92,54 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reshapes to `rows x cols` and zero-fills, reusing the existing
+    /// allocation whenever capacity allows — the workhorse of the
+    /// allocation-free inference path.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows x cols` *without* zeroing retained elements —
+    /// for kernels that overwrite every element anyway (skips the memset
+    /// that [`Matrix::reset`] pays).
+    fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes a copy of `src`, reusing the existing allocation whenever
+    /// capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// `self @ other` with parallel row blocks.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self @ other`, writing into a caller-owned buffer (no heap
+    /// allocation once `out` has enough capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let n = other.cols;
         parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
             let a_row = self.row(r);
@@ -113,7 +153,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// `self^T @ other` without materialising the transpose
@@ -188,13 +227,23 @@ impl Matrix {
     ///
     /// Panics if row counts differ.
     pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.hconcat_into(other, &mut out);
+        out
+    }
+
+    /// `out = [self | other]`, writing into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hconcat_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "hconcat shape mismatch");
-        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.reshape_for_overwrite(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
             out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
         }
-        out
     }
 
     /// Splits horizontally into `[left (cols_left) | right]`.
@@ -216,10 +265,15 @@ impl Matrix {
     /// Element-wise ReLU.
     pub fn relu(&self) -> Matrix {
         let mut out = self.clone();
-        for v in &mut out.data {
+        out.relu_in_place();
+        out
+    }
+
+    /// Element-wise ReLU, in place.
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
             *v = v.max(0.0);
         }
-        out
     }
 
     /// Masks gradients through a ReLU: `out = self * (activated > 0)`.
@@ -372,6 +426,51 @@ mod tests {
         let mut x = Matrix::zeros(3, 2);
         x.add_row_vector(&[1.0, -2.0]);
         assert_eq!(x.column_sums(), vec![3.0, -6.0]);
+    }
+
+    /// `_into` kernels reuse the destination's allocation: repeated calls
+    /// at the same (or smaller) shape never reallocate, and results match
+    /// the allocating variants exactly.
+    #[test]
+    fn into_variants_match_and_reuse_capacity() {
+        let a = small(17, 9, 1);
+        let b = small(9, 13, 2);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &a.matmul(&b));
+        let cap = out.data.capacity();
+        let ptr = out.data.as_ptr();
+        // Same shape again: no growth, same buffer.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data.capacity(), cap);
+        assert_eq!(out.data.as_ptr(), ptr);
+        // Smaller product fits in the same buffer.
+        let c = small(5, 9, 3);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out.data.capacity(), cap);
+        assert_close(&out, &c.matmul(&b));
+
+        let mut cat = Matrix::default();
+        let x = small(5, 3, 7);
+        let y = small(5, 4, 8);
+        x.hconcat_into(&y, &mut cat);
+        assert_close(&cat, &x.hconcat(&y));
+
+        let mut r = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        r.relu_in_place();
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+
+        let mut dst = Matrix::default();
+        dst.copy_from(&x);
+        assert_eq!(dst, x);
+    }
+
+    #[test]
+    fn reset_zeroes_and_reshapes() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        m.reset(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::adam::Adam;
 use crate::graph::Graph;
 use crate::loss::{accuracy, nll_loss};
-use crate::model::MultiTaskSage;
+use crate::model::{InferenceScratch, MultiTaskSage, Tape};
 use crate::tensor::Matrix;
 
 /// One labelled graph: structure, node features, and per-task targets.
@@ -84,19 +84,22 @@ pub fn train(model: &mut MultiTaskSage, data: &[GraphData], cfg: &TrainConfig) -
         d.validate(model.num_tasks());
     }
     let mut opt = Adam::new(cfg.lr);
+    // The trainer owns the training state: the model itself stays
+    // immutable through every forward pass.
+    let mut tape = Tape::default();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
         let mut total = 0.0f32;
         for d in data {
             model.zero_grad();
-            let logits = model.forward(&d.graph, &d.features, true);
+            let logits = model.forward_train(&d.graph, &d.features, &mut tape);
             let mut grads = Vec::with_capacity(logits.len());
             for (t, l) in logits.iter().enumerate() {
                 let (loss, grad) = nll_loss(l, &d.labels[t], cfg.task_weights[t]);
                 total += loss;
                 grads.push(grad);
             }
-            model.backward(&d.graph, &grads);
+            model.backward(&d.graph, &grads, &tape);
             opt.step(model.param_grads());
         }
         let avg = total / data.len() as f32;
@@ -112,11 +115,12 @@ pub fn train(model: &mut MultiTaskSage, data: &[GraphData], cfg: &TrainConfig) -
 }
 
 /// Per-task accuracy of `model` averaged over `data` (node-weighted).
-pub fn evaluate(model: &mut MultiTaskSage, data: &[GraphData]) -> Vec<f64> {
+pub fn evaluate(model: &MultiTaskSage, data: &[GraphData]) -> Vec<f64> {
     let mut correct = vec![0.0f64; model.num_tasks()];
     let mut total_nodes = 0usize;
+    let mut scratch = InferenceScratch::default();
     for d in data {
-        let logits = model.forward(&d.graph, &d.features, false);
+        let logits = model.infer(&d.graph, &d.features, &mut scratch);
         for (t, l) in logits.iter().enumerate() {
             correct[t] += accuracy(l, &d.labels[t]) * d.graph.num_nodes() as f64;
         }
@@ -198,7 +202,7 @@ mod tests {
     #[test]
     fn evaluate_untrained_is_poorish() {
         let data = vec![toy_data()];
-        let mut model = MultiTaskSage::new(ModelConfig {
+        let model = MultiTaskSage::new(ModelConfig {
             in_dim: 3,
             hidden: 8,
             layers: 2,
@@ -206,7 +210,7 @@ mod tests {
             task_classes: vec![2, 2],
             seed: 5,
         });
-        let acc = evaluate(&mut model, &data);
+        let acc = evaluate(&model, &data);
         assert_eq!(acc.len(), 2);
         assert!(acc.iter().all(|&a| (0.0..=1.0).contains(&a)));
     }

@@ -18,6 +18,7 @@ use gamora_serve::report::Json;
 use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "\
@@ -286,7 +287,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         .map(|p| read_aiger_file(p))
         .collect::<Result<_, _>>()?;
     let t0 = Instant::now();
-    let outputs = server.submit_all(aigs.iter().map(|a| (a.clone(), kind)).collect());
+    let outputs = server
+        .submit_all(aigs.iter().map(|a| (a.clone(), kind)).collect())
+        .map_err(|e| format!("serving failed: {e}"))?;
     let wall = t0.elapsed();
 
     let mut files = Vec::new();
@@ -359,8 +362,11 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let batch_sizes = flags.usize_list_or("--batches", &[1, 8, 64])?;
     let workers = flags.usize_or("--workers", 1)?;
 
-    let reasoner =
-        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    // One model instance serves every configuration: workers share it
+    // through the `Arc`, no per-worker (or per-configuration) clones.
+    let reasoner = Arc::new(
+        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?,
+    );
     let subject = generate_multiplier(MultiplierKind::Csa, bits);
     eprintln!(
         "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes) ...",
@@ -370,8 +376,8 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let mut rows = Vec::new();
     for &batch in &batch_sizes {
         // Cold: cache disabled, every submission runs the model.
-        let server = Server::start(
-            reasoner.clone(),
+        let server = Server::start_shared(
+            Arc::clone(&reasoner),
             ServeConfig {
                 max_batch: batch,
                 workers,
@@ -384,14 +390,16 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             let jobs = (0..n)
                 .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
                 .collect();
-            server.submit_all(jobs);
+            server
+                .submit_all(jobs)
+                .map_err(|e| format!("serving failed: {e}"))?;
         }
         let cold = count as f64 / t0.elapsed().as_secs_f64();
         server.shutdown();
 
         // Hot: cache enabled and pre-warmed — the repeated-netlist path.
-        let server = Server::start(
-            reasoner.clone(),
+        let server = Server::start_shared(
+            Arc::clone(&reasoner),
             ServeConfig {
                 max_batch: batch,
                 workers,
@@ -400,14 +408,17 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         );
         server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
-            .wait();
+            .wait()
+            .map_err(|e| format!("serving failed: {e}"))?;
         let t0 = Instant::now();
         for chunk_start in (0..count).step_by(batch) {
             let n = batch.min(count - chunk_start);
             let jobs = (0..n)
                 .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
                 .collect();
-            server.submit_all(jobs);
+            server
+                .submit_all(jobs)
+                .map_err(|e| format!("serving failed: {e}"))?;
         }
         let hot = count as f64 / t0.elapsed().as_secs_f64();
         let stats = server.shutdown();

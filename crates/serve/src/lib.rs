@@ -13,6 +13,9 @@
 //! * [`scheduler`] — a `std::thread` + channel worker pool that coalesces
 //!   concurrent jobs into micro-batches for `predict_batch` and fans the
 //!   results back out (the serving analogue of the paper's Figure 8).
+//!   The pool shares **one** model behind an `Arc` — inference is `&self`
+//!   — and each worker carries only a reusable scratch workspace, so a
+//!   warmed-up worker serves repeat-sized traffic without heap churn.
 //! * [`report`] — dependency-free JSON for the `gamora` binary's output.
 //!
 //! The `gamora` binary (this crate's `src/bin/gamora.rs`) wires it
@@ -32,9 +35,9 @@
 //! reasoner.fit(&[&m.aig], &TrainConfig { epochs: 5, ..TrainConfig::default() });
 //!
 //! let server = Server::start(reasoner, ServeConfig::default());
-//! let out = server.submit(m.aig.clone(), AnalysisKind::Classify).wait();
+//! let out = server.submit(m.aig.clone(), AnalysisKind::Classify).wait().unwrap();
 //! assert_eq!(out.predictions.num_nodes(), m.aig.num_nodes());
-//! let repeat = server.submit(m.aig.clone(), AnalysisKind::Classify).wait();
+//! let repeat = server.submit(m.aig.clone(), AnalysisKind::Classify).wait().unwrap();
 //! assert!(repeat.cache_hit);
 //! ```
 
@@ -46,4 +49,6 @@ pub mod scheduler;
 
 pub use cache::{CacheKey, GraphSignature, HitKind, PredictionCache};
 pub use report::Json;
-pub use scheduler::{AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeStats, Server};
+pub use scheduler::{
+    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server,
+};

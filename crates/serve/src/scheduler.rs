@@ -9,12 +9,17 @@
 //! batched inference.
 //!
 //! Built on `std::thread` + `std::sync::mpsc` channels only (the same
-//! no-external-runtime discipline as `gamora_gnn::parallel`). Each worker
-//! owns a clone of the trained reasoner, so forward passes never contend
-//! on a lock; the cache and queue are the only shared state.
+//! no-external-runtime discipline as `gamora_gnn::parallel`). The server
+//! holds exactly **one** trained reasoner behind an [`Arc`]; inference is
+//! `&self`, so every worker shares those weights read-only and carries
+//! only a private [`InferenceScratch`] (preallocated forward buffers).
+//! Forward passes never contend on a lock, and memory scales with worker
+//! count only by the scratch size, not by the model size.
 
 use crate::cache::{GraphSignature, HitKind, PredictionCache};
-use gamora::{extract_from_predictions, lsb_correction, GamoraReasoner, Predictions};
+use gamora::{
+    extract_from_predictions, lsb_correction, GamoraReasoner, InferenceScratch, Predictions,
+};
 use gamora_aig::hasher::FxHashMap;
 use gamora_aig::Aig;
 use gamora_exact::ExtractedAdder;
@@ -40,7 +45,8 @@ pub enum AnalysisKind {
 pub struct ServeConfig {
     /// Maximum jobs coalesced into one forward pass.
     pub max_batch: usize,
-    /// Inference worker threads (each owns a model clone).
+    /// Inference worker threads (each carries only a scratch workspace;
+    /// the model itself is shared).
     pub workers: usize,
     /// Capacity of the structural-hash prediction cache, in graphs.
     /// `0` disables every structural-hash shortcut — cache lookups *and*
@@ -72,6 +78,25 @@ pub struct JobOutput {
     pub latency_micros: u64,
 }
 
+/// Why a submitted job was not answered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server dropped the job without answering it — a worker panic,
+    /// or a shutdown racing the submission. The job may or may not have
+    /// run; resubmit against a live server.
+    JobDropped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::JobDropped => write!(f, "serve worker dropped the job before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// Receiving side of a submitted job.
 pub struct JobTicket {
     rx: mpsc::Receiver<JobOutput>,
@@ -80,12 +105,11 @@ pub struct JobTicket {
 impl JobTicket {
     /// Blocks until the job completes.
     ///
-    /// # Panics
-    ///
-    /// Panics if the server was shut down before answering (a worker
-    /// panic or a `shutdown` racing the submission).
-    pub fn wait(self) -> JobOutput {
-        self.rx.recv().expect("serve worker dropped the job")
+    /// Returns [`ServeError::JobDropped`] instead of panicking when the
+    /// server died or shut down before answering, so a draining server
+    /// fails jobs gracefully.
+    pub fn wait(self) -> Result<JobOutput, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::JobDropped)
     }
 }
 
@@ -139,13 +163,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool. Each worker receives a clone of `reasoner`,
-    /// so the trained weights are shared read-only by value.
+    /// Starts the worker pool over an owned reasoner (wraps it in an
+    /// [`Arc`] and delegates to [`Server::start_shared`]).
     ///
     /// # Panics
     ///
     /// Panics if `config.max_batch` or `config.workers` is zero.
     pub fn start(reasoner: GamoraReasoner, config: ServeConfig) -> Server {
+        Server::start_shared(Arc::new(reasoner), config)
+    }
+
+    /// Starts the worker pool over an already-shared reasoner. The server
+    /// holds exactly this one model; every worker borrows it through the
+    /// `Arc` and owns nothing but a private scratch workspace, so callers
+    /// can keep using (or serve elsewhere) the same instance concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.workers` is zero.
+    pub fn start_shared(reasoner: Arc<GamoraReasoner>, config: ServeConfig) -> Server {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.workers > 0, "at least one worker");
         let shared = Arc::new(Shared {
@@ -162,10 +198,13 @@ impl Server {
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let mut model = reasoner.clone();
+                let model = Arc::clone(&reasoner);
                 std::thread::Builder::new()
                     .name(format!("gamora-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &mut model))
+                    .spawn(move || {
+                        let mut scratch = model.scratch();
+                        worker_loop(&shared, &model, &mut scratch);
+                    })
                     .expect("spawn serve worker")
             })
             .collect();
@@ -192,8 +231,8 @@ impl Server {
 
     /// Submits many jobs atomically (one queue lock, so an idle worker
     /// sees them as one coalescable burst) and waits for all of them,
-    /// preserving input order.
-    pub fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Vec<JobOutput> {
+    /// preserving input order. Fails with the first dropped job.
+    pub fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Result<Vec<JobOutput>, ServeError> {
         let mut tickets = Vec::with_capacity(jobs.len());
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
@@ -236,6 +275,12 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Defensive: should anything still sit in the queue once every
+        // worker is gone, drop it so waiting clients observe
+        // `ServeError::JobDropped` instead of blocking forever.
+        if let Ok(mut queue) = self.shared.queue.lock() {
+            queue.clear();
+        }
     }
 }
 
@@ -245,7 +290,7 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: &Shared, model: &mut GamoraReasoner) {
+fn worker_loop(shared: &Shared, model: &GamoraReasoner, scratch: &mut InferenceScratch) {
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -260,11 +305,27 @@ fn worker_loop(shared: &Shared, model: &mut GamoraReasoner) {
                 queue = shared.available.wait(queue).expect("queue poisoned");
             }
         };
-        run_batch(shared, model, batch);
+        // A panicking batch (a pathological submission) must not take the
+        // worker down with jobs still queued behind it: the unwinding
+        // batch drops its senders — those clients observe
+        // [`ServeError::JobDropped`] — and the worker keeps draining the
+        // queue. Scratch buffers are resized from scratch on every use,
+        // so a half-written workspace cannot poison later batches.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(shared, model, scratch, batch);
+        }));
+        if outcome.is_err() {
+            eprintln!("gamora-serve: batch panicked; its jobs were dropped");
+        }
     }
 }
 
-fn run_batch(shared: &Shared, model: &mut GamoraReasoner, batch: Vec<Job>) {
+fn run_batch(
+    shared: &Shared,
+    model: &GamoraReasoner,
+    scratch: &mut InferenceScratch,
+    batch: Vec<Job>,
+) {
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
 
     // Phase 1: resolve from the cache under one short lock. With hashing
@@ -317,7 +378,7 @@ fn run_batch(shared: &Shared, model: &mut GamoraReasoner, batch: Vec<Job>) {
             }
         }
         let aigs: Vec<&Aig> = unique.iter().map(|&i| &batch[i].aig).collect();
-        let fresh = model.predict_batch(&aigs);
+        let fresh = model.predict_batch_with(scratch, &aigs);
         shared
             .counters
             .forward_passes
@@ -395,14 +456,14 @@ mod tests {
     #[test]
     fn served_predictions_match_in_process() {
         let reasoner = tiny_trained();
-        let mut solo = reasoner.clone();
         let subject = csa_multiplier(4);
-        let expected = solo.predict(&subject.aig);
+        let expected = reasoner.predict(&subject.aig);
 
         let server = Server::start(reasoner, ServeConfig::default());
         let out = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
-            .wait();
+            .wait()
+            .expect("job answered");
         assert!(!out.cache_hit);
         assert_eq!(out.predictions.root_leaf, expected.root_leaf);
         assert_eq!(out.predictions.is_xor, expected.is_xor);
@@ -416,14 +477,16 @@ mod tests {
         let subject = csa_multiplier(4);
         let first = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
-            .wait();
+            .wait()
+            .expect("job answered");
         assert!(!first.cache_hit);
         let passes_after_first = server.stats().forward_passes;
         assert_eq!(passes_after_first, 1);
 
         let second = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
-            .wait();
+            .wait()
+            .expect("job answered");
         assert!(
             second.cache_hit,
             "repeat submission must be served from cache"
@@ -445,7 +508,8 @@ mod tests {
         let subject = csa_multiplier(4);
         let out = server
             .submit(subject.aig.clone(), AnalysisKind::ExtractAdders)
-            .wait();
+            .wait()
+            .expect("job answered");
         let adders = out.adders.expect("extraction requested");
         assert!(!adders.is_empty(), "a 4-bit CSA multiplier contains adders");
     }
@@ -465,7 +529,7 @@ mod tests {
         let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (2..6usize)
             .map(|b| (csa_multiplier(b).aig, AnalysisKind::Classify))
             .collect();
-        let outs = server.submit_all(jobs);
+        let outs = server.submit_all(jobs).expect("all jobs answered");
         assert_eq!(outs.len(), 4);
         let stats = server.shutdown();
         assert_eq!(stats.jobs, 4);
@@ -486,11 +550,13 @@ mod tests {
             },
         );
         let aig = csa_multiplier(3).aig;
-        let outs = server.submit_all(vec![
-            (aig.clone(), AnalysisKind::Classify),
-            (aig.clone(), AnalysisKind::Classify),
-            (aig.clone(), AnalysisKind::Classify),
-        ]);
+        let outs = server
+            .submit_all(vec![
+                (aig.clone(), AnalysisKind::Classify),
+                (aig.clone(), AnalysisKind::Classify),
+                (aig.clone(), AnalysisKind::Classify),
+            ])
+            .expect("all jobs answered");
         assert_eq!(outs[0].predictions.root_leaf, outs[1].predictions.root_leaf);
         assert!(!outs[0].cache_hit);
         assert!(outs[1].cache_hit && outs[2].cache_hit);
@@ -511,8 +577,14 @@ mod tests {
             },
         );
         let aig = csa_multiplier(3).aig;
-        let a = server.submit(aig.clone(), AnalysisKind::Classify).wait();
-        let b = server.submit(aig.clone(), AnalysisKind::Classify).wait();
+        let a = server
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .wait()
+            .expect("job answered");
+        let b = server
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .wait()
+            .expect("job answered");
         assert!(!a.cache_hit && !b.cache_hit);
         let stats = server.shutdown();
         assert_eq!(
@@ -520,6 +592,51 @@ mod tests {
             "cold mode must run the model per job"
         );
         assert_eq!(stats.cache_hits, 0);
+    }
+
+    /// Determinism under concurrency: N workers sharing one `Arc`'d model
+    /// (cache off, so every job really runs a forward pass) produce
+    /// predictions bit-identical to single-threaded `predict` calls over
+    /// the same submission set.
+    #[test]
+    fn shared_model_concurrent_workers_match_single_threaded() {
+        let reasoner = Arc::new(tiny_trained());
+        let subjects: Vec<gamora_aig::Aig> = (2..6usize).map(|b| csa_multiplier(b).aig).collect();
+        let expected: Vec<Predictions> = subjects.iter().map(|a| reasoner.predict(a)).collect();
+
+        let server = Server::start_shared(
+            Arc::clone(&reasoner),
+            ServeConfig {
+                max_batch: 2,
+                workers: 4,
+                cache_capacity: 0,
+            },
+        );
+        let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (0..16usize)
+            .map(|i| (subjects[i % subjects.len()].clone(), AnalysisKind::Classify))
+            .collect();
+        let outs = server.submit_all(jobs).expect("all jobs answered");
+        for (i, out) in outs.iter().enumerate() {
+            let exp = &expected[i % subjects.len()];
+            assert_eq!(out.predictions.root_leaf, exp.root_leaf, "job {i}");
+            assert_eq!(out.predictions.is_xor, exp.is_xor, "job {i}");
+            assert_eq!(out.predictions.is_maj, exp.is_maj, "job {i}");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs, 16);
+        // The original Arc is still usable — the server never cloned the
+        // model, only the handle.
+        assert_eq!(Arc::strong_count(&reasoner), 1);
+    }
+
+    /// A job the server drops (worker gone before answering) surfaces as
+    /// a `ServeError` instead of panicking the client thread.
+    #[test]
+    fn dropped_job_is_an_error_not_a_panic() {
+        let (tx, rx) = mpsc::channel::<JobOutput>();
+        drop(tx); // the serving side dies without answering
+        let ticket = JobTicket { rx };
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::JobDropped);
     }
 
     #[test]
@@ -536,7 +653,7 @@ mod tests {
         let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (0..12usize)
             .map(|i| (csa_multiplier(2 + i % 3).aig, AnalysisKind::Classify))
             .collect();
-        let outs = server.submit_all(jobs);
+        let outs = server.submit_all(jobs).expect("all jobs answered");
         assert_eq!(outs.len(), 12);
         let stats = server.shutdown();
         assert_eq!(stats.jobs, 12);

@@ -109,7 +109,7 @@ fn quick_reasoner() -> GamoraReasoner {
 /// identical to the in-process pipeline at every step.
 #[test]
 fn aiger_parse_predict_extract_roundtrip() {
-    let mut reasoner = quick_reasoner();
+    let reasoner = quick_reasoner();
     let subject = csa_multiplier(8);
 
     // In-process reference: predict + extract + LSB post-processing.
@@ -130,7 +130,10 @@ fn aiger_parse_predict_extract_roundtrip() {
 
     // Serve the parsed netlist with the restored model.
     let server = Server::start(restored, ServeConfig::default());
-    let out = server.submit(parsed, AnalysisKind::ExtractAdders).wait();
+    let out = server
+        .submit(parsed, AnalysisKind::ExtractAdders)
+        .wait()
+        .expect("job answered");
     assert_eq!(out.predictions.root_leaf, expected_preds.root_leaf);
     assert_eq!(out.predictions.is_xor, expected_preds.is_xor);
     assert_eq!(out.predictions.is_maj, expected_preds.is_maj);
@@ -149,14 +152,16 @@ fn serve_cache_hit_and_miss_accounting() {
 
     let first = server
         .submit(subject.aig.clone(), AnalysisKind::Classify)
-        .wait();
+        .wait()
+        .expect("job answered");
     assert!(!first.cache_hit);
     let baseline = server.stats().forward_passes;
 
     // Repeat: cache hit, forward-pass counter frozen.
     let repeat = server
         .submit(subject.aig.clone(), AnalysisKind::Classify)
-        .wait();
+        .wait()
+        .expect("job answered");
     assert!(repeat.cache_hit);
     assert_eq!(repeat.predictions.root_leaf, first.predictions.root_leaf);
     assert_eq!(
@@ -169,7 +174,10 @@ fn serve_cache_hit_and_miss_accounting() {
     let mut buf = Vec::new();
     aiger::write_binary(&subject.aig, &mut buf).unwrap();
     let isomorph = aiger::read(&buf[..]).unwrap();
-    let transferred = server.submit(isomorph, AnalysisKind::Classify).wait();
+    let transferred = server
+        .submit(isomorph, AnalysisKind::Classify)
+        .wait()
+        .expect("job answered");
     assert!(
         transferred.cache_hit,
         "isomorphic submission should be cache-served"
@@ -179,7 +187,8 @@ fn serve_cache_hit_and_miss_accounting() {
     // A different netlist is a genuine miss.
     let other = server
         .submit(csa_multiplier(5).aig, AnalysisKind::Classify)
-        .wait();
+        .wait()
+        .expect("job answered");
     assert!(!other.cache_hit);
     let stats = server.shutdown();
     assert_eq!(stats.forward_passes, baseline + 1);
