@@ -434,14 +434,23 @@ impl Aig {
         (offsets, targets)
     }
 
-    /// All fanin edges as `(source, target)` node pairs (two per AND).
-    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut edges = Vec::with_capacity(2 * self.num_ands());
+    /// Streams all fanin edges as `(source, target)` node pairs (two per
+    /// AND, in topological order) without materialising a list — the
+    /// zero-copy feed for CSR graph assembly.
+    pub fn for_each_edge(&self, mut f: impl FnMut(NodeId, NodeId)) {
         for n in self.and_ids() {
             let (f0, f1) = self.fanins(n);
-            edges.push((f0.var(), n));
-            edges.push((f1.var(), n));
+            f(f0.var(), n);
+            f(f1.var(), n);
         }
+    }
+
+    /// All fanin edges as `(source, target)` node pairs (two per AND).
+    ///
+    /// Allocates; hot paths should stream via [`Aig::for_each_edge`].
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::with_capacity(2 * self.num_ands());
+        self.for_each_edge(|s, d| edges.push((s, d)));
         edges
     }
 

@@ -65,7 +65,88 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let a = Matrix::glorot(4096, 64, &mut rng);
     let w = Matrix::glorot(64, 64, &mut rng);
-    c.bench_function("matmul_4096x64x64", |b| b.iter(|| black_box(a.matmul(&w))));
+    c.bench_function("matmul_4096x64x64 (blocked kernel)", |b| {
+        b.iter(|| black_box(a.matmul(&w)))
+    });
+    // The pre-blocking scalar reference: per-element k-ascending loop.
+    let naive = |a: &Matrix, b: &Matrix| -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    };
+    c.bench_function("matmul_4096x64x64 (naive reference)", |b| {
+        b.iter(|| black_box(naive(&a, &w)))
+    });
+}
+
+/// Fused split-weight SAGE forward vs the unfused composition it replaced
+/// (aggregate, concat, matmul, bias add, ReLU as separate passes).
+fn bench_fused_layer(c: &mut Criterion) {
+    use gamora_gnn::{SageLayer, SageScratch};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let m = csa_multiplier(16);
+    let graph = build_graph(&m.aig, Direction::Bidirectional);
+    let n = graph.num_nodes();
+    let h = Matrix::glorot(n, 32, &mut rng);
+
+    let layer = SageLayer::new(32, 32, &mut rng);
+    let mut ws = SageScratch::default();
+    let mut out = Matrix::default();
+    layer.forward_into(&graph, &h, &mut ws, &mut out); // warm buffers
+    c.bench_function("sage_layer_2594x32 (fused split-weight)", |b| {
+        b.iter(|| layer.forward_into(&graph, &h, &mut ws, &mut out))
+    });
+
+    let w = Matrix::glorot(64, 32, &mut rng);
+    let bias = vec![0.01f32; 32];
+    let mut agg = Matrix::default();
+    let mut concat = Matrix::default();
+    let mut y = Matrix::default();
+    c.bench_function("sage_layer_2594x32 (unfused concat path)", |b| {
+        b.iter(|| {
+            graph.mean_aggregate_into(&h, &mut agg);
+            h.hconcat_into(&agg, &mut concat);
+            concat.matmul_into(&w, &mut y);
+            y.add_row_vector(&bias);
+            y.relu_in_place();
+        })
+    });
+}
+
+/// Zero-copy graph/batch assembly vs the allocating builders.
+fn bench_assembly(c: &mut Criterion) {
+    use gamora::dataset::{assemble_batch_into, BatchScratch};
+    let m = csa_multiplier(16);
+    c.bench_function("build_graph_16 (fresh)", |b| {
+        b.iter(|| black_box(build_graph(&m.aig, Direction::Bidirectional)))
+    });
+    let mut reused = gamora_gnn::Graph::default();
+    c.bench_function("build_graph_16 (into reused scratch)", |b| {
+        b.iter(|| gamora::dataset::build_graph_into(&m.aig, Direction::Bidirectional, &mut reused))
+    });
+
+    let parts: Vec<_> = (0..8).map(|_| csa_multiplier(8)).collect();
+    let aigs: Vec<_> = parts.iter().map(|p| &p.aig).collect();
+    let mut ws = BatchScratch::default();
+    c.bench_function("assemble_batch_8x_csa8 (zero-copy, reused)", |b| {
+        b.iter(|| {
+            assemble_batch_into(
+                &aigs,
+                FeatureMode::StructuralFunctional,
+                Direction::Bidirectional,
+                &mut ws,
+            )
+        })
+    });
 }
 
 fn bench_mapping(c: &mut Criterion) {
@@ -110,7 +191,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_construction, bench_cut_enumeration, bench_exact_analysis,
-              bench_gnn_forward, bench_matmul, bench_mapping, bench_simulation,
-              bench_sca
+              bench_gnn_forward, bench_matmul, bench_fused_layer, bench_assembly,
+              bench_mapping, bench_simulation, bench_sca
 }
 criterion_main!(benches);

@@ -1,20 +1,36 @@
 //! Dataset assembly: AIGs to labelled message-passing graphs, plus
 //! disjoint-union batching for Figure 8's batched inference.
+//!
+//! The inference-side builders are zero-copy: AIG edges stream straight
+//! into a reusable CSR [`Graph`] (no intermediate edge list) and batch
+//! features are written directly into the merged matrix, so a warmed-up
+//! [`BatchScratch`] turns raw `&Aig`s into a ready forward-pass input
+//! without touching the heap.
 
-use crate::features::{build_features, FeatureMode};
+use crate::features::{build_features, write_features_at, FeatureMode, FEATURE_DIM};
 use crate::labels::{multi_task_targets, single_task_targets};
+use crate::Predictions;
 use gamora_aig::Aig;
 use gamora_exact::Analysis;
 use gamora_gnn::{Direction, Graph, GraphData, Matrix};
 
 /// Builds the message-passing graph of an AIG under a direction mode.
 pub fn build_graph(aig: &Aig, direction: Direction) -> Graph {
-    let edges: Vec<(u32, u32)> = aig
-        .edges()
-        .into_iter()
-        .map(|(s, d)| (s.as_u32(), d.as_u32()))
-        .collect();
-    Graph::from_edges(aig.num_nodes(), &edges, direction)
+    let mut graph = Graph::default();
+    build_graph_into(aig, direction, &mut graph);
+    graph
+}
+
+/// [`build_graph`] into a caller-owned graph: streams `aig`'s edges
+/// directly into the reused CSR arrays (no intermediate edge vector, no
+/// heap allocation once `out` is at capacity).
+pub fn build_graph_into(aig: &Aig, direction: Direction, out: &mut Graph) {
+    Graph::from_edges_into(
+        aig.num_nodes(),
+        direction,
+        |sink| aig.for_each_edge(|s, d| sink(s.as_u32(), d.as_u32())),
+        out,
+    );
 }
 
 /// Builds a labelled [`GraphData`] from an AIG, running exact analysis for
@@ -44,11 +60,139 @@ pub fn inference_graph(aig: &Aig, mode: FeatureMode, direction: Direction) -> (G
     (build_graph(aig, direction), build_features(aig, mode))
 }
 
+/// Reusable buffers for zero-copy batch assembly: the merged
+/// disjoint-union graph, the merged feature matrix, the per-constituent
+/// node offsets, and the merged predictions that
+/// [`crate::GamoraReasoner::predict_batch_into`] splits back per netlist.
+///
+/// Keep one per serve worker alongside an
+/// [`gamora_gnn::InferenceScratch`]: after one warmup batch at a given
+/// size, every later batch at the same or smaller size is assembled and
+/// predicted without any heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    pub(crate) graph: Graph,
+    pub(crate) features: Matrix,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) merged: Predictions,
+    /// Warmed per-netlist outputs parked here when a batch shrinks, so a
+    /// later larger batch regrows from pooled capacity instead of
+    /// allocating fresh `Predictions` (queue-drain sizes fluctuate in the
+    /// serve steady state).
+    pub(crate) spare: Vec<Predictions>,
+}
+
+impl BatchScratch {
+    /// The merged graph assembled by the last batch build.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The merged feature matrix assembled by the last batch build.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Node offset of each constituent in the merged graph.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    fn fill_offsets(&mut self, sizes: impl Iterator<Item = usize>) -> usize {
+        self.offsets.clear();
+        let mut base = 0usize;
+        for n in sizes {
+            self.offsets.push(base);
+            base += n;
+        }
+        base
+    }
+}
+
+/// Streams several AIGs into one disjoint-union graph and feature matrix,
+/// writing into caller-owned scratch: edges go straight from the AIGs
+/// into the reused CSR arrays and features are encoded directly at their
+/// merged row offsets — nothing per-constituent is materialised.
+///
+/// # Panics
+///
+/// Panics if `aigs` is empty.
+pub fn assemble_batch_into(
+    aigs: &[&Aig],
+    mode: FeatureMode,
+    direction: Direction,
+    ws: &mut BatchScratch,
+) {
+    assert!(!aigs.is_empty(), "batch must be non-empty");
+    let total = ws.fill_offsets(aigs.iter().map(|a| a.num_nodes()));
+    ws.features.reset(total, FEATURE_DIM);
+    let BatchScratch {
+        graph,
+        features,
+        offsets,
+        ..
+    } = ws;
+    for (aig, &off) in aigs.iter().zip(offsets.iter()) {
+        write_features_at(aig, mode, features, off);
+    }
+    Graph::from_edges_into(
+        total,
+        direction,
+        |sink| {
+            for (aig, &off) in aigs.iter().zip(offsets.iter()) {
+                let off = off as u32;
+                aig.for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
+            }
+        },
+        graph,
+    );
+}
+
+/// [`batch_graphs`] into a caller-owned [`BatchScratch`], for callers that
+/// bring pre-built feature matrices (training pipelines, ablations).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, feature widths differ, or a feature matrix
+/// does not have one row per node.
+pub fn batch_graphs_into(parts: &[(&Aig, &Matrix)], direction: Direction, ws: &mut BatchScratch) {
+    assert!(!parts.is_empty(), "batch must be non-empty");
+    let dim = parts[0].1.cols();
+    let total = ws.fill_offsets(parts.iter().map(|(a, _)| a.num_nodes()));
+    ws.features.reset(total, dim);
+    let BatchScratch {
+        graph,
+        features,
+        offsets,
+        ..
+    } = ws;
+    for ((aig, x), &off) in parts.iter().zip(offsets.iter()) {
+        assert_eq!(x.cols(), dim, "feature width mismatch in batch");
+        assert_eq!(x.rows(), aig.num_nodes());
+        // Rows are contiguous in row-major layout: one memcpy per part.
+        features.as_mut_slice()[off * dim..(off + aig.num_nodes()) * dim]
+            .copy_from_slice(x.as_slice());
+    }
+    Graph::from_edges_into(
+        total,
+        direction,
+        |sink| {
+            for ((aig, _), &off) in parts.iter().zip(offsets.iter()) {
+                let off = off as u32;
+                aig.for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
+            }
+        },
+        graph,
+    );
+}
+
 /// Disjoint union of several graphs for batched inference: node ids of
 /// graph `i` are offset by the total size of graphs `0..i`.
 ///
 /// Returns the merged `(graph, features)` and the node offset of each
-/// constituent.
+/// constituent. Hot paths should reuse a [`BatchScratch`] via
+/// [`batch_graphs_into`] (or skip the per-part feature matrices entirely
+/// with [`assemble_batch_into`]).
 ///
 /// # Panics
 ///
@@ -57,33 +201,9 @@ pub fn batch_graphs(
     parts: &[(&Aig, &Matrix)],
     direction: Direction,
 ) -> (Graph, Matrix, Vec<usize>) {
-    assert!(!parts.is_empty(), "batch must be non-empty");
-    let dim = parts[0].1.cols();
-    let total: usize = parts.iter().map(|(a, _)| a.num_nodes()).sum();
-    let mut edges = Vec::new();
-    let mut features = Matrix::zeros(total, dim);
-    let mut offsets = Vec::with_capacity(parts.len());
-    let mut base = 0usize;
-    for (aig, x) in parts {
-        assert_eq!(x.cols(), dim, "feature width mismatch in batch");
-        assert_eq!(x.rows(), aig.num_nodes());
-        offsets.push(base);
-        for (s, d) in aig.edges() {
-            edges.push((
-                (s.as_u32() as usize + base) as u32,
-                (d.as_u32() as usize + base) as u32,
-            ));
-        }
-        for r in 0..aig.num_nodes() {
-            features.row_mut(base + r).copy_from_slice(x.row(r));
-        }
-        base += aig.num_nodes();
-    }
-    (
-        Graph::from_edges(total, &edges, direction),
-        features,
-        offsets,
-    )
+    let mut ws = BatchScratch::default();
+    batch_graphs_into(parts, direction, &mut ws);
+    (ws.graph, ws.features, ws.offsets)
 }
 
 #[cfg(test)]
@@ -117,6 +237,40 @@ mod tests {
             false,
         );
         assert_eq!(data.labels.len(), 1);
+    }
+
+    /// The zero-copy assembly (features written straight into the merged
+    /// matrix, edges streamed into reused CSR arrays) produces exactly
+    /// the same batch as the legacy per-part path — including when the
+    /// scratch is reused across differently sized batches.
+    #[test]
+    fn assemble_batch_into_matches_batch_graphs() {
+        let m1 = csa_multiplier(2);
+        let m2 = csa_multiplier(3);
+        let m3 = csa_multiplier(4);
+        let mut ws = BatchScratch::default();
+        for aigs in [vec![&m2.aig, &m3.aig, &m1.aig], vec![&m1.aig, &m2.aig]] {
+            let feats: Vec<Matrix> = aigs
+                .iter()
+                .map(|a| build_features(a, FeatureMode::StructuralFunctional))
+                .collect();
+            let parts: Vec<(&Aig, &Matrix)> = aigs.iter().copied().zip(feats.iter()).collect();
+            let (graph, features, offsets) = batch_graphs(&parts, Direction::Bidirectional);
+
+            assemble_batch_into(
+                &aigs,
+                FeatureMode::StructuralFunctional,
+                Direction::Bidirectional,
+                &mut ws,
+            );
+            assert_eq!(ws.offsets(), &offsets[..]);
+            assert_eq!(ws.features(), &features);
+            assert_eq!(ws.graph().num_nodes(), graph.num_nodes());
+            assert_eq!(ws.graph().num_edges(), graph.num_edges());
+            for v in 0..graph.num_nodes() {
+                assert_eq!(ws.graph().neighbors(v), graph.neighbors(v), "node {v}");
+            }
+        }
     }
 
     #[test]

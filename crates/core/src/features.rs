@@ -32,23 +32,49 @@ pub const FEATURE_DIM: usize = 3;
 
 /// Builds the `num_nodes x 3` feature matrix of an AIG.
 pub fn build_features(aig: &Aig, mode: FeatureMode) -> Matrix {
-    let mut x = Matrix::zeros(aig.num_nodes(), FEATURE_DIM);
+    let mut x = Matrix::default();
+    build_features_into(aig, mode, &mut x);
+    x
+}
+
+/// [`build_features`] into a caller-owned matrix (no heap allocation once
+/// `x` has enough capacity).
+pub fn build_features_into(aig: &Aig, mode: FeatureMode, x: &mut Matrix) {
+    x.reset(aig.num_nodes(), FEATURE_DIM);
+    write_features_at(aig, mode, x, 0);
+}
+
+/// Writes the features of `aig` into rows `base..base + aig.num_nodes()`
+/// of an already-zeroed `x` — the building block of zero-copy batch
+/// assembly, where every constituent writes straight into the merged
+/// feature matrix.
+///
+/// # Panics
+///
+/// Panics if the target rows do not exist or `x` is narrower than
+/// [`FEATURE_DIM`].
+pub fn write_features_at(aig: &Aig, mode: FeatureMode, x: &mut Matrix, base: usize) {
+    assert!(x.cols() >= FEATURE_DIM, "feature matrix too narrow");
+    assert!(
+        base + aig.num_nodes() <= x.rows(),
+        "feature rows out of range"
+    );
     for n in aig.node_ids() {
         if aig.kind(n) != NodeKind::And {
             continue;
         }
-        x.set(n.index(), 0, 1.0);
+        let row = x.row_mut(base + n.index());
+        row[0] = 1.0;
         if mode == FeatureMode::StructuralFunctional {
             let (f0, f1) = aig.fanins(n);
             if f0.is_complement() {
-                x.set(n.index(), 1, 1.0);
+                row[1] = 1.0;
             }
             if f1.is_complement() {
-                x.set(n.index(), 2, 1.0);
+                row[2] = 1.0;
             }
         }
     }
-    x
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ mod postprocess;
 mod reasoner;
 pub mod snapshot;
 
+pub use dataset::BatchScratch;
 pub use extract::{compare_extraction, extract_from_predictions, filter_candidates};
 pub use features::FeatureMode;
 pub use postprocess::{lsb_correction, lsb_correction_with};

@@ -1,7 +1,7 @@
 //! The Gamora reasoner: train on small netlists, infer node functions on
 //! large ones (paper §III).
 
-use crate::dataset::{batch_graphs, inference_graph, labelled_graph};
+use crate::dataset::{assemble_batch_into, inference_graph, labelled_graph, BatchScratch};
 use crate::features::{FeatureMode, FEATURE_DIM};
 use crate::labels::{decode_joint, SINGLE_TASK_CLASSES, TASK_CLASSES};
 use gamora_aig::Aig;
@@ -79,7 +79,7 @@ impl ReasonerConfig {
 }
 
 /// Per-node predictions for the three reasoning tasks.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Predictions {
     /// Task 1: root/leaf class index per node (see
     /// [`gamora_exact::RootLeafClass`]).
@@ -206,6 +206,17 @@ impl GamoraReasoner {
         InferenceScratch::default()
     }
 
+    /// Creates a reusable batch-assembly workspace for this reasoner.
+    ///
+    /// Like [`GamoraReasoner::scratch`], buffers are sized lazily: keep
+    /// one per worker and pass it to [`GamoraReasoner::predict_batch_with`]
+    /// / [`GamoraReasoner::predict_batch_into`], which then assemble the
+    /// merged batch graph and features without heap allocation once
+    /// warmed up.
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch::default()
+    }
+
     /// Predicts node functions for a netlist.
     pub fn predict(&self, aig: &Aig) -> Predictions {
         self.predict_with(&mut InferenceScratch::default(), aig)
@@ -278,34 +289,76 @@ impl GamoraReasoner {
     /// Runs batched inference over several netlists in one forward pass
     /// (the paper's Figure 8 batching), returning per-netlist predictions.
     pub fn predict_batch(&self, aigs: &[&Aig]) -> Vec<Predictions> {
-        self.predict_batch_with(&mut InferenceScratch::default(), aigs)
+        self.predict_batch_with(
+            &mut BatchScratch::default(),
+            &mut InferenceScratch::default(),
+            aigs,
+        )
     }
 
-    /// [`GamoraReasoner::predict_batch`] through a caller-owned workspace.
+    /// [`GamoraReasoner::predict_batch`] through caller-owned workspaces
+    /// (batch assembly and forward buffers).
     pub fn predict_batch_with(
         &self,
+        batch: &mut BatchScratch,
         scratch: &mut InferenceScratch,
         aigs: &[&Aig],
     ) -> Vec<Predictions> {
-        let feats: Vec<Matrix> = aigs
-            .iter()
-            .map(|a| crate::features::build_features(a, self.config.feature_mode))
-            .collect();
-        let parts: Vec<(&Aig, &Matrix)> = aigs.iter().copied().zip(feats.iter()).collect();
-        let (graph, features, offsets) = batch_graphs(&parts, self.config.direction);
-        let merged = self.predict_prepared_with(scratch, &graph, &features);
-        // Split back per netlist.
-        let mut out = Vec::with_capacity(aigs.len());
-        for (i, &aig) in aigs.iter().enumerate() {
-            let start = offsets[i];
-            let end = start + aig.num_nodes();
-            out.push(Predictions {
-                root_leaf: merged.root_leaf[start..end].to_vec(),
-                is_xor: merged.is_xor[start..end].to_vec(),
-                is_maj: merged.is_maj[start..end].to_vec(),
-            });
+        let mut outs = Vec::new();
+        self.predict_batch_into(batch, scratch, aigs, &mut outs);
+        outs
+    }
+
+    /// The allocation-free batch hot path: streams raw AIGs into the
+    /// merged batch graph/features held by `batch`, runs one forward pass
+    /// through `scratch`, and splits the merged predictions into
+    /// caller-owned per-netlist outputs (capacity reused; entries trimmed
+    /// by a smaller batch park in `batch`'s spare pool and come back when
+    /// the batch grows again). After one warmup batch at a given size,
+    /// the entire pipeline — graph construction included — performs
+    /// **zero heap allocations** at the same or smaller sizes, even with
+    /// fluctuating batch sizes, while the kernels stay on their serial
+    /// path (see [`GamoraReasoner::predict_prepared_into`]); guarded by
+    /// the `alloc_regression` test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aigs` is empty.
+    pub fn predict_batch_into(
+        &self,
+        batch: &mut BatchScratch,
+        scratch: &mut InferenceScratch,
+        aigs: &[&Aig],
+        outs: &mut Vec<Predictions>,
+    ) {
+        assemble_batch_into(aigs, self.config.feature_mode, self.config.direction, batch);
+        // Resize `outs` without discarding warmed capacity: trimmed
+        // entries park in the scratch's spare pool and are reused on
+        // regrowth (serve queue-drain sizes fluctuate batch to batch).
+        while outs.len() > aigs.len() {
+            batch.spare.push(outs.pop().expect("len checked"));
         }
-        out
+        while outs.len() < aigs.len() {
+            outs.push(batch.spare.pop().unwrap_or_default());
+        }
+        let BatchScratch {
+            graph,
+            features,
+            offsets,
+            merged,
+            ..
+        } = batch;
+        self.predict_prepared_into(scratch, graph, features, merged);
+        for ((out, &aig), &start) in outs.iter_mut().zip(aigs).zip(offsets.iter()) {
+            let end = start + aig.num_nodes();
+            out.root_leaf.clear();
+            out.root_leaf
+                .extend_from_slice(&merged.root_leaf[start..end]);
+            out.is_xor.clear();
+            out.is_xor.extend_from_slice(&merged.is_xor[start..end]);
+            out.is_maj.clear();
+            out.is_maj.extend_from_slice(&merged.is_maj[start..end]);
+        }
     }
 
     /// Predicts and scores against exact ground truth.
@@ -348,8 +401,10 @@ pub fn score_predictions(preds: &Predictions, labels: &gamora_exact::Labels) -> 
 
 /// Estimated peak inference memory in bytes for a graph of `num_nodes`
 /// nodes under a config — the analytic model behind the Figure 8 memory
-/// plot (feature row + two layer activations + concat buffer + logits,
-/// all `f32`, plus CSR overhead per edge).
+/// plot (feature row + two layer activations + aggregation scratch +
+/// logits, all `f32`, plus CSR overhead per edge). The split-weight SAGE
+/// kernel needs no concat buffer, which removes `2 * hidden` floats per
+/// node from the old estimate.
 pub fn inference_memory_estimate(
     config: &ReasonerConfig,
     num_nodes: usize,
@@ -362,7 +417,6 @@ pub fn inference_memory_estimate(
     };
     let per_node_f32 = FEATURE_DIM      // input features
         + 2 * hidden                    // current + aggregated embeddings
-        + 2 * hidden                    // concat buffer
         + hidden                        // next-layer output
         + 32                            // shared layer
         + 8; // logits

@@ -2,22 +2,30 @@
 //!
 //! The whole point of the tape/scratch refactor is that a warmed-up
 //! `predict_prepared_into` call performs **zero** heap allocations: every
-//! buffer (per-layer activations, aggregation/concat scratch, logits, the
-//! output `Predictions`) is reused at its high-water capacity. This test
-//! installs a counting global allocator and fails if the steady state ever
-//! touches the heap again.
+//! buffer (per-layer activations, aggregation scratch, logits, the output
+//! `Predictions`) is reused at its high-water capacity. Since the
+//! zero-copy batch-assembly work, the same holds for the **full** path
+//! from raw `&Aig`s — graph construction, feature encoding, batch
+//! assembly and the forward pass (`predict_batch_into`). These tests
+//! install a counting global allocator and fail if either steady state
+//! ever touches the heap again.
 //!
-//! It must stay the only `#[test]` in this binary: a global allocator is
-//! process-wide, and concurrent tests would perturb the counter. Counting
-//! is additionally gated on a thread-local flag so that only the
-//! measuring thread is observed — the libtest harness thread runs
-//! concurrently and its channel waits can allocate at arbitrary points.
+//! The allocator is process-wide, so the tests in this binary serialise
+//! on a mutex and counting is additionally gated on a thread-local flag:
+//! only the measuring thread inside its measured window is observed — the
+//! libtest harness thread runs concurrently and its channel waits can
+//! allocate at arbitrary points.
 
 use gamora::{GamoraReasoner, ModelDepth, Predictions, ReasonerConfig, TrainConfig};
+use gamora_aig::Aig;
 use gamora_circuits::csa_multiplier;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Serialises the measuring tests (one process-wide counter).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
@@ -61,6 +69,7 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn predict_prepared_into_is_allocation_free_after_warmup() {
+    let _guard = TEST_LOCK.lock().unwrap();
     let m = csa_multiplier(4);
     let mut reasoner = GamoraReasoner::new(ReasonerConfig {
         depth: ModelDepth::Custom {
@@ -107,4 +116,82 @@ fn predict_prepared_into_is_allocation_free_after_warmup() {
     assert_eq!(out.root_leaf, expected.root_leaf);
     assert_eq!(out.is_xor, expected.is_xor);
     assert_eq!(out.is_maj, expected.is_maj);
+}
+
+/// The *entire* batch pipeline from raw `&Aig`s — streaming graph
+/// construction, feature encoding, disjoint-union batch assembly, the
+/// forward pass, and the per-netlist split — is allocation-free once the
+/// worker-owned scratch (`BatchScratch` + `InferenceScratch` + recycled
+/// outputs) has warmed up. This is exactly the serve worker's miss path.
+#[test]
+fn predict_batch_into_full_path_is_allocation_free_after_warmup() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let m3 = csa_multiplier(3);
+    let m4 = csa_multiplier(4);
+    let m5 = csa_multiplier(5);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m3.aig],
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let reasoner = reasoner;
+
+    // Mixed sizes in one batch, largest not first, so the split offsets
+    // and capacity-reuse paths all get exercised.
+    let aigs: Vec<&Aig> = vec![&m4.aig, &m3.aig, &m5.aig];
+    let mut batch = reasoner.batch_scratch();
+    let mut scratch = reasoner.scratch();
+    let mut outs: Vec<Predictions> = Vec::new();
+
+    // Warmup: every buffer — CSR arrays, merged features, forward
+    // scratch, merged and per-netlist predictions — grows to its
+    // high-water mark.
+    reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut outs);
+    let expected = outs.clone();
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..32 {
+        reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut outs);
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state predict_batch_into (graph build + features + batch \
+         assembly + forward) must not allocate"
+    );
+    assert_eq!(outs, expected);
+
+    // Fluctuating batch sizes (the serve steady state: queue drains vary
+    // batch to batch) must also stay allocation-free — entries trimmed by
+    // a shrink park in the scratch's spare pool and return on regrowth.
+    let small: Vec<&Aig> = vec![&m3.aig];
+    reasoner.predict_batch_into(&mut batch, &mut scratch, &small, &mut outs);
+    let expected_small = outs.clone();
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..8 {
+        reasoner.predict_batch_into(&mut batch, &mut scratch, &small, &mut outs);
+        reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut outs);
+    }
+    COUNTING.with(|c| c.set(false));
+    assert_eq!(
+        ALLOC_CALLS.load(Ordering::SeqCst) - before,
+        0,
+        "alternating batch sizes must recycle warmed buffers, not reallocate"
+    );
+    assert_eq!(outs, expected);
+    reasoner.predict_batch_into(&mut batch, &mut scratch, &small, &mut outs);
+    assert_eq!(outs, expected_small);
 }

@@ -22,7 +22,12 @@ pub enum Direction {
 
 /// A fixed graph in CSR form with forward and reverse adjacency, ready for
 /// mean aggregation and its backward pass.
-#[derive(Clone, Debug)]
+///
+/// A `Graph` is also its own assembly scratch: [`Graph::from_edges_into`]
+/// rebuilds every CSR array in place, reusing high-water capacity, so a
+/// serve worker can stream a fresh (batch) graph into the same instance on
+/// every request without touching the heap.
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     num_nodes: usize,
     offsets: Vec<u32>,
@@ -31,6 +36,8 @@ pub struct Graph {
     rev_neighbors: Vec<u32>,
     /// 1 / degree(v) for the forward adjacency (0 for isolated nodes).
     inv_deg: Vec<f32>,
+    /// Reusable slot cursor for the in-place CSR fill passes.
+    cursor: Vec<u32>,
 }
 
 impl Graph {
@@ -40,45 +47,126 @@ impl Graph {
     ///
     /// Panics if an endpoint is out of `0..num_nodes`.
     pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)], direction: Direction) -> Graph {
-        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(match direction {
-            Direction::Bidirectional => edges.len() * 2,
-            _ => edges.len(),
-        });
-        for &(s, d) in edges {
-            assert!(
-                (s as usize) < num_nodes && (d as usize) < num_nodes,
-                "edge ({s}, {d}) out of range"
-            );
-            match direction {
-                Direction::Fanin => pairs.push((d, s)), // node gathers from fanin
-                Direction::Fanout => pairs.push((s, d)), // node gathers from fanout
-                Direction::Bidirectional => {
-                    pairs.push((d, s));
-                    pairs.push((s, d));
-                }
-            }
-        }
-        let (offsets, neighbors) = build_csr(num_nodes, &pairs);
-        let rev_pairs: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
-        let (rev_offsets, rev_neighbors) = build_csr(num_nodes, &rev_pairs);
-        let inv_deg = (0..num_nodes)
-            .map(|v| {
-                let deg = offsets[v + 1] - offsets[v];
-                if deg == 0 {
-                    0.0
-                } else {
-                    1.0 / deg as f32
-                }
-            })
-            .collect();
-        Graph {
+        let mut out = Graph::default();
+        Graph::from_edges_into(
             num_nodes,
+            direction,
+            |sink| {
+                for &(s, d) in edges {
+                    sink(s, d);
+                }
+            },
+            &mut out,
+        );
+        out
+    }
+
+    /// Streams edges into a caller-owned graph, rebuilding its CSR arrays
+    /// in place: no intermediate edge list, no reverse-pair
+    /// materialisation, and zero heap allocation once `out`'s buffers have
+    /// reached their high-water capacity.
+    ///
+    /// `edges` must stream the same `(src, dst)` sequence every time it is
+    /// invoked — it is called twice, once to count per-node degrees and
+    /// once to fill the CSR slots. The reverse adjacency is then derived
+    /// from the forward arrays directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of `0..num_nodes`, or (debug only) if
+    /// the two `edges` invocations stream different sequences.
+    pub fn from_edges_into<F>(num_nodes: usize, direction: Direction, edges: F, out: &mut Graph)
+    where
+        F: Fn(&mut dyn FnMut(u32, u32)),
+    {
+        let Graph {
+            num_nodes: out_nodes,
             offsets,
             neighbors,
             rev_offsets,
             rev_neighbors,
             inv_deg,
+            cursor,
+        } = out;
+        *out_nodes = num_nodes;
+
+        // Pass 1: count aggregation edges per CSR row.
+        offsets.clear();
+        offsets.resize(num_nodes + 1, 0);
+        edges(&mut |s: u32, d: u32| {
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "edge ({s}, {d}) out of range"
+            );
+            match direction {
+                Direction::Fanin => offsets[d as usize + 1] += 1, // node gathers from fanin
+                Direction::Fanout => offsets[s as usize + 1] += 1, // node gathers from fanout
+                Direction::Bidirectional => {
+                    offsets[d as usize + 1] += 1;
+                    offsets[s as usize + 1] += 1;
+                }
+            }
+        });
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
         }
+        let total = offsets[num_nodes] as usize;
+
+        // Pass 2: fill the forward CSR slots.
+        cursor.clear();
+        cursor.extend_from_slice(offsets);
+        neighbors.clear();
+        neighbors.resize(total, 0);
+        edges(&mut |s: u32, d: u32| {
+            let mut put = |v: u32, u: u32| {
+                let slot = &mut cursor[v as usize];
+                neighbors[*slot as usize] = u;
+                *slot += 1;
+            };
+            match direction {
+                Direction::Fanin => put(d, s),
+                Direction::Fanout => put(s, d),
+                Direction::Bidirectional => {
+                    put(d, s);
+                    put(s, d);
+                }
+            }
+        });
+        debug_assert!(
+            (0..num_nodes).all(|v| cursor[v] == offsets[v + 1]),
+            "edge stream changed between the count and fill passes"
+        );
+
+        // Reverse CSR, derived from the forward arrays (who consumes whom).
+        rev_offsets.clear();
+        rev_offsets.resize(num_nodes + 1, 0);
+        for &u in neighbors.iter() {
+            rev_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(rev_offsets);
+        rev_neighbors.clear();
+        rev_neighbors.resize(total, 0);
+        for v in 0..num_nodes {
+            for &u in &neighbors[offsets[v] as usize..offsets[v + 1] as usize] {
+                let slot = &mut cursor[u as usize];
+                rev_neighbors[*slot as usize] = v as u32;
+                *slot += 1;
+            }
+        }
+
+        inv_deg.clear();
+        inv_deg.extend((0..num_nodes).map(|v| {
+            let deg = offsets[v + 1] - offsets[v];
+            if deg == 0 {
+                0.0
+            } else {
+                1.0 / deg as f32
+            }
+        }));
     }
 
     /// Number of nodes.
@@ -159,25 +247,6 @@ impl Graph {
     }
 }
 
-fn build_csr(num_nodes: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
-    let mut counts = vec![0u32; num_nodes + 1];
-    for &(v, _) in pairs {
-        counts[v as usize + 1] += 1;
-    }
-    for i in 0..num_nodes {
-        counts[i + 1] += counts[i];
-    }
-    let offsets = counts.clone();
-    let mut cursor = offsets.clone();
-    let mut neighbors = vec![0u32; pairs.len()];
-    for &(v, u) in pairs {
-        let slot = &mut cursor[v as usize];
-        neighbors[*slot as usize] = u;
-        *slot += 1;
-    }
-    (offsets, neighbors)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +291,45 @@ mod tests {
         assert_eq!(agg.row(3), &[0.0]);
         assert_eq!(agg.row(0), &[0.0]); // fanin of 0 is empty
         assert_eq!(agg.row(1), &[5.0]);
+    }
+
+    /// An in-place rebuild into a reused graph (grow-then-shrink and
+    /// shrink-then-grow) is indistinguishable from fresh construction,
+    /// including the derived reverse adjacency.
+    #[test]
+    fn from_edges_into_reuse_matches_fresh() {
+        let mut g = Graph::default();
+        for n in [6usize, 3, 9] {
+            let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            for dir in [
+                Direction::Fanin,
+                Direction::Fanout,
+                Direction::Bidirectional,
+            ] {
+                Graph::from_edges_into(
+                    n,
+                    dir,
+                    |sink| {
+                        for &(s, d) in &edges {
+                            sink(s, d);
+                        }
+                    },
+                    &mut g,
+                );
+                let fresh = Graph::from_edges(n, &edges, dir);
+                assert_eq!(g.num_nodes(), fresh.num_nodes());
+                assert_eq!(g.num_edges(), fresh.num_edges());
+                for v in 0..n {
+                    assert_eq!(g.neighbors(v), fresh.neighbors(v), "{dir:?} node {v}");
+                }
+                let grad = Matrix::from_vec(n, 1, (0..n).map(|i| i as f32 + 1.0).collect());
+                assert_eq!(
+                    g.mean_aggregate_backward(&grad).as_slice(),
+                    fresh.mean_aggregate_backward(&grad).as_slice(),
+                    "{dir:?} reverse adjacency"
+                );
+            }
+        }
     }
 
     /// The backward pass must be the exact adjoint of the forward pass:

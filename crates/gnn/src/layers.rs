@@ -10,7 +10,7 @@
 //! in the layer for the optimiser.
 
 use crate::graph::Graph;
-use crate::tensor::Matrix;
+use crate::tensor::{fused_gemm_into, Matrix};
 use rand::Rng;
 
 /// Activations recorded by a training-mode forward through one [`Linear`]
@@ -56,13 +56,18 @@ impl Linear {
     }
 
     /// Inference forward pass into a caller-owned buffer (no heap
-    /// allocation once `y` has enough capacity).
+    /// allocation once `y` has enough capacity). One fused GEMM pass:
+    /// bias and the optional ReLU run in the kernel epilogue.
     pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
-        x.matmul_into(&self.w, y);
-        y.add_row_vector(&self.b);
-        if self.relu {
-            y.relu_in_place();
-        }
+        fused_gemm_into(
+            x,
+            self.w.as_slice(),
+            None,
+            Some(&self.b),
+            self.relu,
+            self.w.cols(),
+            y,
+        );
     }
 
     /// Training forward pass: records the input and output on `tape` for
@@ -125,13 +130,16 @@ impl Linear {
     }
 }
 
-/// Reusable aggregation/concatenation buffers for allocation-free SAGE
-/// forwards (shared by every layer of a model, since layers run in
-/// sequence).
+/// Reusable aggregation buffer for allocation-free SAGE forwards (shared
+/// by every layer of a model, since layers run in sequence).
+///
+/// There is deliberately no concat buffer: the split-weight forward
+/// multiplies `h` and the aggregate against the two row halves of the
+/// combined weight matrix, so the `[h | agg]` concatenation is never
+/// materialised.
 #[derive(Clone, Debug, Default)]
 pub struct SageScratch {
     agg: Matrix,
-    concat: Matrix,
 }
 
 /// One GraphSAGE convolution (Hamilton et al., Eq. 1 of the paper):
@@ -164,15 +172,42 @@ impl SageLayer {
     /// allocation once `ws` and `out` have enough capacity).
     pub fn forward_into(&self, graph: &Graph, h: &Matrix, ws: &mut SageScratch, out: &mut Matrix) {
         graph.mean_aggregate_into(h, &mut ws.agg);
-        h.hconcat_into(&ws.agg, &mut ws.concat);
-        self.lin.forward_into(&ws.concat, out);
+        self.fused_into(h, &ws.agg, out);
+    }
+
+    /// The split-weight fused convolution: `ReLU(h @ W_self + agg @
+    /// W_neigh + b)` in one GEMM pass. `W_self`/`W_neigh` are the row
+    /// halves of the combined weight matrix (row-major, so they are
+    /// contiguous slices — nothing is copied, and snapshots keep the
+    /// combined on-disk layout).
+    fn fused_into(&self, h: &Matrix, agg: &Matrix, out: &mut Matrix) {
+        let n = self.lin.w.cols();
+        let (w_self, w_neigh) = self.lin.w.as_slice().split_at(self.in_dim * n);
+        fused_gemm_into(
+            h,
+            w_self,
+            Some((agg, w_neigh)),
+            Some(&self.lin.b),
+            true,
+            n,
+            out,
+        );
     }
 
     /// Training forward pass: records activations on `tape`.
+    ///
+    /// The output is computed through the same split-weight fused kernel
+    /// as [`SageLayer::forward_into`] (training and inference logits stay
+    /// bit-identical); only the tape still materialises the `[h | agg]`
+    /// concatenation, because the backward pass needs it for the weight
+    /// gradient `X^T @ dY` over the full `2 * in_dim` width.
     pub fn forward_train(&self, graph: &Graph, h: &Matrix, tape: &mut LinearTape) -> Matrix {
-        let h_n = graph.mean_aggregate(h);
-        let concat = h.hconcat(&h_n);
-        self.lin.forward_train(&concat, tape)
+        let agg = graph.mean_aggregate(h);
+        h.hconcat_into(&agg, &mut tape.x);
+        let mut y = Matrix::default();
+        self.fused_into(h, &agg, &mut y);
+        tape.y.copy_from(&y);
+        y
     }
 
     /// Backward pass; returns the gradient w.r.t. the layer input.

@@ -4,9 +4,12 @@
 //! paper's multi-task node classifier without an external deep-learning
 //! framework (the "thin GNN ecosystem" substitution of this reproduction).
 //!
-//! * [`Matrix`] — dense tensors with multi-threaded matmul kernels
-//!   (crossbeam row blocks stand in for the paper's GPU);
+//! * [`Matrix`] — dense tensors with multi-threaded, register-blocked
+//!   matmul kernels and fused bias/ReLU epilogues (crossbeam row blocks
+//!   stand in for the paper's GPU);
 //! * [`Graph`] — CSR message passing with exact adjoint backward;
+//!   [`Graph::from_edges_into`] streams an edge list into a reused
+//!   instance with zero steady-state allocation;
 //! * [`SageLayer`]/[`Linear`] — layers with hand-derived backward passes,
 //!   validated by finite-difference gradient checks;
 //! * [`MultiTaskSage`] — K-layer trunk + shared linear + per-task softmax

@@ -26,8 +26,9 @@ pub struct Tape {
 }
 
 /// Reusable per-worker buffers for allocation-free inference: ping-pong
-/// embedding matrices, aggregation/concat scratch, the shared-layer
-/// output, and one logit matrix per task.
+/// embedding matrices, aggregation scratch (the split-weight SAGE forward
+/// needs no concat buffer), the shared-layer output, and one logit matrix
+/// per task.
 ///
 /// A warmed-up scratch (after one [`MultiTaskSage::infer`] call at a given
 /// graph size) lets every subsequent inference at the same or smaller size

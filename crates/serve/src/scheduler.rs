@@ -12,13 +12,19 @@
 //! no-external-runtime discipline as `gamora_gnn::parallel`). The server
 //! holds exactly **one** trained reasoner behind an [`Arc`]; inference is
 //! `&self`, so every worker shares those weights read-only and carries
-//! only a private [`InferenceScratch`] (preallocated forward buffers).
-//! Forward passes never contend on a lock, and memory scales with worker
-//! count only by the scratch size, not by the model size.
+//! only private scratch: an [`InferenceScratch`] (preallocated forward
+//! buffers) plus a [`BatchScratch`] (reusable merged batch graph,
+//! features and predictions) and a recycled per-job output vector. A
+//! warmed-up worker therefore runs the whole miss path — graph
+//! construction, feature encoding, batch assembly and the forward pass —
+//! without heap allocation. Forward passes never contend on a lock, and
+//! memory scales with worker count only by the scratch size, not by the
+//! model size.
 
 use crate::cache::{GraphSignature, HitKind, PredictionCache};
 use gamora::{
-    extract_from_predictions, lsb_correction, GamoraReasoner, InferenceScratch, Predictions,
+    extract_from_predictions, lsb_correction, BatchScratch, GamoraReasoner, InferenceScratch,
+    Predictions,
 };
 use gamora_aig::hasher::FxHashMap;
 use gamora_aig::Aig;
@@ -202,8 +208,12 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("gamora-serve-{i}"))
                     .spawn(move || {
-                        let mut scratch = model.scratch();
-                        worker_loop(&shared, &model, &mut scratch);
+                        let mut state = WorkerState {
+                            scratch: model.scratch(),
+                            batch_ws: model.batch_scratch(),
+                            outs: Vec::new(),
+                        };
+                        worker_loop(&shared, &model, &mut state);
                     })
                     .expect("spawn serve worker")
             })
@@ -290,7 +300,15 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: &Shared, model: &GamoraReasoner, scratch: &mut InferenceScratch) {
+/// Per-worker reusable state: every buffer a miss batch needs, preallocated
+/// and recycled so the steady state never allocates.
+struct WorkerState {
+    scratch: InferenceScratch,
+    batch_ws: BatchScratch,
+    outs: Vec<Predictions>,
+}
+
+fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState) {
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -312,7 +330,7 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, scratch: &mut InferenceS
         // queue. Scratch buffers are resized from scratch on every use,
         // so a half-written workspace cannot poison later batches.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_batch(shared, model, scratch, batch);
+            run_batch(shared, model, state, batch);
         }));
         if outcome.is_err() {
             eprintln!("gamora-serve: batch panicked; its jobs were dropped");
@@ -320,12 +338,7 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, scratch: &mut InferenceS
     }
 }
 
-fn run_batch(
-    shared: &Shared,
-    model: &GamoraReasoner,
-    scratch: &mut InferenceScratch,
-    batch: Vec<Job>,
-) {
+fn run_batch(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState, batch: Vec<Job>) {
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
 
     // Phase 1: resolve from the cache under one short lock. With hashing
@@ -378,7 +391,12 @@ fn run_batch(
             }
         }
         let aigs: Vec<&Aig> = unique.iter().map(|&i| &batch[i].aig).collect();
-        let fresh = model.predict_batch_with(scratch, &aigs);
+        let WorkerState {
+            scratch,
+            batch_ws,
+            outs,
+        } = state;
+        model.predict_batch_into(batch_ws, scratch, &aigs, outs);
         shared
             .counters
             .forward_passes
@@ -386,13 +404,13 @@ fn run_batch(
         {
             let mut cache = shared.cache.lock().expect("cache poisoned");
             if let Some(cache) = cache.as_mut() {
-                for (&i, preds) in unique.iter().zip(&fresh) {
+                for (&i, preds) in unique.iter().zip(outs.iter()) {
                     cache.insert(&signatures[i], preds.clone());
                 }
             }
         }
         for (pos, &i) in miss_idx.iter().enumerate() {
-            served[i] = Some((fresh[slot_of[pos]].clone(), HitKind::Verbatim));
+            served[i] = Some((outs[slot_of[pos]].clone(), HitKind::Verbatim));
         }
         shared
             .counters
