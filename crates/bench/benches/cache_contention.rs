@@ -1,0 +1,109 @@
+//! Prediction-cache lock-scope micro-bench: how much wall time T threads
+//! lose when the O(nodes) hit resolution (verbatim clone or transfer
+//! re-indexing) runs **inside** the cache mutex versus the fixed design —
+//! an O(1) `probe` under the lock and `CacheEntry::resolve` on the
+//! caller's thread outside it.
+//!
+//! "locked" simulates the pre-fix `lookup`-under-mutex scheduler;
+//! "split" is what `gamora-serve` now does. The gap is the serialised
+//! per-hit O(nodes) work; per-shard caches (`ShardRouter`) shrink it
+//! further by giving each worker pool its own mutex.
+//!
+//! Regenerate: `cargo bench -p gamora-bench --bench cache_contention`
+
+use gamora::Predictions;
+use gamora_bench::{time, workload, Scale, Table};
+use gamora_circuits::MultiplierKind;
+use gamora_serve::cache::{GraphSignature, PredictionCache};
+use std::sync::Mutex;
+
+fn dummy_predictions(num_nodes: usize) -> Predictions {
+    Predictions {
+        root_leaf: (0..num_nodes as u32).map(|i| i % 4).collect(),
+        is_xor: (0..num_nodes).map(|i| i % 2 == 0).collect(),
+        is_maj: (0..num_nodes).map(|i| i % 3 == 0).collect(),
+    }
+}
+
+/// Runs `iters` hit-resolutions per thread against one shared cache.
+/// `split` = probe under the lock, resolve outside (the fixed scheduler);
+/// otherwise the whole lookup holds the mutex (the old behaviour).
+fn hammer(
+    cache: &Mutex<PredictionCache>,
+    sig: &GraphSignature,
+    threads: usize,
+    iters: usize,
+    split: bool,
+) -> f64 {
+    let (_, secs) = time(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || {
+                    for _ in 0..iters {
+                        let served = if split {
+                            let entry = cache
+                                .lock()
+                                .expect("cache poisoned")
+                                .probe(&sig.key)
+                                .expect("entry cached");
+                            // O(nodes), no lock held.
+                            entry.resolve(sig)
+                        } else {
+                            // O(nodes) under the mutex: every other
+                            // thread's probe waits for it.
+                            cache.lock().expect("cache poisoned").lookup(sig)
+                        };
+                        assert!(served.is_some(), "resolution must hit");
+                        std::hint::black_box(&served);
+                    }
+                });
+            }
+        });
+    });
+    (threads * iters) as f64 / secs
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let bits = scale.pick(8, 12, 16);
+    let iters = scale.pick(300, 1500, 6000);
+
+    let subject = workload(MultiplierKind::Csa, bits);
+    let sig = GraphSignature::of(&subject.aig);
+    let preds = dummy_predictions(subject.aig.num_nodes());
+    println!(
+        "\n=== Cache lock-scope contention: {}-bit CSA ({} nodes), {iters} hits/thread ===",
+        bits,
+        subject.aig.num_nodes()
+    );
+
+    // Verbatim path: identity matches, resolution clones the stored
+    // vectors. Transfer path: identity differs, resolution re-indexes
+    // every node through the canonical-hash map (the heaviest hit).
+    let mut transfer_sig = sig.clone();
+    transfer_sig.identity ^= 1;
+
+    let mut table = Table::new(&[
+        "path",
+        "threads",
+        "locked (hits/s)",
+        "split (hits/s)",
+        "split/locked",
+    ]);
+    for (label, lookup_sig) in [("verbatim", &sig), ("transfer", &transfer_sig)] {
+        for threads in [1usize, 2, 4] {
+            let cache = Mutex::new(PredictionCache::new(8));
+            cache.lock().unwrap().insert(&sig, preds.clone());
+            let locked = hammer(&cache, lookup_sig, threads, iters, false);
+            let split = hammer(&cache, lookup_sig, threads, iters, true);
+            table.row(vec![
+                label.to_string(),
+                threads.to_string(),
+                format!("{locked:.0}"),
+                format!("{split:.0}"),
+                format!("{:.2}x", split / locked),
+            ]);
+        }
+    }
+    table.print();
+}

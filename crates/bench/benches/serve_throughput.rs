@@ -67,6 +67,7 @@ fn main() {
                 max_batch: batch,
                 workers: 1,
                 cache_capacity: 0,
+                ..ServeConfig::default()
             },
         );
         let (_, cold_secs) = time(|| run(&cold_server));
@@ -78,10 +79,12 @@ fn main() {
                 max_batch: batch,
                 workers: 1,
                 cache_capacity: 16,
+                ..ServeConfig::default()
             },
         );
         hot_server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .expect("warmup admitted")
             .wait()
             .expect("warmup job answered");
         let (_, hot_secs) = time(|| run(&hot_server));

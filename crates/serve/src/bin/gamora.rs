@@ -14,12 +14,15 @@ use gamora::{
 };
 use gamora_aig::{aiger, Aig};
 use gamora_circuits::{generate_multiplier, MultiplierKind};
-use gamora_serve::report::Json;
-use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+use gamora_serve::report::{serve_stats_json, Json};
+use gamora_serve::router::ShardRouter;
+use gamora_serve::scheduler::{
+    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
+};
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 gamora — persistent-model inference service for AIG symbolic reasoning
@@ -28,10 +31,23 @@ USAGE:
     gamora train --out MODEL.gsnap [--bits 3,4,5,6,7,8] [--epochs 300]
                  [--kind csa|booth] [--depth shallow|deep|LxH] [--seed N]
     gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
-                 [--workers N] [--cache N] [--compact] FILE.aag [FILE.aig ...]
+                 [--workers N] [--cache N] [--queue-cap N] [--linger MICROS]
+                 [--compact] FILE.aag [FILE.aig ...]
                  (--cache 0 disables the structural-hash cache)
     gamora bench-serve --model MODEL.gsnap [--bits 16] [--count 64]
-                       [--batches 1,8,64] [--workers N]
+                       [--batches 1,8,64] [--workers N] [--shards N]
+                       [--linger MICROS] [--queue-cap N] [--deadline MICROS]
+
+bench-serve extras:
+    --shards N        route through a structural-hash ShardRouter over N
+                      per-cache server shards (default 1 = single server);
+                      adds a shard-affinity repeat run to the report
+    --queue-cap N     bound every queue to N jobs and add a saturation run
+                      (4x oversubmission via try_submit; reports Overloaded
+                      rejections and the queue high-water mark)
+    --deadline MICROS give saturation jobs a time-to-live; expired jobs are
+                      rejected without a forward pass
+    --linger MICROS   short-batch linger window for batch formation
 
 Reports are JSON on stdout; diagnostics go to stderr.";
 
@@ -76,6 +92,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--count",
     "--batches",
     "--cache",
+    "--shards",
+    "--linger",
+    "--queue-cap",
+    "--deadline",
 ];
 const SWITCH_FLAGS: &[&str] = &["--extract", "--score", "--compact", "--quiet"];
 
@@ -261,9 +281,12 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     if flags.positional.is_empty() {
         return Err("infer requires at least one AIGER file".into());
     }
+    let defaults = ServeConfig::default();
     let max_batch = flags.usize_or("--batch", 8)?;
     let workers = flags.usize_or("--workers", 1)?;
-    let cache_capacity = flags.usize_or("--cache", ServeConfig::default().cache_capacity)?;
+    let cache_capacity = flags.usize_or("--cache", defaults.cache_capacity)?;
+    let queue_capacity = flags.usize_or("--queue-cap", defaults.queue_capacity)?;
+    let linger_micros = flags.usize_or("--linger", defaults.linger_micros as usize)? as u64;
     let kind = if flags.has("--extract") {
         AnalysisKind::ExtractAdders
     } else {
@@ -278,6 +301,8 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             max_batch,
             workers,
             cache_capacity,
+            queue_capacity,
+            linger_micros,
         },
     );
 
@@ -328,21 +353,15 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         ));
     }
     let stats = server.shutdown();
+    let Json::Obj(mut serving) = serve_stats_json(&stats) else {
+        unreachable!("serve_stats_json returns an object")
+    };
+    serving.push(("wall_seconds".to_string(), Json::Num(wall.as_secs_f64())));
     let json = Json::obj([
         ("command", Json::str("infer")),
         ("model", Json::str(model_path)),
         ("files", Json::Arr(files)),
-        (
-            "serving",
-            Json::obj([
-                ("jobs", Json::uint(stats.jobs as usize)),
-                ("batches", Json::uint(stats.batches as usize)),
-                ("forward_passes", Json::uint(stats.forward_passes as usize)),
-                ("cache_hits", Json::uint(stats.cache_hits as usize)),
-                ("cache_misses", Json::uint(stats.cache_misses as usize)),
-                ("wall_seconds", Json::Num(wall.as_secs_f64())),
-            ]),
-        ),
+        ("serving", Json::Obj(serving)),
     ]);
     if flags.has("--compact") {
         println!("{}", json.compact());
@@ -350,6 +369,63 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         println!("{json}");
     }
     Ok(())
+}
+
+/// One serving ingress for the bench: a single server, or a
+/// structural-hash shard router — both expose the same submission surface.
+enum Ingress {
+    Single(Server),
+    Sharded(ShardRouter),
+}
+
+impl Ingress {
+    fn start(reasoner: &Arc<GamoraReasoner>, shards: usize, config: ServeConfig) -> Ingress {
+        if shards > 1 {
+            Ingress::Sharded(ShardRouter::start(Arc::clone(reasoner), shards, config))
+        } else {
+            Ingress::Single(Server::start_shared(Arc::clone(reasoner), config))
+        }
+    }
+
+    fn submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        match self {
+            Ingress::Single(s) => s.submit(aig, kind),
+            Ingress::Sharded(r) => r.submit(aig, kind),
+        }
+    }
+
+    fn try_submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        match self {
+            Ingress::Single(s) => s.try_submit(aig, kind),
+            Ingress::Sharded(r) => r.try_submit(aig, kind),
+        }
+    }
+
+    fn try_submit_within(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        ttl: Duration,
+    ) -> Result<JobTicket, SubmitError> {
+        match self {
+            Ingress::Single(s) => s.try_submit_within(aig, kind, ttl),
+            Ingress::Sharded(r) => r.try_submit_within(aig, kind, ttl),
+        }
+    }
+
+    fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Result<Vec<JobOutput>, ServeError> {
+        match self {
+            Ingress::Single(s) => s.submit_all(jobs),
+            Ingress::Sharded(r) => r.submit_all(jobs),
+        }
+    }
+
+    fn shutdown(self) -> ServeStats {
+        match self {
+            Ingress::Single(s) => s.shutdown(),
+            Ingress::Sharded(r) => r.shutdown(),
+        }
+    }
 }
 
 fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
@@ -361,6 +437,16 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let count = flags.usize_or("--count", 64)?;
     let batch_sizes = flags.usize_list_or("--batches", &[1, 8, 64])?;
     let workers = flags.usize_or("--workers", 1)?;
+    let shards = flags.usize_or("--shards", 1)?;
+    let linger_micros =
+        flags.usize_or("--linger", ServeConfig::default().linger_micros as usize)? as u64;
+    // 0 keeps the throughput rows unbounded (comparable with earlier
+    // baselines); any positive value also triggers the saturation run.
+    let queue_cap = flags.usize_or("--queue-cap", 0)?;
+    let deadline_micros = flags.usize_or("--deadline", 0)? as u64;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
 
     // One model instance serves every configuration: workers share it
     // through the `Arc`, no per-worker (or per-configuration) clones.
@@ -369,19 +455,27 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     );
     let subject = generate_multiplier(MultiplierKind::Csa, bits);
     eprintln!(
-        "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes) ...",
+        "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes), \
+         {shards} shard(s) ...",
         subject.aig.num_nodes()
     );
+    let base = ServeConfig {
+        workers,
+        queue_capacity: queue_cap,
+        linger_micros,
+        ..ServeConfig::default()
+    };
 
     let mut rows = Vec::new();
     for &batch in &batch_sizes {
         // Cold: cache disabled, every submission runs the model.
-        let server = Server::start_shared(
-            Arc::clone(&reasoner),
+        let ingress = Ingress::start(
+            &reasoner,
+            shards,
             ServeConfig {
                 max_batch: batch,
-                workers,
                 cache_capacity: 0,
+                ..base
             },
         );
         let t0 = Instant::now();
@@ -390,24 +484,26 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             let jobs = (0..n)
                 .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
                 .collect();
-            server
+            ingress
                 .submit_all(jobs)
                 .map_err(|e| format!("serving failed: {e}"))?;
         }
         let cold = count as f64 / t0.elapsed().as_secs_f64();
-        server.shutdown();
+        ingress.shutdown();
 
         // Hot: cache enabled and pre-warmed — the repeated-netlist path.
-        let server = Server::start_shared(
-            Arc::clone(&reasoner),
+        let ingress = Ingress::start(
+            &reasoner,
+            shards,
             ServeConfig {
                 max_batch: batch,
-                workers,
                 cache_capacity: 16,
+                ..base
             },
         );
-        server
+        ingress
             .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .map_err(|e| format!("serving failed: {e}"))?
             .wait()
             .map_err(|e| format!("serving failed: {e}"))?;
         let t0 = Instant::now();
@@ -416,12 +512,12 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             let jobs = (0..n)
                 .map(|_| (subject.aig.clone(), AnalysisKind::Classify))
                 .collect();
-            server
+            ingress
                 .submit_all(jobs)
                 .map_err(|e| format!("serving failed: {e}"))?;
         }
         let hot = count as f64 / t0.elapsed().as_secs_f64();
-        let stats = server.shutdown();
+        let stats = ingress.shutdown();
         assert_eq!(
             stats.forward_passes, 1,
             "hot runs must be answered from the cache"
@@ -435,15 +531,190 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         ]));
     }
 
-    let json = Json::obj([
+    let mut fields = vec![
         ("command", Json::str("bench-serve")),
         ("model", Json::str(model_path)),
         ("subject_bits", Json::uint(bits)),
         ("subject_nodes", Json::uint(subject.aig.num_nodes())),
         ("submissions", Json::uint(count)),
         ("workers", Json::uint(workers)),
+        ("shards", Json::uint(shards)),
         ("rows", Json::Arr(rows)),
-    ]);
+    ];
+    if shards > 1 {
+        fields.push(("sharding", bench_shard_affinity(&reasoner, shards, base)?));
+    }
+    if queue_cap > 0 {
+        fields.push((
+            "saturation",
+            bench_saturation(
+                &reasoner,
+                shards,
+                base,
+                queue_cap,
+                deadline_micros,
+                &subject.aig,
+            )?,
+        ));
+    }
+    let json = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
     println!("{json}");
     Ok(())
+}
+
+/// Shard-affinity run: distinct netlists spread over the shards, then
+/// every netlist is resubmitted — shard routing must serve **all**
+/// repeats from the warm per-shard caches with zero extra forward passes.
+fn bench_shard_affinity(
+    reasoner: &Arc<GamoraReasoner>,
+    shards: usize,
+    base: ServeConfig,
+) -> Result<Json, String> {
+    let router = ShardRouter::start(
+        Arc::clone(reasoner),
+        shards,
+        ServeConfig {
+            max_batch: 8,
+            cache_capacity: 64,
+            ..base
+        },
+    );
+    let subjects: Vec<Aig> = (3..11usize)
+        .map(|b| generate_multiplier(MultiplierKind::Csa, b).aig)
+        .collect();
+    for aig in &subjects {
+        router
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .map_err(|e| format!("warm submission failed: {e}"))?
+            .wait()
+            .map_err(|e| format!("warm submission failed: {e}"))?;
+    }
+    let warm_forwards = router.stats().forward_passes;
+    let mut repeat_hits = 0usize;
+    for aig in &subjects {
+        let out = router
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .map_err(|e| format!("repeat submission failed: {e}"))?
+            .wait()
+            .map_err(|e| format!("repeat submission failed: {e}"))?;
+        if out.cache_hit {
+            repeat_hits += 1;
+        }
+    }
+    let per_shard = router.shard_stats();
+    let shards_used = per_shard.iter().filter(|s| s.jobs > 0).count();
+    let stats = router.shutdown();
+    let affinity_ok = repeat_hits == subjects.len() && stats.forward_passes == warm_forwards;
+    eprintln!(
+        "  sharding: {}/{} repeats cache-hit across {shards_used}/{shards} shards used",
+        repeat_hits,
+        subjects.len()
+    );
+    if !affinity_ok {
+        return Err(format!(
+            "shard affinity broken: {repeat_hits}/{} repeats hit, forwards {} -> {}",
+            subjects.len(),
+            warm_forwards,
+            stats.forward_passes
+        ));
+    }
+    Ok(Json::obj([
+        ("distinct_graphs", Json::uint(subjects.len())),
+        ("repeat_cache_hits", Json::uint(repeat_hits)),
+        ("shards_used", Json::uint(shards_used)),
+        ("affinity_ok", Json::Bool(affinity_ok)),
+        (
+            "per_shard_jobs",
+            Json::arr(per_shard.iter().map(|s| Json::uint(s.jobs as usize))),
+        ),
+    ]))
+}
+
+/// Saturation run: hammer a cold, bounded ingress with 4x its queue
+/// capacity via `try_submit`. The bounded queue must shed load
+/// (`Overloaded`) instead of growing, the high-water mark must respect
+/// the bound, and every admitted job must complete — no hung clients.
+fn bench_saturation(
+    reasoner: &Arc<GamoraReasoner>,
+    shards: usize,
+    base: ServeConfig,
+    queue_cap: usize,
+    deadline_micros: u64,
+    subject: &Aig,
+) -> Result<Json, String> {
+    let ingress = Ingress::start(
+        reasoner,
+        shards,
+        ServeConfig {
+            max_batch: 8,
+            cache_capacity: 0, // forward pass per job: the queue really backs up
+            ..base
+        },
+    );
+    // A single repeated subject always routes to one shard, so this run
+    // saturates exactly one bounded queue — the bound under test. Scale
+    // attempts by that queue's capacity only, not the shard count.
+    let attempts = 4 * queue_cap;
+    let ttl = Duration::from_micros(deadline_micros);
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..attempts {
+        let result = if deadline_micros > 0 {
+            ingress.try_submit_within(subject.clone(), AnalysisKind::Classify, ttl)
+        } else {
+            ingress.try_submit(subject.clone(), AnalysisKind::Classify)
+        };
+        match result {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::Overloaded) => rejected += 1,
+            Err(e) => return Err(format!("saturation submit failed: {e}")),
+        }
+    }
+    let admitted = tickets.len();
+    let (mut completed, mut expired, mut hung) = (0usize, 0usize, 0usize);
+    for ticket in &tickets {
+        match ticket.wait_timeout(Duration::from_secs(120)) {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExpired) => expired += 1,
+            Err(ServeError::WaitTimeout) => hung += 1,
+            Err(e) => return Err(format!("admitted job lost: {e}")),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = ingress.shutdown();
+    eprintln!(
+        "  saturation: {attempts} attempts -> {admitted} admitted, {rejected} rejected, \
+         {completed} completed, {expired} expired, peak queue {} (cap {queue_cap})",
+        stats.peak_queued
+    );
+    if stats.peak_queued > queue_cap as u64 {
+        return Err(format!(
+            "queue bound violated: peak {} > capacity {queue_cap}",
+            stats.peak_queued
+        ));
+    }
+    if hung > 0 {
+        return Err(format!(
+            "{hung} admitted jobs never completed (hung clients)"
+        ));
+    }
+    let Json::Obj(mut obj) = Json::obj([
+        ("attempts", Json::uint(attempts)),
+        ("queue_capacity", Json::uint(queue_cap)),
+        ("admitted", Json::uint(admitted)),
+        ("rejected_overload", Json::uint(rejected)),
+        ("completed", Json::uint(completed)),
+        ("expired", Json::uint(expired)),
+        ("wall_seconds", Json::Num(wall)),
+    ]) else {
+        unreachable!()
+    };
+    obj.push(("stats".to_string(), serve_stats_json(&stats)));
+    Ok(Json::Obj(obj))
 }

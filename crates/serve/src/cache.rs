@@ -22,12 +22,24 @@
 //!    fingerprint collision).
 //!
 //! Eviction is true LRU in O(1) via an index-linked list over a slab.
+//!
+//! **Lock discipline.** The scheduler keeps the cache behind a mutex, so
+//! everything O(nodes) is kept *out* of the cache's own methods'
+//! contended section: [`PredictionCache::probe`] is an O(1) map probe +
+//! LRU touch that hands back an [`Arc<CacheEntry>`]; the O(nodes)
+//! verbatim clone or transfer re-indexing then runs through
+//! [`CacheEntry::resolve`] on the caller's thread with no lock held.
+//! Symmetrically, [`CacheEntry::new`] builds the O(nodes) hash index
+//! outside the lock and [`PredictionCache::insert_entry`] links it in
+//! O(1). [`PredictionCache::lookup`] / [`PredictionCache::insert`] remain
+//! as single-call conveniences for unlocked (single-owner) use.
 
 use gamora::Predictions;
 use gamora_aig::hasher::{
     fingerprint_from_node_hashes, identity_fingerprint, structural_node_hashes, FxHashMap,
 };
 use gamora_aig::Aig;
+use std::sync::Arc;
 
 /// Cache key: canonical fingerprint qualified by coarse shape counts.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -71,8 +83,20 @@ impl GraphSignature {
     }
 }
 
-struct Entry {
-    key: CacheKey,
+/// How a cache hit was produced.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HitKind {
+    /// Identical numbering: stored vectors served unchanged.
+    Verbatim,
+    /// Isomorphic renumbering: predictions transferred through canonical
+    /// node hashes.
+    Transferred,
+}
+
+/// One cached graph's immutable serving payload. Shared out of the cache
+/// by `Arc` so the expensive resolution work ([`CacheEntry::resolve`])
+/// runs with no cache lock held.
+pub struct CacheEntry {
     identity: u64,
     predictions: Predictions,
     /// Canonical node hash -> (root_leaf, is_xor, is_maj), valid only when
@@ -84,27 +108,96 @@ struct Entry {
     /// Whether every node of the cached graph has a distinct canonical
     /// hash (precondition for sound transfer serving).
     hashes_unique: bool,
+}
+
+impl CacheEntry {
+    /// Builds the serving payload — including the O(nodes) canonical-hash
+    /// index — for one signature/prediction pair. Call *outside* any
+    /// cache lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prediction length disagrees with the signature's node
+    /// count.
+    pub fn new(sig: &GraphSignature, predictions: Predictions) -> CacheEntry {
+        assert_eq!(
+            predictions.num_nodes(),
+            sig.key.num_nodes,
+            "predictions must cover every node"
+        );
+        let mut by_hash = FxHashMap::default();
+        let mut hashes_unique = true;
+        for (i, &h) in sig.node_hashes.iter().enumerate() {
+            if by_hash
+                .insert(
+                    h,
+                    (
+                        predictions.root_leaf[i],
+                        predictions.is_xor[i],
+                        predictions.is_maj[i],
+                    ),
+                )
+                .is_some()
+            {
+                hashes_unique = false;
+            }
+        }
+        CacheEntry {
+            identity: sig.identity,
+            predictions,
+            by_hash,
+            hashes_unique,
+        }
+    }
+
+    /// Serves a submission from this entry: verbatim when the identity
+    /// hash matches, otherwise transferred through canonical node hashes.
+    /// `None` is an honest miss (duplicate cones, or a genuine
+    /// fingerprint collision). O(nodes) — run it with no lock held.
+    pub fn resolve(&self, sig: &GraphSignature) -> Option<(Predictions, HitKind)> {
+        if self.identity == sig.identity {
+            return Some((self.predictions.clone(), HitKind::Verbatim));
+        }
+        self.transfer(sig).map(|p| (p, HitKind::Transferred))
+    }
+
+    fn transfer(&self, sig: &GraphSignature) -> Option<Predictions> {
+        // Duplicate canonical hashes in the cached graph mean per-node
+        // predictions are not a function of the canonical hash (fanout
+        // context differs); refuse to guess.
+        if !self.hashes_unique {
+            return None;
+        }
+        let n = sig.node_hashes.len();
+        let mut preds = Predictions {
+            root_leaf: Vec::with_capacity(n),
+            is_xor: Vec::with_capacity(n),
+            is_maj: Vec::with_capacity(n),
+        };
+        for h in &sig.node_hashes {
+            let &(rl, xor, maj) = self.by_hash.get(h)?;
+            preds.root_leaf.push(rl);
+            preds.is_xor.push(xor);
+            preds.is_maj.push(maj);
+        }
+        Some(preds)
+    }
+}
+
+struct Slot {
+    key: CacheKey,
+    entry: Arc<CacheEntry>,
     prev: usize,
     next: usize,
 }
 
 const NIL: usize = usize::MAX;
 
-/// How a [`PredictionCache::lookup`] hit was produced.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum HitKind {
-    /// Identical numbering: stored vectors served unchanged.
-    Verbatim,
-    /// Isomorphic renumbering: predictions transferred through canonical
-    /// node hashes.
-    Transferred,
-}
-
 /// An LRU-bounded map from structural fingerprints to predictions.
 pub struct PredictionCache {
     capacity: usize,
     map: FxHashMap<CacheKey, usize>,
-    slab: Vec<Entry>,
+    slab: Vec<Slot>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
@@ -147,12 +240,14 @@ impl PredictionCache {
         self.capacity
     }
 
-    /// Lifetime hit count.
+    /// Lifetime hit count ([`PredictionCache::lookup`] only; `probe`
+    /// callers keep their own accounting because hit-vs-miss is decided
+    /// outside the cache).
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Lifetime miss count.
+    /// Lifetime miss count ([`PredictionCache::lookup`] only).
     pub fn misses(&self) -> u64 {
         self.misses
     }
@@ -183,57 +278,44 @@ impl PredictionCache {
         }
     }
 
+    /// O(1) probe: finds the entry for a key and marks it most recently
+    /// used. The returned `Arc` lets the caller run the O(nodes)
+    /// [`CacheEntry::resolve`] *after* releasing whatever lock guards the
+    /// cache. A probe that later fails to resolve (honest transfer miss)
+    /// has still touched the LRU — harmless, the entry was the best
+    /// candidate we had.
+    pub fn probe(&mut self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
+        let &idx = self.map.get(key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.slab[idx].entry))
+    }
+
     /// Looks up predictions for a submission, marking it most recently
-    /// used on a hit.
+    /// used on a hit. Convenience over [`PredictionCache::probe`] +
+    /// [`CacheEntry::resolve`] for single-owner use; the O(nodes)
+    /// resolution runs inline, so locked callers should use the split
+    /// API instead.
     pub fn lookup(&mut self, sig: &GraphSignature) -> Option<(Predictions, HitKind)> {
-        let Some(&idx) = self.map.get(&sig.key) else {
-            self.misses += 1;
-            return None;
-        };
-        let served = {
-            let entry = &self.slab[idx];
-            if entry.identity == sig.identity {
-                Some((entry.predictions.clone(), HitKind::Verbatim))
-            } else {
-                transfer(entry, sig).map(|p| (p, HitKind::Transferred))
-            }
-        };
-        match served {
+        match self.probe(&sig.key).and_then(|e| e.resolve(sig)) {
             Some(hit) => {
-                self.detach(idx);
-                self.push_front(idx);
                 self.hits += 1;
                 Some(hit)
             }
             None => {
-                // Fingerprint collision with unresolvable node mapping:
-                // honest miss.
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Inserts (or refreshes) the predictions for a submission.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the prediction length disagrees with the signature's node
-    /// count.
-    pub fn insert(&mut self, sig: &GraphSignature, predictions: Predictions) {
-        assert_eq!(
-            predictions.num_nodes(),
-            sig.key.num_nodes,
-            "predictions must cover every node"
-        );
-        if let Some(&idx) = self.map.get(&sig.key) {
+    /// O(1) insert (or refresh) of a pre-built entry. Build the entry
+    /// with [`CacheEntry::new`] *outside* the cache lock.
+    pub fn insert_entry(&mut self, key: CacheKey, entry: Arc<CacheEntry>) {
+        if let Some(&idx) = self.map.get(&key) {
             // Refresh in place (e.g. re-inserted after a transfer miss).
             self.detach(idx);
-            let (by_hash, hashes_unique) = index_by_hash(sig, &predictions);
-            self.slab[idx].identity = sig.identity;
-            self.slab[idx].by_hash = by_hash;
-            self.slab[idx].hashes_unique = hashes_unique;
-            self.slab[idx].predictions = predictions;
+            self.slab[idx].entry = entry;
             self.push_front(idx);
             return;
         }
@@ -243,70 +325,35 @@ impl PredictionCache {
             self.map.remove(&self.slab[lru].key);
             self.free.push(lru);
         }
-        let (by_hash, hashes_unique) = index_by_hash(sig, &predictions);
-        let entry = Entry {
-            key: sig.key,
-            identity: sig.identity,
-            by_hash,
-            hashes_unique,
-            predictions,
+        let slot = Slot {
+            key,
+            entry,
             prev: NIL,
             next: NIL,
         };
         let idx = match self.free.pop() {
-            Some(slot) => {
-                self.slab[slot] = entry;
-                slot
+            Some(free) => {
+                self.slab[free] = slot;
+                free
             }
             None => {
-                self.slab.push(entry);
+                self.slab.push(slot);
                 self.slab.len() - 1
             }
         };
-        self.map.insert(sig.key, idx);
+        self.map.insert(key, idx);
         self.push_front(idx);
     }
-}
 
-/// Builds the canonical-hash prediction index; the flag reports whether
-/// every node hash was distinct (the soundness precondition for transfer).
-fn index_by_hash(
-    sig: &GraphSignature,
-    preds: &Predictions,
-) -> (FxHashMap<u64, (u32, bool, bool)>, bool) {
-    let mut by_hash = FxHashMap::default();
-    let mut unique = true;
-    for (i, &h) in sig.node_hashes.iter().enumerate() {
-        if by_hash
-            .insert(h, (preds.root_leaf[i], preds.is_xor[i], preds.is_maj[i]))
-            .is_some()
-        {
-            unique = false;
-        }
+    /// Inserts (or refreshes) the predictions for a submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prediction length disagrees with the signature's node
+    /// count.
+    pub fn insert(&mut self, sig: &GraphSignature, predictions: Predictions) {
+        self.insert_entry(sig.key, Arc::new(CacheEntry::new(sig, predictions)));
     }
-    (by_hash, unique)
-}
-
-fn transfer(entry: &Entry, sig: &GraphSignature) -> Option<Predictions> {
-    // Duplicate canonical hashes in the cached graph mean per-node
-    // predictions are not a function of the canonical hash (fanout context
-    // differs); refuse to guess.
-    if !entry.hashes_unique {
-        return None;
-    }
-    let n = sig.node_hashes.len();
-    let mut preds = Predictions {
-        root_leaf: Vec::with_capacity(n),
-        is_xor: Vec::with_capacity(n),
-        is_maj: Vec::with_capacity(n),
-    };
-    for h in &sig.node_hashes {
-        let &(rl, xor, maj) = entry.by_hash.get(h)?;
-        preds.root_leaf.push(rl);
-        preds.is_xor.push(xor);
-        preds.is_maj.push(maj);
-    }
-    Some(preds)
 }
 
 #[cfg(test)]
@@ -347,6 +394,26 @@ mod tests {
         assert_eq!(served.root_leaf, preds.root_leaf);
         assert_eq!(served.is_xor, preds.is_xor);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    /// The split probe/resolve API serves the same answers as `lookup`,
+    /// with the O(nodes) work running on a detached `Arc` (no cache
+    /// access needed) — the pattern the locked scheduler uses.
+    #[test]
+    fn probe_then_resolve_matches_lookup() {
+        let aig = toy_aig(false);
+        let sig = GraphSignature::of(&aig);
+        let mut cache = PredictionCache::new(4);
+        assert!(cache.probe(&sig.key).is_none(), "empty cache: no entry");
+        cache.insert(&sig, toy_predictions(&aig));
+
+        let entry = cache.probe(&sig.key).expect("probe finds the entry");
+        // Resolution happens entirely on the Arc — drop the cache first to
+        // prove no further cache access is involved.
+        drop(cache);
+        let (served, kind) = entry.resolve(&sig).expect("verbatim resolve");
+        assert_eq!(kind, HitKind::Verbatim);
+        assert_eq!(served.root_leaf, toy_predictions(&aig).root_leaf);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   The pool shares **one** model behind an `Arc` — inference is `&self`
 //!   — and each worker carries only a reusable scratch workspace, so a
 //!   warmed-up worker serves repeat-sized traffic without heap churn.
+//!   The ingress is production-hardened: bounded queues with explicit
+//!   admission (`try_submit` → `SubmitError::Overloaded`), a linger
+//!   window so trickling traffic still forms real batches, per-job
+//!   deadlines honoured before the forward pass, and fail-fast
+//!   submission once shutdown begins.
+//! * [`router`] — a structural-hash [`ShardRouter`]: N `Server` shards
+//!   over one `Arc`'d model, each with its own queue and prediction
+//!   cache; repeats of a netlist always land on the shard whose cache is
+//!   warm, so no cache mutex is ever shared across shards.
 //! * [`report`] — dependency-free JSON for the `gamora` binary's output.
 //!
 //! The `gamora` binary (this crate's `src/bin/gamora.rs`) wires it
@@ -35,9 +44,9 @@
 //! reasoner.fit(&[&m.aig], &TrainConfig { epochs: 5, ..TrainConfig::default() });
 //!
 //! let server = Server::start(reasoner, ServeConfig::default());
-//! let out = server.submit(m.aig.clone(), AnalysisKind::Classify).wait().unwrap();
+//! let out = server.submit(m.aig.clone(), AnalysisKind::Classify).unwrap().wait().unwrap();
 //! assert_eq!(out.predictions.num_nodes(), m.aig.num_nodes());
-//! let repeat = server.submit(m.aig.clone(), AnalysisKind::Classify).wait().unwrap();
+//! let repeat = server.submit(m.aig.clone(), AnalysisKind::Classify).unwrap().wait().unwrap();
 //! assert!(repeat.cache_hit);
 //! ```
 
@@ -45,10 +54,12 @@
 
 pub mod cache;
 pub mod report;
+pub mod router;
 pub mod scheduler;
 
-pub use cache::{CacheKey, GraphSignature, HitKind, PredictionCache};
+pub use cache::{CacheEntry, CacheKey, GraphSignature, HitKind, PredictionCache};
 pub use report::Json;
+pub use router::ShardRouter;
 pub use scheduler::{
-    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server,
+    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
 };

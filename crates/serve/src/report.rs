@@ -4,6 +4,7 @@
 //! string escaping and deterministic field order (fields appear in
 //! insertion order, so reports diff cleanly across runs).
 
+use crate::scheduler::ServeStats;
 use std::fmt;
 
 /// A JSON value.
@@ -158,6 +159,28 @@ impl fmt::Display for Json {
     }
 }
 
+/// The canonical JSON rendering of a server's counters, shared by every
+/// `gamora` subcommand so reports stay field-compatible. Includes the
+/// overload-hardening counters (`jobs_dropped`, `jobs_expired`,
+/// `rejected_overload`, `peak_queued`) alongside the serving totals.
+pub fn serve_stats_json(stats: &ServeStats) -> Json {
+    Json::obj([
+        ("jobs_submitted", Json::uint(stats.jobs_submitted as usize)),
+        ("jobs", Json::uint(stats.jobs as usize)),
+        ("batches", Json::uint(stats.batches as usize)),
+        ("forward_passes", Json::uint(stats.forward_passes as usize)),
+        ("cache_hits", Json::uint(stats.cache_hits as usize)),
+        ("cache_misses", Json::uint(stats.cache_misses as usize)),
+        ("jobs_dropped", Json::uint(stats.jobs_dropped as usize)),
+        ("jobs_expired", Json::uint(stats.jobs_expired as usize)),
+        (
+            "rejected_overload",
+            Json::uint(stats.rejected_overload as usize),
+        ),
+        ("peak_queued", Json::uint(stats.peak_queued as usize)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +218,32 @@ mod tests {
     fn empty_containers_are_tight() {
         assert_eq!(Json::arr([]).pretty(), "[]");
         assert_eq!(Json::obj([]).pretty(), "{}");
+    }
+
+    #[test]
+    fn serve_stats_render_every_overload_counter() {
+        let stats = ServeStats {
+            jobs_submitted: 12,
+            jobs: 9,
+            batches: 3,
+            forward_passes: 2,
+            cache_hits: 5,
+            cache_misses: 4,
+            jobs_dropped: 1,
+            jobs_expired: 2,
+            rejected_overload: 7,
+            peak_queued: 6,
+        };
+        let rendered = serve_stats_json(&stats).compact();
+        for field in [
+            "\"jobs_submitted\":12",
+            "\"jobs\":9",
+            "\"jobs_dropped\":1",
+            "\"jobs_expired\":2",
+            "\"rejected_overload\":7",
+            "\"peak_queued\":6",
+        ] {
+            assert!(rendered.contains(field), "{field} missing from {rendered}");
+        }
     }
 }

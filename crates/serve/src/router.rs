@@ -1,0 +1,373 @@
+//! Structural-hash shard router: N in-process [`Server`] shards over one
+//! shared model.
+//!
+//! The north-star deployment serves heavy repeat traffic, and a single
+//! `Server` has exactly one global [`PredictionCache`] mutex — every
+//! worker's probe serialises on it. The router removes that cross-worker
+//! contention point by construction: it owns `N` independent `Server`
+//! shards, each with its *own* bounded queue, worker pool and prediction
+//! cache, all borrowing the same [`Arc<GamoraReasoner>`] (PR 2 made
+//! inference `&self`, so shards add only scratch memory, never model
+//! copies).
+//!
+//! Routing is by **structural fingerprint**: a submission's canonical
+//! whole-graph hash picks its shard, so every repeat (or renumbered
+//! isomorph) of a netlist lands on the shard whose cache already holds it
+//! — shard affinity turns the per-shard caches into one logically
+//! partitioned cache with no shared lock. The signature computed for
+//! routing travels with the job, so shard workers never re-hash
+//! router-submitted AIGs.
+//!
+//! The router is a thin, stateless fan-out: it holds no queue of its own,
+//! so the bounded-ingress guarantees of the underlying [`Server`]s
+//! (admission control, deadlines, fail-fast shutdown) apply per shard
+//! unchanged.
+
+use crate::cache::GraphSignature;
+use crate::scheduler::{
+    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
+};
+use gamora::GamoraReasoner;
+use gamora_aig::hasher::structural_fingerprint;
+use gamora_aig::Aig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A set of [`Server`] shards over one shared reasoner, routed by
+/// structural fingerprint.
+pub struct ShardRouter {
+    shards: Vec<Server>,
+    /// Whether the shards were started with structural-hash caching on.
+    /// With caching off the full [`GraphSignature`] would be dropped
+    /// unused by the workers, so routing computes only the whole-graph
+    /// fingerprint (one O(nodes) pass, no retained per-node hash vector).
+    hashing_enabled: bool,
+}
+
+/// A routed submission: the target shard plus the signature to ship with
+/// the job (present iff the shards cache).
+struct Routed {
+    shard: usize,
+    sig: Option<GraphSignature>,
+}
+
+impl ShardRouter {
+    /// Starts `num_shards` servers, each configured with `config`, all
+    /// sharing `reasoner` read-only. Total worker threads are
+    /// `num_shards * config.workers`; total queued jobs are bounded by
+    /// `num_shards * config.queue_capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero (or `config` is invalid, see
+    /// [`Server::start_shared`]).
+    pub fn start(
+        reasoner: Arc<GamoraReasoner>,
+        num_shards: usize,
+        config: ServeConfig,
+    ) -> ShardRouter {
+        assert!(num_shards > 0, "at least one shard");
+        let shards = (0..num_shards)
+            .map(|_| Server::start_shared(Arc::clone(&reasoner), config))
+            .collect();
+        ShardRouter {
+            shards,
+            hashing_enabled: config.cache_capacity > 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a netlist routes to (stable across submissions and
+    /// renumbering: it is a function of the canonical fingerprint only).
+    pub fn shard_of(&self, aig: &Aig) -> usize {
+        (structural_fingerprint(aig) % self.shards.len() as u64) as usize
+    }
+
+    /// Computes the routing decision for one submission. With caching on,
+    /// the full signature is computed once here and shipped with the job
+    /// (shard workers never re-hash); with caching off, only the
+    /// fingerprint is computed — no per-node hash vector is retained.
+    fn route(&self, aig: &Aig) -> Routed {
+        if self.hashing_enabled {
+            let sig = GraphSignature::of(aig);
+            Routed {
+                shard: (sig.key.fingerprint % self.shards.len() as u64) as usize,
+                sig: Some(sig),
+            }
+        } else {
+            Routed {
+                shard: self.shard_of(aig),
+                sig: None,
+            }
+        }
+    }
+
+    /// Routes and enqueues a job, blocking while the target shard's queue
+    /// is at capacity. See [`Server::submit`].
+    pub fn submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        let r = self.route(&aig);
+        self.shards[r.shard].submit_routed(aig, kind, r.sig, None, true)
+    }
+
+    /// Non-blocking routed admission: fails with
+    /// [`SubmitError::Overloaded`] when the target shard's queue is full.
+    /// See [`Server::try_submit`].
+    pub fn try_submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        let r = self.route(&aig);
+        self.shards[r.shard].submit_routed(aig, kind, r.sig, None, false)
+    }
+
+    /// Routed submission with a deadline `ttl` from now. See
+    /// [`Server::submit_within`].
+    pub fn submit_within(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        ttl: Duration,
+    ) -> Result<JobTicket, SubmitError> {
+        let deadline = Instant::now() + ttl;
+        let r = self.route(&aig);
+        self.shards[r.shard].submit_routed(aig, kind, r.sig, Some(deadline), true)
+    }
+
+    /// Non-blocking routed admission with a deadline. See
+    /// [`Server::try_submit_within`].
+    pub fn try_submit_within(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        ttl: Duration,
+    ) -> Result<JobTicket, SubmitError> {
+        let deadline = Instant::now() + ttl;
+        let r = self.route(&aig);
+        self.shards[r.shard].submit_routed(aig, kind, r.sig, Some(deadline), false)
+    }
+
+    /// Routes every job to its shard (one bulk enqueue per shard, so each
+    /// shard's worker sees its slice as one coalescable burst), waits for
+    /// all of them, and returns the outputs in input order. Fails with
+    /// the first dropped job.
+    pub fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Result<Vec<JobOutput>, ServeError> {
+        // (input index, aig, kind, optional precomputed signature)
+        type RoutedJob = (usize, Aig, AnalysisKind, Option<GraphSignature>);
+        let n = jobs.len();
+        let mut per_shard: Vec<Vec<RoutedJob>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, (aig, kind)) in jobs.into_iter().enumerate() {
+            let r = self.route(&aig);
+            per_shard[r.shard].push((i, aig, kind, r.sig));
+        }
+        let mut tickets: Vec<Option<JobTicket>> = (0..n).map(|_| None).collect();
+        // Bursts already admitted to earlier shards, so an abort (a shard
+        // shutting down mid-routing) can retract their still-queued jobs
+        // instead of letting those shards spend forward passes answering
+        // receivers that die with our error return.
+        let mut admitted: Vec<(&Server, u64)> = Vec::new();
+        for (shard, group) in self.shards.iter().zip(per_shard) {
+            if group.is_empty() {
+                continue;
+            }
+            let idxs: Vec<usize> = group.iter().map(|(i, ..)| *i).collect();
+            let result = shard.submit_batch(
+                group
+                    .into_iter()
+                    .map(|(_, aig, kind, sig)| (aig, kind, sig))
+                    .collect(),
+            );
+            let (burst, shard_tickets) = match result {
+                Ok(ok) => ok,
+                Err(_) => {
+                    for (earlier, burst) in admitted {
+                        earlier.retract_burst(burst);
+                    }
+                    return Err(ServeError::JobDropped);
+                }
+            };
+            admitted.push((shard, burst));
+            for (i, t) in idxs.into_iter().zip(shard_tickets) {
+                tickets[i] = Some(t);
+            }
+        }
+        tickets
+            .into_iter()
+            .map(|t| t.expect("every job routed").wait())
+            .collect()
+    }
+
+    /// Aggregated counters over all shards (sums; `peak_queued` is the
+    /// max across shards).
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats());
+        }
+        total
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(Server::stats).collect()
+    }
+
+    /// Begins a graceful shutdown on every shard: new submissions fail
+    /// fast, queued work is drained.
+    pub fn begin_shutdown(&self) {
+        for shard in &self.shards {
+            shard.begin_shutdown();
+        }
+    }
+
+    /// Drains all shards, stops their workers, and returns the aggregated
+    /// stats.
+    pub fn shutdown(self) -> ServeStats {
+        // Flip every shard's flag first so they drain concurrently, then
+        // join them one by one.
+        self.begin_shutdown();
+        let mut total = ServeStats::default();
+        for shard in self.shards {
+            total.merge(&shard.shutdown());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamora::{ModelDepth, Predictions, ReasonerConfig, TrainConfig};
+    use gamora_aig::aiger;
+    use gamora_circuits::csa_multiplier;
+
+    fn tiny_trained() -> Arc<GamoraReasoner> {
+        let m = csa_multiplier(3);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(
+            &[&m.aig],
+            &TrainConfig {
+                epochs: 15,
+                log_every: 0,
+                ..TrainConfig::default()
+            },
+        );
+        Arc::new(reasoner)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_renumbering_invariant() {
+        let router = ShardRouter::start(tiny_trained(), 4, ServeConfig::default());
+        let aig = csa_multiplier(4).aig;
+        let shard = router.shard_of(&aig);
+        assert_eq!(router.shard_of(&aig), shard, "stable across calls");
+        // A renumbered isomorph routes identically (canonical fingerprint).
+        let mut buf = Vec::new();
+        aiger::write_binary(&aig, &mut buf).unwrap();
+        let isomorph = aiger::read(&buf[..]).unwrap();
+        assert_eq!(
+            router.shard_of(&isomorph),
+            shard,
+            "renumbering must not change the shard"
+        );
+        router.shutdown();
+    }
+
+    /// Shard affinity end to end: distinct netlists spread over shards,
+    /// and every repeat of a netlist is served from its shard's warm
+    /// cache — across the whole router, repeats cost zero extra forward
+    /// passes.
+    #[test]
+    fn repeats_hit_their_shards_warm_cache() {
+        let reasoner = tiny_trained();
+        let router = ShardRouter::start(Arc::clone(&reasoner), 3, ServeConfig::default());
+        let subjects: Vec<gamora_aig::Aig> = (2..7usize).map(|b| csa_multiplier(b).aig).collect();
+
+        // Round 1: cold — every distinct graph pays its forward slot.
+        for aig in &subjects {
+            let out = router
+                .submit(aig.clone(), AnalysisKind::Classify)
+                .expect("admitted")
+                .wait()
+                .expect("answered");
+            assert!(!out.cache_hit, "first submission is a miss");
+        }
+        let warm = router.stats();
+        assert_eq!(warm.cache_misses, subjects.len() as u64);
+
+        // Round 2 (plus a renumbered round 3): all hits, no new forwards.
+        let expected: Vec<Predictions> = subjects.iter().map(|a| reasoner.predict(a)).collect();
+        for (aig, exp) in subjects.iter().zip(&expected) {
+            let repeat = router
+                .submit(aig.clone(), AnalysisKind::Classify)
+                .expect("admitted")
+                .wait()
+                .expect("answered");
+            assert!(repeat.cache_hit, "repeat must land on the warm shard");
+            assert_eq!(repeat.predictions.root_leaf, exp.root_leaf);
+
+            let mut buf = Vec::new();
+            aiger::write_binary(aig, &mut buf).unwrap();
+            let isomorph = aiger::read(&buf[..]).unwrap();
+            let transferred = router
+                .submit(isomorph, AnalysisKind::Classify)
+                .expect("admitted")
+                .wait()
+                .expect("answered");
+            assert!(
+                transferred.cache_hit,
+                "a renumbered isomorph routes to the same warm shard"
+            );
+        }
+        let stats = router.shutdown();
+        assert_eq!(
+            stats.forward_passes, warm.forward_passes,
+            "repeats and isomorphs must not run the model"
+        );
+        assert_eq!(stats.cache_hits, 2 * subjects.len() as u64);
+        assert_eq!(stats.jobs, 3 * subjects.len() as u64);
+    }
+
+    #[test]
+    fn submit_all_preserves_input_order_across_shards() {
+        let reasoner = tiny_trained();
+        let router = ShardRouter::start(Arc::clone(&reasoner), 4, ServeConfig::default());
+        // Distinct sizes so outputs are attributable to their inputs.
+        let subjects: Vec<gamora_aig::Aig> = (2..8usize).map(|b| csa_multiplier(b).aig).collect();
+        let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = subjects
+            .iter()
+            .map(|a| (a.clone(), AnalysisKind::Classify))
+            .collect();
+        let outs = router.submit_all(jobs).expect("all answered");
+        assert_eq!(outs.len(), subjects.len());
+        for (aig, out) in subjects.iter().zip(&outs) {
+            assert_eq!(
+                out.predictions.num_nodes(),
+                aig.num_nodes(),
+                "output must line up with its input"
+            );
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn router_shutdown_fails_new_submissions_fast() {
+        let router = ShardRouter::start(tiny_trained(), 2, ServeConfig::default());
+        router.begin_shutdown();
+        assert_eq!(
+            router
+                .submit(csa_multiplier(3).aig, AnalysisKind::Classify)
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        let stats = router.shutdown();
+        assert_eq!(stats.jobs_submitted, 0);
+    }
+}

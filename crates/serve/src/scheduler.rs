@@ -1,12 +1,36 @@
-//! Micro-batching worker-pool scheduler.
+//! Micro-batching worker-pool scheduler with a bounded, deadline-aware
+//! ingress.
 //!
 //! Jobs (an AIG plus the requested analysis) are submitted from any thread
 //! and answered through per-job channels. Worker threads drain the shared
 //! queue in batches of up to `max_batch`, answer what they can from the
 //! structural-hash [`PredictionCache`], coalesce the remaining misses into
-//! **one** GNN forward pass via [`GamoraReasoner::predict_batch`], then fan
-//! the results back out — the serving analogue of the paper's Figure 8
-//! batched inference.
+//! **one** GNN forward pass via [`GamoraReasoner::predict_batch_into`],
+//! then fan the results back out — the serving analogue of the paper's
+//! Figure 8 batched inference.
+//!
+//! The ingress is hardened for overload:
+//!
+//! * **Bounded queue.** The submission queue holds at most
+//!   [`ServeConfig::queue_capacity`] jobs. [`Server::try_submit`] rejects
+//!   with [`SubmitError::Overloaded`] instead of growing memory;
+//!   [`Server::submit`] blocks on a capacity condvar until a worker frees
+//!   space. A burst can therefore never inflate the server beyond
+//!   `queue_capacity` queued AIGs.
+//! * **Linger window.** A worker that finds fewer than `max_batch` jobs
+//!   waits up to [`ServeConfig::linger_micros`] (via
+//!   `Condvar::wait_timeout`) for companions before running a short
+//!   batch, so trickling arrival rates still form real batches instead of
+//!   degenerating to size-1 forward passes.
+//! * **Deadlines.** [`Server::submit_within`] attaches a time-to-live;
+//!   workers reject already-expired jobs with
+//!   [`ServeError::DeadlineExpired`] *before* hashing or running the
+//!   model, so a backed-up server does not burn forward passes on answers
+//!   nobody is waiting for.
+//! * **Shutdown is observed under the queue lock.** Once
+//!   [`Server::begin_shutdown`] (or drop/`shutdown`) flips the flag, every
+//!   `submit` variant fails fast with [`SubmitError::ShuttingDown`] — a
+//!   job can never be enqueued into a queue no worker will drain.
 //!
 //! Built on `std::thread` + `std::sync::mpsc` channels only (the same
 //! no-external-runtime discipline as `gamora_gnn::parallel`). The server
@@ -20,8 +44,11 @@
 //! without heap allocation. Forward passes never contend on a lock, and
 //! memory scales with worker count only by the scratch size, not by the
 //! model size.
+//!
+//! For multi-shard serving (one ingress per cache) see
+//! [`ShardRouter`](crate::router::ShardRouter).
 
-use crate::cache::{GraphSignature, HitKind, PredictionCache};
+use crate::cache::{CacheEntry, GraphSignature, HitKind, PredictionCache};
 use gamora::{
     extract_from_predictions, lsb_correction, BatchScratch, GamoraReasoner, InferenceScratch,
     Predictions,
@@ -29,11 +56,12 @@ use gamora::{
 use gamora_aig::hasher::FxHashMap;
 use gamora_aig::Aig;
 use gamora_exact::ExtractedAdder;
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which analysis a job requests.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -44,6 +72,17 @@ pub enum AnalysisKind {
     /// Classification plus adder-tree extraction with the paper's LSB
     /// post-processing.
     ExtractAdders,
+    /// Test-only: panics during post-processing, after any preceding jobs
+    /// in the batch have been answered — exercises the partial-batch drop
+    /// accounting without a pathological netlist.
+    #[cfg(test)]
+    PanicForTest,
+    /// Test-only: sleeps 300ms in post-processing, keeping the worker
+    /// provably busy for a window far wider than any scheduler stall —
+    /// the deterministic stand-in for a long forward pass in
+    /// timing-sensitive ingress tests.
+    #[cfg(test)]
+    SleepForTest,
 }
 
 /// Scheduler configuration.
@@ -59,6 +98,15 @@ pub struct ServeConfig {
     /// intra-batch duplicate coalescing — so each job pays a full model
     /// slot (the cold-path throughput benchmark).
     pub cache_capacity: usize,
+    /// Maximum queued (admitted but not yet claimed) jobs. `0` means
+    /// unbounded. When full, [`Server::try_submit`] fails with
+    /// [`SubmitError::Overloaded`] and [`Server::submit`] blocks until a
+    /// worker drains the queue.
+    pub queue_capacity: usize,
+    /// How long a worker holding a short batch waits for more jobs before
+    /// running it, in microseconds. `0` is fully greedy (run whatever is
+    /// there). A full batch never waits.
+    pub linger_micros: u64,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +115,8 @@ impl Default for ServeConfig {
             max_batch: 8,
             workers: 1,
             cache_capacity: 256,
+            queue_capacity: 1024,
+            linger_micros: 200,
         }
     }
 }
@@ -84,19 +134,53 @@ pub struct JobOutput {
     pub latency_micros: u64,
 }
 
-/// Why a submitted job was not answered.
+/// Why a submission was refused at the door (the job never entered the
+/// queue; nothing was enqueued and no ticket exists).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity ([`Server::try_submit`] only;
+    /// blocking submits wait instead). Back off and retry, or treat as
+    /// load shedding.
+    Overloaded,
+    /// Shutdown has begun; no worker will ever drain a new job. Observed
+    /// under the queue lock, so this cannot race with the workers exiting.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "serve queue at capacity; submission rejected"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down; submission rejected"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *admitted* job was not answered with predictions.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The server dropped the job without answering it — a worker panic,
     /// or a shutdown racing the submission. The job may or may not have
     /// run; resubmit against a live server.
     JobDropped,
+    /// The job's deadline passed before a worker reached it; it was
+    /// rejected without running the model.
+    DeadlineExpired,
+    /// [`JobTicket::wait_timeout`] gave up waiting. The job is still
+    /// queued or running and may complete later.
+    WaitTimeout,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::JobDropped => write!(f, "serve worker dropped the job before answering"),
+            ServeError::DeadlineExpired => {
+                write!(f, "job deadline expired before a worker reached it")
+            }
+            ServeError::WaitTimeout => write!(f, "timed out waiting for the job to complete"),
         }
     }
 }
@@ -104,8 +188,9 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Receiving side of a submitted job.
+#[derive(Debug)]
 pub struct JobTicket {
-    rx: mpsc::Receiver<JobOutput>,
+    rx: mpsc::Receiver<Result<JobOutput, ServeError>>,
 }
 
 impl JobTicket {
@@ -113,53 +198,134 @@ impl JobTicket {
     ///
     /// Returns [`ServeError::JobDropped`] instead of panicking when the
     /// server died or shut down before answering, so a draining server
-    /// fails jobs gracefully.
+    /// fails jobs gracefully; [`ServeError::DeadlineExpired`] when the
+    /// job's deadline passed unserved.
     pub fn wait(self) -> Result<JobOutput, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::JobDropped)
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::JobDropped),
+        }
+    }
+
+    /// Like [`JobTicket::wait`], but gives up after `timeout` with
+    /// [`ServeError::WaitTimeout`] — no client ever has to block forever
+    /// on a wedged server. The ticket stays valid: the caller can keep
+    /// waiting with another call.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<JobOutput, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::JobDropped),
+        }
     }
 }
 
-struct Job {
-    aig: Aig,
-    kind: AnalysisKind,
-    submitted: Instant,
-    tx: mpsc::Sender<JobOutput>,
+pub(crate) struct Job {
+    pub(crate) aig: Aig,
+    pub(crate) kind: AnalysisKind,
+    /// Structural signature precomputed by the router (or a previous
+    /// phase); workers compute it on demand otherwise.
+    pub(crate) sig: Option<GraphSignature>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) submitted: Instant,
+    /// Bulk-submission id (`0` = single submit): lets a burst aborted by
+    /// shutdown retract its own still-queued jobs instead of leaving them
+    /// to burn forward passes into dropped receivers.
+    pub(crate) burst: u64,
+    pub(crate) tx: mpsc::Sender<Result<JobOutput, ServeError>>,
 }
 
 #[derive(Default)]
 struct Counters {
+    submitted: AtomicU64,
     jobs: AtomicU64,
     batches: AtomicU64,
     forward_passes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    jobs_dropped: AtomicU64,
+    jobs_expired: AtomicU64,
+    rejected_overload: AtomicU64,
+    peak_queued: AtomicU64,
 }
 
 /// A point-in-time snapshot of server counters.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+///
+/// Completion accounting is exact: every admitted job is eventually
+/// counted in exactly one of `jobs` (answered), `jobs_expired` (deadline
+/// rejection) or `jobs_dropped` (batch panic / shutdown), so after a
+/// drained shutdown `jobs_submitted == jobs + jobs_expired + jobs_dropped`
+/// and `jobs == cache_hits + cache_misses`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Jobs completed.
+    /// Jobs admitted into the queue (tickets issued).
+    pub jobs_submitted: u64,
+    /// Jobs completed (an answer was produced and sent).
     pub jobs: u64,
-    /// Batches executed (cache-only batches included).
+    /// Batches executed with at least one live job (cache-only batches
+    /// included).
     pub batches: u64,
     /// GNN forward passes run (one per batch with at least one miss).
     pub forward_passes: u64,
-    /// Jobs answered from the cache.
+    /// Completed jobs answered from the cache (or a coalesced duplicate).
     pub cache_hits: u64,
-    /// Jobs that needed the model.
+    /// Completed jobs that needed the model.
     pub cache_misses: u64,
+    /// Admitted jobs dropped unanswered (batch panic, or still queued at
+    /// shutdown).
+    pub jobs_dropped: u64,
+    /// Admitted jobs rejected because their deadline expired before a
+    /// worker reached them (no forward pass was spent).
+    pub jobs_expired: u64,
+    /// `try_submit` calls refused at the door with
+    /// [`SubmitError::Overloaded`] (these never count as submitted).
+    pub rejected_overload: u64,
+    /// High-water mark of the queue depth (bounded by `queue_capacity`
+    /// when one is set).
+    pub peak_queued: u64,
+}
+
+impl ServeStats {
+    /// Accumulates another shard's counters into this one (peak depth
+    /// takes the max; everything else sums).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.jobs_submitted += other.jobs_submitted;
+        self.jobs += other.jobs;
+        self.batches += other.batches;
+        self.forward_passes += other.forward_passes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.jobs_dropped += other.jobs_dropped;
+        self.jobs_expired += other.jobs_expired;
+        self.rejected_overload += other.rejected_overload;
+        self.peak_queued = self.peak_queued.max(other.peak_queued);
+    }
+}
+
+/// Queue state guarded by one mutex: the jobs *and* the shutdown flag, so
+/// admission decisions and shutdown can never race.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
+    /// Signalled when jobs arrive (workers wait here).
     available: Condvar,
-    shutdown: AtomicBool,
+    /// Signalled when queue space frees up (blocked submitters wait here).
+    space: Condvar,
+    /// Allocator for [`Job::burst`] ids (`0` is reserved for singles).
+    burst_counter: AtomicU64,
     /// `None` when caching is disabled (`cache_capacity == 0`).
     cache: Mutex<Option<PredictionCache>>,
     /// Whether structural-hash shortcuts (cache + intra-batch dedup) are on.
     hashing_enabled: bool,
     counters: Counters,
     max_batch: usize,
+    /// `0` = unbounded.
+    queue_capacity: usize,
+    linger: Duration,
 }
 
 /// A running inference server over one trained reasoner.
@@ -191,15 +357,21 @@ impl Server {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.workers > 0, "at least one worker");
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
             available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            space: Condvar::new(),
+            burst_counter: AtomicU64::new(1),
             cache: Mutex::new(
                 (config.cache_capacity > 0).then(|| PredictionCache::new(config.cache_capacity)),
             ),
             hashing_enabled: config.cache_capacity > 0,
             counters: Counters::default(),
             max_batch: config.max_batch,
+            queue_capacity: config.queue_capacity,
+            linger: Duration::from_micros(config.linger_micros),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -221,56 +393,239 @@ impl Server {
         Server { shared, workers }
     }
 
-    /// Enqueues a job; returns a ticket to wait on.
-    pub fn submit(&self, aig: Aig, kind: AnalysisKind) -> JobTicket {
+    /// Enqueues a job, blocking while the queue is at capacity; returns a
+    /// ticket to wait on. Fails fast with [`SubmitError::ShuttingDown`]
+    /// once shutdown has begun.
+    pub fn submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        self.submit_routed(aig, kind, None, None, true)
+    }
+
+    /// Non-blocking admission: enqueues the job if there is queue space,
+    /// otherwise fails immediately with [`SubmitError::Overloaded`] —
+    /// the load-shedding entry point; memory stays bounded no matter how
+    /// hard clients hammer.
+    pub fn try_submit(&self, aig: Aig, kind: AnalysisKind) -> Result<JobTicket, SubmitError> {
+        self.submit_routed(aig, kind, None, None, false)
+    }
+
+    /// Like [`Server::submit`], but the job carries a deadline `ttl` from
+    /// now: a worker that reaches it later rejects it with
+    /// [`ServeError::DeadlineExpired`] instead of spending a forward pass
+    /// on an answer nobody is waiting for.
+    pub fn submit_within(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        ttl: Duration,
+    ) -> Result<JobTicket, SubmitError> {
+        let deadline = Instant::now() + ttl;
+        self.submit_routed(aig, kind, None, Some(deadline), true)
+    }
+
+    /// Non-blocking admission with a deadline: [`Server::try_submit`]
+    /// semantics plus a time-to-live, the combination a saturating
+    /// ingress uses.
+    pub fn try_submit_within(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        ttl: Duration,
+    ) -> Result<JobTicket, SubmitError> {
+        let deadline = Instant::now() + ttl;
+        self.submit_routed(aig, kind, None, Some(deadline), false)
+    }
+
+    /// The full-control internal entry point; the router uses it to pass
+    /// along the structural signature it already computed (workers then
+    /// skip the O(nodes) hash passes).
+    pub(crate) fn submit_routed(
+        &self,
+        aig: Aig,
+        kind: AnalysisKind,
+        sig: Option<GraphSignature>,
+        deadline: Option<Instant>,
+        block: bool,
+    ) -> Result<JobTicket, SubmitError> {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             aig,
             kind,
+            sig,
+            deadline,
             submitted: Instant::now(),
+            burst: 0,
             tx,
         };
-        self.shared
-            .queue
-            .lock()
-            .expect("queue poisoned")
-            .push_back(job);
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        loop {
+            if queue.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if self.shared.queue_capacity == 0 || queue.jobs.len() < self.shared.queue_capacity {
+                break;
+            }
+            if !block {
+                self.shared
+                    .counters
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded);
+            }
+            // A blocking submit with a deadline never waits past it: once
+            // the ttl elapses with the queue still full, the job is shed
+            // at the door — admitting it would only buy a guaranteed
+            // `DeadlineExpired` after occupying a queue slot.
+            queue = match job.deadline {
+                Some(d) => {
+                    let Some(left) = d.checked_duration_since(Instant::now()) else {
+                        self.shared
+                            .counters
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::Overloaded);
+                    };
+                    self.shared
+                        .space
+                        .wait_timeout(queue, left)
+                        .expect("queue poisoned")
+                        .0
+                }
+                None => self.shared.space.wait(queue).expect("queue poisoned"),
+            };
+        }
+        self.admit(&mut queue, job);
+        drop(queue);
         self.shared.available.notify_one();
-        JobTicket { rx }
+        Ok(JobTicket { rx })
     }
 
-    /// Submits many jobs atomically (one queue lock, so an idle worker
-    /// sees them as one coalescable burst) and waits for all of them,
-    /// preserving input order. Fails with the first dropped job.
+    /// Pushes an admitted job and updates the admission counters. Caller
+    /// holds the queue lock and has already checked capacity + shutdown.
+    fn admit(&self, queue: &mut QueueState, job: Job) {
+        queue.jobs.push_back(job);
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        c.peak_queued
+            .fetch_max(queue.jobs.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Submits many jobs under one queue lock (so an idle worker sees them
+    /// as one coalescable burst) and waits for all of them, preserving
+    /// input order. Bursts larger than the queue capacity are admitted in
+    /// capacity-sized waves: the submitter blocks on the space condvar
+    /// between waves, so memory stays bounded even for huge bulk calls.
+    /// Fails with the first dropped job.
     pub fn submit_all(&self, jobs: Vec<(Aig, AnalysisKind)>) -> Result<Vec<JobOutput>, ServeError> {
+        let (_, tickets) = self
+            .submit_batch(jobs.into_iter().map(|(a, k)| (a, k, None)).collect())
+            .map_err(|_| ServeError::JobDropped)?;
+        tickets.into_iter().map(JobTicket::wait).collect()
+    }
+
+    /// Drops every still-queued job of a burst (counted as
+    /// `jobs_dropped`), returning how many were removed. Used when a
+    /// multi-shard bulk submission aborts after this server's burst was
+    /// already admitted: the burst's receivers die with the caller's
+    /// error return, so running the jobs would spend forward passes
+    /// answering nobody. Jobs a worker already claimed still run.
+    pub(crate) fn retract_burst(&self, burst: u64) -> u64 {
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        let retracted = Self::retract_burst_locked(&self.shared, &mut queue, burst);
+        drop(queue);
+        if retracted > 0 {
+            // Freed slots: wake submitters blocked on capacity.
+            self.shared.space.notify_all();
+        }
+        retracted
+    }
+
+    fn retract_burst_locked(shared: &Shared, queue: &mut QueueState, burst: u64) -> u64 {
+        let before = queue.jobs.len();
+        queue.jobs.retain(|j| j.burst != burst);
+        let retracted = (before - queue.jobs.len()) as u64;
+        shared
+            .counters
+            .jobs_dropped
+            .fetch_add(retracted, Ordering::Relaxed);
+        retracted
+    }
+
+    /// Bulk enqueue used by `submit_all` and the shard router; returns
+    /// the burst id (for [`Server::retract_burst`]) with the tickets.
+    ///
+    /// A burst larger than the queue capacity can be interrupted by a
+    /// shutdown at a wave boundary; the aborted burst then retracts its
+    /// own still-queued prefix under the same lock (those jobs' receivers
+    /// die with the error return, so running them would spend forward
+    /// passes answering nobody) and counts the retracted jobs as dropped.
+    pub(crate) fn submit_batch(
+        &self,
+        jobs: Vec<(Aig, AnalysisKind, Option<GraphSignature>)>,
+    ) -> Result<(u64, Vec<JobTicket>), SubmitError> {
+        let burst = self.shared.burst_counter.fetch_add(1, Ordering::Relaxed);
         let mut tickets = Vec::with_capacity(jobs.len());
-        {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
-            for (aig, kind) in jobs {
-                let (tx, rx) = mpsc::channel();
-                queue.push_back(Job {
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        for (aig, kind, sig) in jobs {
+            loop {
+                if queue.shutdown {
+                    Self::retract_burst_locked(&self.shared, &mut queue, burst);
+                    return Err(SubmitError::ShuttingDown);
+                }
+                if self.shared.queue_capacity == 0 || queue.jobs.len() < self.shared.queue_capacity
+                {
+                    break;
+                }
+                // Wake the workers on what is already queued, then wait
+                // for them to free space.
+                self.shared.available.notify_all();
+                queue = self.shared.space.wait(queue).expect("queue poisoned");
+            }
+            let (tx, rx) = mpsc::channel();
+            self.admit(
+                &mut queue,
+                Job {
                     aig,
                     kind,
+                    sig,
+                    deadline: None,
                     submitted: Instant::now(),
+                    burst,
                     tx,
-                });
-                tickets.push(JobTicket { rx });
-            }
+                },
+            );
+            tickets.push(JobTicket { rx });
         }
+        drop(queue);
         self.shared.available.notify_all();
-        tickets.into_iter().map(JobTicket::wait).collect()
+        Ok((burst, tickets))
     }
 
     /// Current counter values.
     pub fn stats(&self) -> ServeStats {
         let c = &self.shared.counters;
         ServeStats {
+            jobs_submitted: c.submitted.load(Ordering::Relaxed),
             jobs: c.jobs.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             forward_passes: c.forward_passes.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            jobs_dropped: c.jobs_dropped.load(Ordering::Relaxed),
+            jobs_expired: c.jobs_expired.load(Ordering::Relaxed),
+            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+            peak_queued: c.peak_queued.load(Ordering::Relaxed),
         }
+    }
+
+    /// Begins a graceful shutdown without blocking: new submissions fail
+    /// fast with [`SubmitError::ShuttingDown`], workers drain what is
+    /// already queued and then exit. Call [`Server::shutdown`] (or drop
+    /// the server) to join them.
+    pub fn begin_shutdown(&self) {
+        self.shared.queue.lock().expect("queue poisoned").shutdown = true;
+        self.shared.available.notify_all();
+        // Submitters blocked on capacity must wake to observe the flag.
+        self.shared.space.notify_all();
     }
 
     /// Drains outstanding work and stops the workers.
@@ -280,16 +635,23 @@ impl Server {
     }
 
     fn stop_workers(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        self.begin_shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         // Defensive: should anything still sit in the queue once every
-        // worker is gone, drop it so waiting clients observe
-        // `ServeError::JobDropped` instead of blocking forever.
+        // worker is gone (possible only if a worker died), account for it
+        // and drop it so waiting clients observe `ServeError::JobDropped`
+        // instead of blocking forever.
         if let Ok(mut queue) = self.shared.queue.lock() {
-            queue.clear();
+            let leftover = queue.jobs.len() as u64;
+            if leftover > 0 {
+                self.shared
+                    .counters
+                    .jobs_dropped
+                    .fetch_add(leftover, Ordering::Relaxed);
+            }
+            queue.jobs.clear();
         }
     }
 }
@@ -298,6 +660,23 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop_workers();
     }
+}
+
+/// Safety margin around the linger-window end when deciding whether a
+/// queued job's deadline falls inside it: deadlines within the window
+/// plus this slack end the linger immediately (covering condvar timer
+/// overshoot and the batch-claim latency), so a job whose ttl is shorter
+/// than the linger window is served instead of spuriously expiring on an
+/// idle server.
+const LINGER_DEADLINE_SLACK: Duration = Duration::from_millis(10);
+
+/// Whether a lingering worker could still gain batch companions: the
+/// batch is short, the server is live, and — for a bounded queue — there
+/// is admission room left for a companion to arrive through.
+fn batch_can_grow(queue: &QueueState, shared: &Shared) -> bool {
+    queue.jobs.len() < shared.max_batch
+        && !queue.shutdown
+        && (shared.queue_capacity == 0 || queue.jobs.len() < shared.queue_capacity)
 }
 
 /// Per-worker reusable state: every buffer a miss batch needs, preallocated
@@ -313,48 +692,134 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState)
         let batch = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
-                if !queue.is_empty() {
-                    let take = shared.max_batch.min(queue.len());
-                    break queue.drain(..take).collect::<Vec<Job>>();
+                if !queue.jobs.is_empty() {
+                    break;
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if queue.shutdown {
                     return;
                 }
                 queue = shared.available.wait(queue).expect("queue poisoned");
             }
+            // Linger: a short batch waits briefly for companions so low
+            // arrival rates still amortise the forward pass. The wait
+            // releases the lock, so submitters keep filling the queue;
+            // shutdown, a full batch, or a *full bounded queue* (no
+            // companion can be admitted until we drain — waiting would be
+            // pure dead time) ends the window early. A queued job whose
+            // deadline falls inside the remaining window also ends it
+            // immediately: sleeping toward a deadline risks expiring a
+            // job (timer overshoot alone can eat a tight ttl), and the
+            // conservative exit only costs a batching opportunity.
+            if batch_can_grow(&queue, shared) && !shared.linger.is_zero() {
+                let linger_until = Instant::now() + shared.linger;
+                while batch_can_grow(&queue, shared) {
+                    if queue
+                        .jobs
+                        .iter()
+                        .filter_map(|j| j.deadline)
+                        .min()
+                        .is_some_and(|d| d <= linger_until + LINGER_DEADLINE_SLACK)
+                    {
+                        break;
+                    }
+                    let Some(left) = linger_until.checked_duration_since(Instant::now()) else {
+                        break;
+                    };
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .available
+                        .wait_timeout(queue, left)
+                        .expect("queue poisoned");
+                    queue = guard;
+                }
+            }
+            let take = shared.max_batch.min(queue.jobs.len());
+            queue.jobs.drain(..take).collect::<Vec<Job>>()
         };
+        // Claimed jobs freed queue space: wake blocked submitters.
+        shared.space.notify_all();
         // A panicking batch (a pathological submission) must not take the
         // worker down with jobs still queued behind it: the unwinding
         // batch drops its senders — those clients observe
         // [`ServeError::JobDropped`] — and the worker keeps draining the
         // queue. Scratch buffers are resized from scratch on every use,
         // so a half-written workspace cannot poison later batches.
+        // `accounted` tracks how many of the batch's jobs were finalised
+        // (answered or deadline-rejected) before any panic, so the
+        // dropped-job counter stays exact even for partial batches.
+        let batch_len = batch.len() as u64;
+        let accounted = Cell::new(0u64);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_batch(shared, model, state, batch);
+            run_batch(shared, model, state, batch, &accounted);
         }));
         if outcome.is_err() {
-            eprintln!("gamora-serve: batch panicked; its jobs were dropped");
+            shared
+                .counters
+                .jobs_dropped
+                .fetch_add(batch_len - accounted.get(), Ordering::Relaxed);
+            eprintln!("gamora-serve: batch panicked; its unanswered jobs were dropped");
         }
     }
 }
 
-fn run_batch(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState, batch: Vec<Job>) {
+fn run_batch(
+    shared: &Shared,
+    model: &GamoraReasoner,
+    state: &mut WorkerState,
+    batch: Vec<Job>,
+    accounted: &Cell<u64>,
+) {
+    // Phase 0: deadline admission — expired jobs are rejected before any
+    // hashing or model work is spent on them.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| now > d) {
+            shared.counters.jobs_expired.fetch_add(1, Ordering::Relaxed);
+            accounted.set(accounted.get() + 1);
+            let _ = job.tx.send(Err(ServeError::DeadlineExpired));
+        } else {
+            live.push(job);
+        }
+    }
+    let mut batch = live;
+    if batch.is_empty() {
+        return;
+    }
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
 
-    // Phase 1: resolve from the cache under one short lock. With hashing
-    // disabled the signatures are provably unused — skip the O(nodes)
-    // hash passes entirely so cold mode measures pure model throughput.
+    // Phase 1: resolve from the cache. The lock covers only the O(1) LRU
+    // probe; the O(nodes) verbatim clone / transfer re-indexing runs on
+    // `Arc`'d entries *outside* it, so a big transfer never stalls the
+    // other workers' probes. With hashing disabled the signatures are
+    // provably unused — skip the O(nodes) hash passes entirely so cold
+    // mode measures pure model throughput. Router-submitted jobs carry a
+    // precomputed signature; worker-side hashing is the fallback.
     let signatures: Vec<GraphSignature> = if shared.hashing_enabled {
-        batch.iter().map(|j| GraphSignature::of(&j.aig)).collect()
+        batch
+            .iter_mut()
+            .map(|j| j.sig.take().unwrap_or_else(|| GraphSignature::of(&j.aig)))
+            .collect()
     } else {
         Vec::new()
     };
-    let mut served: Vec<Option<(Predictions, HitKind)>> = {
-        let mut cache = shared.cache.lock().expect("cache poisoned");
-        match cache.as_mut() {
-            Some(cache) => signatures.iter().map(|sig| cache.lookup(sig)).collect(),
-            None => vec![None; batch.len()],
-        }
+    let mut served: Vec<Option<(Predictions, HitKind)>> = if shared.hashing_enabled {
+        let probes: Vec<Option<Arc<CacheEntry>>> = {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            let cache = cache
+                .as_mut()
+                .expect("hashing_enabled implies a cache (both derive from cache_capacity > 0)");
+            signatures.iter().map(|sig| cache.probe(&sig.key)).collect()
+        };
+        probes
+            .iter()
+            .zip(&signatures)
+            .map(|(entry, sig)| entry.as_ref().and_then(|e| e.resolve(sig)))
+            .collect()
+    } else {
+        vec![None; batch.len()]
     };
 
     // Phase 2: one coalesced forward pass over the misses. Duplicate
@@ -401,29 +866,31 @@ fn run_batch(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState, b
             .counters
             .forward_passes
             .fetch_add(1, Ordering::Relaxed);
-        {
+        if shared.hashing_enabled {
+            // Build the O(nodes) hash indexes outside the lock; only the
+            // O(1) LRU insertion happens under it.
+            let entries: Vec<Arc<CacheEntry>> = unique
+                .iter()
+                .zip(outs.iter())
+                .map(|(&i, preds)| Arc::new(CacheEntry::new(&signatures[i], preds.clone())))
+                .collect();
             let mut cache = shared.cache.lock().expect("cache poisoned");
-            if let Some(cache) = cache.as_mut() {
-                for (&i, preds) in unique.iter().zip(outs.iter()) {
-                    cache.insert(&signatures[i], preds.clone());
-                }
+            let cache = cache
+                .as_mut()
+                .expect("hashing_enabled implies a cache (both derive from cache_capacity > 0)");
+            for (&i, entry) in unique.iter().zip(entries) {
+                cache.insert_entry(signatures[i].key, entry);
             }
         }
         for (pos, &i) in miss_idx.iter().enumerate() {
             served[i] = Some((outs[slot_of[pos]].clone(), HitKind::Verbatim));
         }
-        shared
-            .counters
-            .cache_misses
-            .fetch_add(unique.len() as u64, Ordering::Relaxed);
     }
-    let hits = hit_flags.iter().filter(|&&h| h).count() as u64;
-    shared
-        .counters
-        .cache_hits
-        .fetch_add(hits, Ordering::Relaxed);
 
-    // Phase 3: per-job post-processing and fan-out.
+    // Phase 3: per-job post-processing and fan-out. Counters reflect
+    // completions only and are bumped per job at the moment its answer is
+    // sent, so a panic mid-batch can never leave `jobs`/`cache_*` claiming
+    // work that was actually dropped.
     for ((job, slot), cache_hit) in batch.into_iter().zip(served).zip(hit_flags) {
         let (predictions, _) = slot.expect("every job resolved");
         let adders = match job.kind {
@@ -433,6 +900,13 @@ fn run_batch(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState, b
                 lsb_correction(&job.aig, &mut adders);
                 Some(adders)
             }
+            #[cfg(test)]
+            AnalysisKind::PanicForTest => panic!("deliberate test panic in post-processing"),
+            #[cfg(test)]
+            AnalysisKind::SleepForTest => {
+                std::thread::sleep(Duration::from_millis(300));
+                None
+            }
         };
         let out = JobOutput {
             predictions,
@@ -440,8 +914,15 @@ fn run_batch(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState, b
             cache_hit,
             latency_micros: job.submitted.elapsed().as_micros() as u64,
         };
-        shared.counters.jobs.fetch_add(1, Ordering::Relaxed);
-        let _ = job.tx.send(out);
+        let c = &shared.counters;
+        c.jobs.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        accounted.set(accounted.get() + 1);
+        let _ = job.tx.send(Ok(out));
     }
 }
 
@@ -480,6 +961,7 @@ mod tests {
         let server = Server::start(reasoner, ServeConfig::default());
         let out = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         assert!(!out.cache_hit);
@@ -495,6 +977,7 @@ mod tests {
         let subject = csa_multiplier(4);
         let first = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         assert!(!first.cache_hit);
@@ -503,6 +986,7 @@ mod tests {
 
         let second = server
             .submit(subject.aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         assert!(
@@ -518,6 +1002,8 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_dropped, 0);
     }
 
     #[test]
@@ -526,6 +1012,7 @@ mod tests {
         let subject = csa_multiplier(4);
         let out = server
             .submit(subject.aig.clone(), AnalysisKind::ExtractAdders)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         let adders = out.adders.expect("extraction requested");
@@ -542,6 +1029,7 @@ mod tests {
                 max_batch: 16,
                 workers: 1,
                 cache_capacity: 16,
+                ..ServeConfig::default()
             },
         );
         let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (2..6usize)
@@ -565,6 +1053,7 @@ mod tests {
                 max_batch: 8,
                 workers: 1,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         let aig = csa_multiplier(3).aig;
@@ -582,6 +1071,7 @@ mod tests {
         assert_eq!(stats.forward_passes, 1);
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.jobs, stats.cache_hits + stats.cache_misses);
     }
 
     #[test]
@@ -592,15 +1082,18 @@ mod tests {
                 max_batch: 1,
                 workers: 1,
                 cache_capacity: 0,
+                ..ServeConfig::default()
             },
         );
         let aig = csa_multiplier(3).aig;
         let a = server
             .submit(aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         let b = server
             .submit(aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
             .wait()
             .expect("job answered");
         assert!(!a.cache_hit && !b.cache_hit);
@@ -628,6 +1121,7 @@ mod tests {
                 max_batch: 2,
                 workers: 4,
                 cache_capacity: 0,
+                ..ServeConfig::default()
             },
         );
         let jobs: Vec<(gamora_aig::Aig, AnalysisKind)> = (0..16usize)
@@ -651,10 +1145,26 @@ mod tests {
     /// a `ServeError` instead of panicking the client thread.
     #[test]
     fn dropped_job_is_an_error_not_a_panic() {
-        let (tx, rx) = mpsc::channel::<JobOutput>();
+        let (tx, rx) = mpsc::channel::<Result<JobOutput, ServeError>>();
         drop(tx); // the serving side dies without answering
         let ticket = JobTicket { rx };
         assert_eq!(ticket.wait().unwrap_err(), ServeError::JobDropped);
+    }
+
+    #[test]
+    fn wait_timeout_returns_instead_of_blocking_forever() {
+        let (tx, rx) = mpsc::channel::<Result<JobOutput, ServeError>>();
+        let ticket = JobTicket { rx };
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(10)).unwrap_err(),
+            ServeError::WaitTimeout,
+            "an unanswered ticket must time out, not hang"
+        );
+        drop(tx);
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(10)).unwrap_err(),
+            ServeError::JobDropped
+        );
     }
 
     #[test]
@@ -665,6 +1175,7 @@ mod tests {
                 max_batch: 4,
                 workers: 3,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         // 3 distinct graphs, resubmitted 4x each.
@@ -677,5 +1188,326 @@ mod tests {
         assert_eq!(stats.jobs, 12);
         assert_eq!(stats.cache_hits + stats.cache_misses, 12);
         assert!(stats.cache_misses >= 3, "three distinct graphs");
+    }
+
+    /// Stats stay exact through a panicking batch: jobs answered before
+    /// the panic count as completions, the rest as drops, and the
+    /// accounting identity holds after shutdown.
+    #[test]
+    fn panicked_batch_accounts_every_job_exactly_once() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 8,
+                workers: 1,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let aig = csa_multiplier(3).aig;
+        // One atomic burst: the first job completes, the second panics in
+        // post-processing, the third (behind the panic) is dropped.
+        let (_, tickets) = server
+            .submit_batch(vec![
+                (aig.clone(), AnalysisKind::Classify, None),
+                (aig.clone(), AnalysisKind::PanicForTest, None),
+                (aig.clone(), AnalysisKind::Classify, None),
+            ])
+            .expect("admitted");
+        let results: Vec<Result<JobOutput, ServeError>> =
+            tickets.into_iter().map(JobTicket::wait).collect();
+        assert!(results[0].is_ok(), "job before the panic completes");
+        assert_eq!(results[1].as_ref().unwrap_err(), &ServeError::JobDropped);
+        assert_eq!(results[2].as_ref().unwrap_err(), &ServeError::JobDropped);
+
+        // The worker survives the panic and keeps serving.
+        let after = server
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .expect("server still accepts work")
+            .wait()
+            .expect("worker survived the panic");
+        assert!(after.cache_hit, "cache still warm from the first job");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_submitted, 4);
+        assert_eq!(stats.jobs, 2, "completions only");
+        assert_eq!(stats.jobs_dropped, 2, "panicked + following job");
+        assert_eq!(stats.jobs_expired, 0);
+        assert_eq!(
+            stats.jobs_submitted,
+            stats.jobs + stats.jobs_dropped + stats.jobs_expired,
+            "every admitted job is accounted exactly once"
+        );
+        assert_eq!(
+            stats.jobs,
+            stats.cache_hits + stats.cache_misses,
+            "completions partition into hits and misses"
+        );
+    }
+
+    /// Regression: once shutdown has begun, submission fails fast instead
+    /// of enqueueing into a queue no worker will ever drain. The flag is
+    /// checked under the queue lock, so there is no window in which a
+    /// submission can slip past the exiting workers.
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let server = Server::start(tiny_trained(), ServeConfig::default());
+        let aig = csa_multiplier(3).aig;
+        // Pre-shutdown job: admitted and (being pre-drain) still answered.
+        let ticket = server
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .expect("admitted before shutdown");
+        server.begin_shutdown();
+        assert_eq!(
+            server
+                .submit(aig.clone(), AnalysisKind::Classify)
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert_eq!(
+            server
+                .try_submit(aig.clone(), AnalysisKind::Classify)
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert!(
+            server
+                .submit_batch(vec![(aig, AnalysisKind::Classify, None)])
+                .is_err(),
+            "bulk submission must fail fast too"
+        );
+        // The admitted job is drained, not abandoned.
+        ticket
+            .wait()
+            .expect("pre-shutdown job drained by the exiting workers");
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_submitted, 1);
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.jobs_dropped, 0);
+    }
+
+    /// The linger window turns a trickle into a batch: two submissions a
+    /// few milliseconds apart are served by one forward pass.
+    #[test]
+    fn linger_coalesces_trickled_submissions() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 8,
+                workers: 1,
+                cache_capacity: 0, // distinct forward slots, no cache noise
+                linger_micros: 500_000,
+                ..ServeConfig::default()
+            },
+        );
+        let t1 = server
+            .submit(csa_multiplier(3).aig, AnalysisKind::Classify)
+            .expect("admitted");
+        std::thread::sleep(Duration::from_millis(30));
+        let t2 = server
+            .submit(csa_multiplier(4).aig, AnalysisKind::Classify)
+            .expect("admitted");
+        t1.wait().expect("answered");
+        t2.wait().expect("answered");
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(
+            stats.batches, 1,
+            "the lingering worker must absorb the late arrival into its batch"
+        );
+        assert_eq!(stats.forward_passes, 1);
+    }
+
+    /// A *full bounded queue* also ends the linger window: with
+    /// `queue_capacity < max_batch` no companion can be admitted until
+    /// the worker drains, so waiting for one would be pure dead time.
+    #[test]
+    fn full_bounded_queue_does_not_linger() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 8,
+                workers: 1,
+                cache_capacity: 0,
+                queue_capacity: 1,
+                linger_micros: 10_000_000, // 10s: lingering would blow the time box
+            },
+        );
+        let start = Instant::now();
+        for _ in 0..3 {
+            server
+                .submit(csa_multiplier(3).aig, AnalysisKind::Classify)
+                .expect("admitted")
+                .wait()
+                .expect("answered");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a worker holding the only admissible job must run it, not linger"
+        );
+        server.shutdown();
+    }
+
+    /// A bulk submission aborted by shutdown retracts its own still-queued
+    /// jobs (their receivers die with the error) instead of letting the
+    /// drain spend forward passes answering nobody; the accounting
+    /// identity survives the abort.
+    #[test]
+    fn shutdown_mid_burst_retracts_unclaimed_jobs() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 1,
+                workers: 1,
+                cache_capacity: 0,
+                queue_capacity: 1,
+                linger_micros: 0,
+            },
+        );
+        // Through a 1-slot queue the burst can only advance one forward
+        // pass at a time, so admitting all BURST jobs inside the sleep
+        // would need a per-forward latency far below anything this
+        // hardware can do even on cache hits — the interruption is
+        // effectively guaranteed in debug *and* release.
+        const BURST: usize = 1000;
+        let subject = csa_multiplier(12).aig;
+        std::thread::scope(|scope| {
+            let server = &server;
+            let aig = subject.clone();
+            let submitter = scope.spawn(move || {
+                server.submit_batch(
+                    (0..BURST)
+                        .map(|_| (aig.clone(), AnalysisKind::Classify, None))
+                        .collect(),
+                )
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            server.begin_shutdown();
+            let result = submitter.join().expect("submitter thread");
+            assert_eq!(
+                result.map(|(_, t)| t.len()).unwrap_err(),
+                SubmitError::ShuttingDown,
+                "a {BURST}-job burst through a 1-slot queue cannot finish in 20ms"
+            );
+        });
+        let stats = server.shutdown();
+        assert!(
+            stats.jobs_submitted < BURST as u64,
+            "the burst was interrupted"
+        );
+        assert_eq!(
+            stats.jobs_submitted,
+            stats.jobs + stats.jobs_expired + stats.jobs_dropped,
+            "retracted jobs are accounted as dropped, completions as jobs"
+        );
+    }
+
+    /// Lingering never expires a job: the wake-up is clamped to the
+    /// earliest queued deadline, so a ttl *shorter than the linger
+    /// window* is still served on an otherwise idle server.
+    #[test]
+    fn linger_window_yields_to_a_queued_job_deadline() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 8,
+                workers: 1,
+                cache_capacity: 0,
+                queue_capacity: 0,
+                linger_micros: 500_000, // 0.5s linger vs a 0.2s ttl
+            },
+        );
+        let out = server
+            .submit_within(
+                csa_multiplier(3).aig,
+                AnalysisKind::Classify,
+                Duration::from_millis(200),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("a lingering worker must claim the job before its deadline");
+        assert!(!out.cache_hit);
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_expired, 0);
+        assert_eq!(stats.jobs, 1);
+    }
+
+    /// A blocking deadline submit never waits past its own ttl on a full
+    /// queue: it is shed at the door instead of being admitted into a
+    /// guaranteed `DeadlineExpired`.
+    #[test]
+    fn blocking_submit_within_gives_up_at_its_deadline() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 1,
+                workers: 1,
+                cache_capacity: 0,
+                queue_capacity: 1,
+                linger_micros: 0,
+            },
+        );
+        let subject = csa_multiplier(3).aig;
+        // Submit a deterministically slow job and wait until the worker
+        // has *just started* its batch (the `batches` counter bumps at
+        // run_batch entry): from that instant the next queue-slot release
+        // is a full 300ms away — wider than any plausible scheduler stall
+        // under parallel test execution on one core — so the 100us ttl
+        // below cannot race a transiently-free slot.
+        let busy = server
+            .submit(subject.clone(), AnalysisKind::SleepForTest)
+            .expect("admitted");
+        while server.stats().batches < 1 {
+            std::thread::yield_now();
+        }
+        let queued = server
+            .submit(subject.clone(), AnalysisKind::SleepForTest)
+            .expect("admitted");
+        let start = Instant::now();
+        let shed =
+            server.submit_within(subject, AnalysisKind::Classify, Duration::from_micros(100));
+        assert_eq!(
+            shed.map(|_| ()).unwrap_err(),
+            SubmitError::Overloaded,
+            "the 100us ttl elapses long before the 300ms sleeps free a slot"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "the shed submit must return promptly, not block indefinitely"
+        );
+        busy.wait().expect("answered");
+        queued.wait().expect("answered");
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_overload, 1);
+        assert_eq!(stats.jobs, 2);
+    }
+
+    /// `max_batch` jobs end a linger window immediately — a full batch
+    /// never waits out the timer.
+    #[test]
+    fn full_batch_does_not_linger() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 2,
+                workers: 1,
+                cache_capacity: 0,
+                linger_micros: 10_000_000, // 10s: a timer wait would hang the test
+                ..ServeConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let outs = server
+            .submit_all(vec![
+                (csa_multiplier(3).aig, AnalysisKind::Classify),
+                (csa_multiplier(4).aig, AnalysisKind::Classify),
+            ])
+            .expect("answered");
+        assert_eq!(outs.len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a full batch must run without waiting out the linger window"
+        );
+        server.shutdown();
     }
 }

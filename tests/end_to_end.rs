@@ -132,6 +132,7 @@ fn aiger_parse_predict_extract_roundtrip() {
     let server = Server::start(restored, ServeConfig::default());
     let out = server
         .submit(parsed, AnalysisKind::ExtractAdders)
+        .expect("admitted")
         .wait()
         .expect("job answered");
     assert_eq!(out.predictions.root_leaf, expected_preds.root_leaf);
@@ -152,6 +153,7 @@ fn serve_cache_hit_and_miss_accounting() {
 
     let first = server
         .submit(subject.aig.clone(), AnalysisKind::Classify)
+        .expect("admitted")
         .wait()
         .expect("job answered");
     assert!(!first.cache_hit);
@@ -160,6 +162,7 @@ fn serve_cache_hit_and_miss_accounting() {
     // Repeat: cache hit, forward-pass counter frozen.
     let repeat = server
         .submit(subject.aig.clone(), AnalysisKind::Classify)
+        .expect("admitted")
         .wait()
         .expect("job answered");
     assert!(repeat.cache_hit);
@@ -176,6 +179,7 @@ fn serve_cache_hit_and_miss_accounting() {
     let isomorph = aiger::read(&buf[..]).unwrap();
     let transferred = server
         .submit(isomorph, AnalysisKind::Classify)
+        .expect("admitted")
         .wait()
         .expect("job answered");
     assert!(
@@ -187,6 +191,7 @@ fn serve_cache_hit_and_miss_accounting() {
     // A different netlist is a genuine miss.
     let other = server
         .submit(csa_multiplier(5).aig, AnalysisKind::Classify)
+        .expect("admitted")
         .wait()
         .expect("job answered");
     assert!(!other.cache_hit);
