@@ -14,8 +14,8 @@
 use gamora::Predictions;
 use gamora_bench::{time, workload, Scale, Table};
 use gamora_circuits::MultiplierKind;
-use gamora_serve::cache::{GraphSignature, PredictionCache};
-use std::sync::Mutex;
+use gamora_serve::cache::{CacheEntry, GraphSignature, PredictionCache};
+use std::sync::{Arc, Mutex};
 
 fn dummy_predictions(num_nodes: usize) -> Predictions {
     Predictions {
@@ -90,12 +90,20 @@ fn main() {
         "split (hits/s)",
         "split/locked",
     ]);
+    let mut measured: Vec<(&str, f64, f64)> = Vec::new();
     for (label, lookup_sig) in [("verbatim", &sig), ("transfer", &transfer_sig)] {
         for threads in [1usize, 2, 4] {
             let cache = Mutex::new(PredictionCache::new(8));
-            cache.lock().unwrap().insert(&sig, preds.clone());
+            // Seed the cache the way the shipped scheduler inserts: the
+            // O(nodes) index build runs in `CacheEntry::new` *outside*
+            // the mutex, and only the O(1) `insert_entry` holds it (the
+            // old `insert` convenience built the indexes under the lock
+            // — the exact pattern this bench exists to measure against).
+            let entry = Arc::new(CacheEntry::new(&sig, preds.clone()));
+            cache.lock().unwrap().insert_entry(sig.key, entry);
             let locked = hammer(&cache, lookup_sig, threads, iters, false);
             let split = hammer(&cache, lookup_sig, threads, iters, true);
+            measured.push((label, locked, split));
             table.row(vec![
                 label.to_string(),
                 threads.to_string(),
@@ -104,6 +112,21 @@ fn main() {
                 format!("{:.2}x", split / locked),
             ]);
         }
+    }
+    // The report must cover both hit-resolution paths, each measured
+    // under both lock disciplines — a refactor that silently drops one
+    // (or makes a path unhittable) fails here instead of shipping a
+    // bench that no longer exercises the shipped code.
+    for path in ["verbatim", "transfer"] {
+        let rows = measured.iter().filter(|(l, ..)| *l == path).count();
+        assert_eq!(rows, 3, "{path} path missing from the report");
+        assert!(
+            measured
+                .iter()
+                .filter(|(l, ..)| *l == path)
+                .all(|&(_, locked, split)| locked > 0.0 && split > 0.0),
+            "{path} path produced empty locked/split measurements"
+        );
     }
     table.print();
 }

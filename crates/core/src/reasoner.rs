@@ -163,6 +163,28 @@ impl GamoraReasoner {
         self.model.num_params()
     }
 
+    /// Builds the i8-quantised read-only weight store (per-output-column
+    /// scales, `f32` accumulation): inference serves i8 weights from
+    /// then on at ~4x smaller resident size, with argmax predictions
+    /// matching the `f32` path on ≥ 99.9% of nodes (guarded by the
+    /// `quant_equivalence` test). Training still reads the `f32` weights
+    /// and invalidates the store; re-invoke after further `fit` calls.
+    /// [`GamoraReasoner::save`] persists a quantised reasoner in the v2
+    /// snapshot format (i8 payload + scales).
+    pub fn quantise(&mut self) {
+        self.model.quantise();
+    }
+
+    /// Whether inference currently serves from the quantised store.
+    pub fn is_quantised(&self) -> bool {
+        self.model.is_quantised()
+    }
+
+    /// Resident bytes of the weight stores as currently served.
+    pub fn resident_weight_bytes(&self) -> usize {
+        self.model.resident_weight_bytes()
+    }
+
     /// Trains on a set of netlists; ground truth comes from exact analysis
     /// of each (the role ABC's `&atree` plays in the paper).
     pub fn fit(&mut self, aigs: &[&Aig], cfg: &TrainConfig) -> TrainReport {

@@ -8,24 +8,39 @@
 //!
 //! ```text
 //! magic    : 4 bytes  b"GMRS"
-//! version  : u32      (currently 1)
+//! version  : u32      (1 = f32, 2 = section-tagged)
 //! config   : depth tag u8, layers u32, hidden u32,
 //!            feature_mode u8, direction u8, multi_task u8, seed u64
-//! tensors  : count u32, then per tensor { len u32, f32 data (LE bits) }
+//! tensors  : count u32, then per tensor
+//!            v1: { len u32, f32 data (LE bits) }
+//!            v2: { section tag u8,
+//!                  tag 0 (f32): len u32, f32 data (LE bits)
+//!                  tag 1 (i8):  rows u32, cols u32, i8 data,
+//!                               f32 scales (cols) }
 //! checksum : u64      Fx hash of every byte from magic through the last
 //!                     tensor, in file order
 //! ```
 //!
+//! An unquantised reasoner is written in the **v1** layout — byte-exact
+//! with files produced before v2 existed, so old snapshots and new
+//! `f32` snapshots are one format. A quantised reasoner (see
+//! [`GamoraReasoner::quantise`]) is written as **v2**: every weight
+//! matrix becomes an i8 section (payload + per-output-column scales,
+//! ~4x smaller), biases stay `f32` sections. The reader accepts the full
+//! `v1..=v2` range; v1 files load bit-exactly under the v2 reader
+//! (guarded by the `snapshot_compat` test).
+//!
 //! Floats are serialised via `f32::to_le_bytes`, so a save/load round trip
-//! is bit-exact and a reloaded reasoner reproduces in-process predictions
-//! and `evaluate` scores exactly. The trailing checksum turns truncation
-//! and bit corruption into [`SnapshotError::Corrupt`] instead of a silently
-//! wrong model.
+//! is bit-exact (for v2: the i8 payload and scales round-trip exactly,
+//! and served predictions are bit-identical) and a reloaded reasoner
+//! reproduces in-process predictions and `evaluate` scores exactly. The
+//! trailing checksum turns truncation and bit corruption into
+//! [`SnapshotError::Corrupt`] instead of a silently wrong model.
 
 use crate::features::FeatureMode;
 use crate::reasoner::{GamoraReasoner, ModelDepth, ReasonerConfig};
 use gamora_aig::hasher::FxHasher;
-use gamora_gnn::Direction;
+use gamora_gnn::{Direction, MultiTaskSage, QuantisedMatrix};
 use std::fmt;
 use std::fs::File;
 use std::hash::Hasher;
@@ -35,8 +50,19 @@ use std::path::Path;
 /// File magic: "GaMoRa Snapshot".
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GMRS";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Oldest snapshot format version this build reads.
+pub const SNAPSHOT_VERSION_MIN: u32 = 1;
+
+/// Newest snapshot format version this build reads and writes (v2 adds
+/// per-tensor section tags with i8-quantised weight blocks; unquantised
+/// models are still written as v1).
+pub const SNAPSHOT_VERSION_MAX: u32 = 2;
+
+/// Section tag of a plain `f32` tensor in a v2 snapshot.
+const SECTION_F32: u8 = 0;
+
+/// Section tag of an i8-quantised weight block in a v2 snapshot.
+const SECTION_I8: u8 = 1;
 
 /// Errors produced by snapshot I/O.
 #[derive(Debug)]
@@ -59,7 +85,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} (this build reads \
+                     v{SNAPSHOT_VERSION_MIN}-v{SNAPSHOT_VERSION_MAX})"
                 )
             }
             SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
@@ -153,6 +180,15 @@ impl<R: Read> HashingReader<R> {
         self.read_exact_hashed(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
+
+    fn read_f32s(&mut self, out: &mut [f32]) -> Result<(), SnapshotError> {
+        let mut buf = [0u8; 4];
+        for v in out.iter_mut() {
+            self.read_exact_hashed(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        Ok(())
+    }
 }
 
 fn depth_tag(depth: ModelDepth) -> (u8, u32, u32) {
@@ -216,15 +252,28 @@ fn direction_from_tag(tag: u8) -> Result<Direction, SnapshotError> {
     }
 }
 
+fn write_f32s<W: Write>(w: &mut W, values: &[f32]) -> Result<(), SnapshotError> {
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
 /// Serialises a reasoner (config + every parameter tensor) to `w`.
+///
+/// An unquantised reasoner is written in the v1 layout (byte-exact with
+/// pre-v2 files); a quantised one (see [`GamoraReasoner::quantise`]) in
+/// the section-tagged v2 layout with i8 weight blocks.
 ///
 /// # Errors
 ///
 /// Propagates writer failures.
 pub fn write_snapshot<W: Write>(reasoner: &GamoraReasoner, w: W) -> Result<(), SnapshotError> {
+    let quantised = reasoner.is_quantised();
+    let version = if quantised { 2 } else { SNAPSHOT_VERSION_MIN };
     let mut w = HashingWriter::new(BufWriter::new(w));
     w.write_all(&SNAPSHOT_MAGIC)?;
-    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
 
     let cfg = reasoner.config();
     let (tag, layers, hidden) = depth_tag(cfg.depth);
@@ -236,18 +285,99 @@ pub fn write_snapshot<W: Write>(reasoner: &GamoraReasoner, w: W) -> Result<(), S
     w.write_all(&[cfg.multi_task as u8])?;
     w.write_all(&cfg.seed.to_le_bytes())?;
 
-    let tensors = reasoner.model().param_slices();
-    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
-    for t in tensors {
-        w.write_all(&(t.len() as u32).to_le_bytes())?;
-        for &v in t {
-            w.write_all(&v.to_le_bytes())?;
+    if quantised {
+        // v2: one weight + one bias section per linear, section-tagged.
+        let linears = reasoner.model().linears();
+        w.write_all(&((linears.len() * 2) as u32).to_le_bytes())?;
+        for lin in linears {
+            let q = lin
+                .quantised()
+                .expect("is_quantised() implies a store on every layer");
+            w.write_all(&[SECTION_I8])?;
+            w.write_all(&(q.rows() as u32).to_le_bytes())?;
+            w.write_all(&(q.cols() as u32).to_le_bytes())?;
+            // i8 -> u8 is a bit-preserving cast.
+            let bytes: Vec<u8> = q.values().iter().map(|&v| v as u8).collect();
+            w.write_all(&bytes)?;
+            write_f32s(&mut w, q.scales())?;
+            w.write_all(&[SECTION_F32])?;
+            w.write_all(&(lin.b.len() as u32).to_le_bytes())?;
+            write_f32s(&mut w, &lin.b)?;
+        }
+    } else {
+        let tensors = reasoner.model().param_slices();
+        w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+        for t in tensors {
+            w.write_all(&(t.len() as u32).to_le_bytes())?;
+            write_f32s(&mut w, t)?;
         }
     }
 
     let checksum = w.hasher.finish();
     w.inner.write_all(&checksum.to_le_bytes())?;
     w.inner.flush()?;
+    Ok(())
+}
+
+/// Reads the section-tagged v2 tensor stream into a freshly built model:
+/// per linear layer, one weight section (f32 or an i8-quantised block,
+/// whose shape must match the skeleton) followed by one f32 bias
+/// section. Every length is validated against the skeleton before any
+/// payload-sized buffer is allocated, so a lying header cannot trigger a
+/// huge allocation, and a truncated stream surfaces as
+/// [`SnapshotError::Corrupt`] from the hashed reads — never a panic.
+fn read_v2_sections<R: Read>(
+    r: &mut HashingReader<R>,
+    model: &mut MultiTaskSage,
+) -> Result<(), SnapshotError> {
+    for (i, lin) in model.linears_mut().into_iter().enumerate() {
+        match r.read_u8()? {
+            SECTION_F32 => {
+                let len = r.read_u32()? as usize;
+                let want = lin.w.rows() * lin.w.cols();
+                if len != want {
+                    return Err(corrupt(format!(
+                        "weight tensor {i} has {len} scalars, model expects {want}"
+                    )));
+                }
+                r.read_f32s(lin.w.as_mut_slice())?;
+            }
+            SECTION_I8 => {
+                let rows = r.read_u32()? as usize;
+                let cols = r.read_u32()? as usize;
+                if (rows, cols) != (lin.w.rows(), lin.w.cols()) {
+                    return Err(corrupt(format!(
+                        "quantised block {i} is {rows}x{cols}, model expects {}x{}",
+                        lin.w.rows(),
+                        lin.w.cols()
+                    )));
+                }
+                let mut bytes = vec![0u8; rows * cols];
+                r.read_exact_hashed(&mut bytes)?;
+                let data: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
+                let mut scales = vec![0.0f32; cols];
+                r.read_f32s(&mut scales)?;
+                lin.install_quantised(QuantisedMatrix::from_parts(rows, cols, data, scales));
+            }
+            t => return Err(corrupt(format!("unknown section tag {t} (tensor {i})"))),
+        }
+        match r.read_u8()? {
+            SECTION_F32 => {
+                let len = r.read_u32()? as usize;
+                if len != lin.b.len() {
+                    return Err(corrupt(format!(
+                        "bias tensor {i} has {len} scalars, model expects {}",
+                        lin.b.len()
+                    )));
+                }
+                r.read_f32s(&mut lin.b)?;
+            }
+            SECTION_I8 => {
+                return Err(corrupt(format!("bias tensor {i} cannot be an i8 section")));
+            }
+            t => return Err(corrupt(format!("unknown section tag {t} (bias {i})"))),
+        }
+    }
     Ok(())
 }
 
@@ -266,7 +396,7 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<GamoraReasoner, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.read_u32()?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION_MAX).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
 
@@ -288,14 +418,14 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<GamoraReasoner, SnapshotError> {
     // Build the skeleton from the config, then inject the stored weights.
     let mut reasoner = GamoraReasoner::new(config);
     let num_tensors = r.read_u32()? as usize;
-    {
+    let expected = reasoner.model().param_slices().len();
+    if num_tensors != expected {
+        return Err(corrupt(format!(
+            "tensor count {num_tensors} does not match model shape ({expected} expected)"
+        )));
+    }
+    if version == 1 {
         let mut slots = reasoner.model_mut().param_slices_mut();
-        if num_tensors != slots.len() {
-            return Err(corrupt(format!(
-                "tensor count {num_tensors} does not match model shape ({} expected)",
-                slots.len()
-            )));
-        }
         for (i, slot) in slots.iter_mut().enumerate() {
             let len = r.read_u32()? as usize;
             if len != slot.len() {
@@ -304,12 +434,10 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<GamoraReasoner, SnapshotError> {
                     slot.len()
                 )));
             }
-            let mut buf = [0u8; 4];
-            for v in slot.iter_mut() {
-                r.read_exact_hashed(&mut buf)?;
-                *v = f32::from_le_bytes(buf);
-            }
+            r.read_f32s(slot)?;
         }
+    } else {
+        read_v2_sections(&mut r, reasoner.model_mut())?;
     }
 
     let expected = r.hasher.finish();
@@ -435,12 +563,121 @@ mod tests {
     }
 
     #[test]
-    fn unknown_version_is_rejected() {
+    fn unknown_version_is_rejected_with_readable_range() {
         let mut buf = Vec::new();
         write_snapshot(&trained_reasoner(), &mut buf).unwrap();
         buf[4] = 99; // bump the version field
         let err = read_snapshot(&buf[..]).unwrap_err();
-        assert!(matches!(err, SnapshotError::UnsupportedVersion(_)), "{err}");
+        assert!(
+            matches!(err, SnapshotError::UnsupportedVersion(99)),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("v1") && msg.contains("v2"),
+            "the error must report the full readable range: {msg}"
+        );
+        // Version 0 is below the readable range, not corrupt.
+        buf[4] = 0;
+        let err = read_snapshot(&buf[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(0)), "{err}");
+    }
+
+    /// An unquantised reasoner still writes the v1 layout byte for byte;
+    /// a quantised one writes v2 with i8 sections roughly a quarter of
+    /// the v1 size of the same weights.
+    #[test]
+    fn writer_picks_version_by_weight_store() {
+        let mut reasoner = trained_reasoner();
+        let mut v1 = Vec::new();
+        write_snapshot(&reasoner, &mut v1).unwrap();
+        assert_eq!(u32::from_le_bytes(v1[4..8].try_into().unwrap()), 1);
+
+        reasoner.quantise();
+        let mut v2 = Vec::new();
+        write_snapshot(&reasoner, &mut v2).unwrap();
+        assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
+        assert!(
+            v2.len() < v1.len() / 2,
+            "v2 with i8 weight blocks must be much smaller ({} vs {} bytes)",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    /// Quantise -> save -> load round-trips the i8 payload and scales
+    /// exactly; the reloaded reasoner serves bit-identical predictions
+    /// and re-saving produces identical bytes.
+    #[test]
+    fn quantised_roundtrip_is_exact() {
+        let mut reasoner = trained_reasoner();
+        reasoner.quantise();
+        let mut buf = Vec::new();
+        write_snapshot(&reasoner, &mut buf).unwrap();
+        let back = read_snapshot(&buf[..]).unwrap();
+        assert!(back.is_quantised());
+        assert_eq!(back.config(), reasoner.config());
+
+        for (a, b) in reasoner
+            .model()
+            .linears()
+            .iter()
+            .zip(back.model().linears())
+        {
+            let (qa, qb) = (a.quantised().unwrap(), b.quantised().unwrap());
+            assert_eq!(qa.values(), qb.values(), "i8 payload must round-trip");
+            let sa: Vec<u32> = qa.scales().iter().map(|s| s.to_bits()).collect();
+            let sb: Vec<u32> = qb.scales().iter().map(|s| s.to_bits()).collect();
+            assert_eq!(sa, sb, "scales must round-trip bit-exactly");
+            assert_eq!(a.b, b.b, "biases must round-trip");
+        }
+
+        let subject = csa_multiplier(4);
+        assert_eq!(
+            reasoner.predict(&subject.aig),
+            back.predict(&subject.aig),
+            "served predictions must be bit-identical"
+        );
+
+        let mut again = Vec::new();
+        write_snapshot(&back, &mut again).unwrap();
+        assert_eq!(buf, again, "save -> load -> save must be a fixed point");
+    }
+
+    /// Truncating a v2 file anywhere — inside a section header, the i8
+    /// payload, the scales, or the checksum — fails with a structured
+    /// error, never a panic.
+    #[test]
+    fn truncated_v2_is_corruption_not_panic() {
+        let mut reasoner = trained_reasoner();
+        reasoner.quantise();
+        let mut buf = Vec::new();
+        write_snapshot(&reasoner, &mut buf).unwrap();
+        for keep in [30usize, 40, 60, buf.len() / 2, buf.len() - 9, buf.len() - 1] {
+            let err = read_snapshot(&buf[..keep]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_)),
+                "truncation at {keep}: {err}"
+            );
+        }
+    }
+
+    /// Bit corruption in a v2 body (section tags included) is caught by
+    /// structure checks or the trailing checksum.
+    #[test]
+    fn v2_corruption_anywhere_fails() {
+        let mut reasoner = trained_reasoner();
+        reasoner.quantise();
+        let mut pristine = Vec::new();
+        write_snapshot(&reasoner, &mut pristine).unwrap();
+        for pos in [28usize, 33, 40, pristine.len() / 2, pristine.len() - 9] {
+            let mut buf = pristine.clone();
+            buf[pos] ^= 0x10;
+            assert!(
+                read_snapshot(&buf[..]).is_err(),
+                "bit flip at {pos} must not load cleanly"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Quantisation-equivalence guard on the paper's 16-bit CSA evaluation
+//! subject.
+//!
+//! The i8 weight store (per-output-column scale, f32 accumulate) perturbs
+//! every logit by up to ~half a quantisation step per weight. This guard
+//! pins the end-to-end effect where it matters: a quantised reasoner must
+//! agree with its own f32 twin on **>= 99.9% of per-node argmax
+//! decisions** across all three tasks on the 2594-node 16-bit CSA
+//! multiplier, while holding the weight store at roughly a quarter of the
+//! f32 bytes. Run under `--release` in CI alongside the fused-kernel
+//! guard.
+
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_circuits::csa_multiplier;
+
+#[test]
+fn quantised_argmax_matches_f32_on_16bit_csa() {
+    // Train a small-but-confident model (same recipe as the reasoner's
+    // generalisation tests), then fork a quantised twin.
+    let train_a = csa_multiplier(4);
+    let train_b = csa_multiplier(6);
+    let mut f32_reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Shallow,
+        ..ReasonerConfig::default()
+    });
+    f32_reasoner.fit(
+        &[&train_a.aig, &train_b.aig],
+        &TrainConfig {
+            epochs: 300,
+            lr: 1e-2,
+            task_weights: vec![0.8, 1.0, 1.0],
+            log_every: 0,
+        },
+    );
+    let mut quant = f32_reasoner.clone();
+    quant.quantise();
+    assert!(quant.is_quantised() && !f32_reasoner.is_quantised());
+
+    let subject = csa_multiplier(16);
+    let a = f32_reasoner.predict(&subject.aig);
+    let b = quant.predict(&subject.aig);
+    let n = a.num_nodes();
+    assert_eq!(n, subject.aig.num_nodes());
+
+    let mut agree = [0usize; 3];
+    for i in 0..n {
+        agree[0] += (a.root_leaf[i] == b.root_leaf[i]) as usize;
+        agree[1] += (a.is_xor[i] == b.is_xor[i]) as usize;
+        agree[2] += (a.is_maj[i] == b.is_maj[i]) as usize;
+    }
+    for (task, &ok) in ["root/leaf", "xor", "maj"].iter().zip(&agree) {
+        let frac = ok as f64 / n as f64;
+        eprintln!(
+            "argmax agreement on {task}: {:.4}% ({ok}/{n})",
+            frac * 100.0
+        );
+        assert!(
+            frac >= 0.999,
+            "{task}: quantised argmax agreement {frac} below 99.9% ({ok}/{n})"
+        );
+    }
+}
+
+/// The paper configs — real layer widths, not the tiny test model — must
+/// shrink to roughly a quarter of their f32 resident weight bytes. The
+/// weight payload itself is an exact 4x; per-column scales and the f32
+/// biases cap the whole-store ratio slightly below that, and the larger
+/// the model the closer it sits to 4x.
+#[test]
+fn quantised_store_is_about_four_times_smaller() {
+    for (depth, floor) in [(ModelDepth::Shallow, 3.4), (ModelDepth::Deep, 3.8)] {
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth,
+            ..ReasonerConfig::default()
+        });
+        let f32_bytes = reasoner.resident_weight_bytes();
+        assert_eq!(f32_bytes, reasoner.num_params() * 4);
+        reasoner.quantise();
+        let q_bytes = reasoner.resident_weight_bytes();
+        let ratio = f32_bytes as f64 / q_bytes as f64;
+        eprintln!("{depth:?} resident weights: {f32_bytes} -> {q_bytes} bytes ({ratio:.2}x)");
+        assert!(
+            ratio >= floor,
+            "{depth:?}: expected >= {floor}x compression, got {ratio:.2}x"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Back-compatibility guard for the `.gsnap` snapshot formats.
+//!
+//! The v2 reader must keep serving **v1** files — snapshots written by
+//! pre-quantisation builds — bit-exactly. An unquantised reasoner still
+//! *writes* the v1 layout, so the guard works by independently
+//! re-deriving the documented v1 byte layout from first principles (walk
+//! every field, recompute the trailing Fx checksum) and asserting the
+//! current writer has not drifted from it; a reader that loads today's
+//! f32 output therefore loads any pre-change file. A second test pins
+//! the serving side: load -> predictions bit-identical to the saved
+//! instance. Run under `--release` in CI.
+
+use gamora::snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_aig::hasher::FxHasher;
+use gamora_circuits::csa_multiplier;
+use std::hash::Hasher;
+
+fn trained_reasoner() -> GamoraReasoner {
+    let m = csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 20,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+}
+
+/// Walks a snapshot byte stream field by field, feeding the checksum
+/// hasher with exactly one `write` per field — the granularity the v1
+/// writer uses (the Fx checksum folds 8-byte chunks *per write call*, so
+/// the field boundaries are part of the format).
+struct Walker<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    hasher: FxHasher,
+}
+
+impl<'a> Walker<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.hasher.write(s);
+        self.pos += n;
+        s
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+}
+
+/// Walks the documented v1 layout field by field: magic, version 1, the
+/// 20-byte config block, `count` tensors of `{len u32, len * f32}`, and
+/// a trailing Fx checksum over everything before it. Any drift in the
+/// writer (which would orphan pre-change snapshots) fails here.
+#[test]
+fn f32_snapshot_still_uses_the_exact_v1_layout() {
+    let reasoner = trained_reasoner();
+    let mut buf = Vec::new();
+    write_snapshot(&reasoner, &mut buf).unwrap();
+
+    let mut w = Walker {
+        buf: &buf,
+        pos: 0,
+        hasher: FxHasher::default(),
+    };
+    assert_eq!(w.take(4), SNAPSHOT_MAGIC, "magic");
+    assert_eq!(w.u32(), 1, "an unquantised reasoner must stay on v1");
+    // Config block: depth tag u8 + layers u32 + hidden u32 +
+    // feature_mode u8 + direction u8 + multi_task u8 + seed u64.
+    let depth_tag = w.take(1)[0];
+    assert_eq!(depth_tag, 2, "custom depth tag");
+    assert_eq!(w.u32(), 2, "layers");
+    assert_eq!(w.u32(), 8, "hidden");
+    let _feature_mode = w.take(1);
+    let _direction = w.take(1);
+    let _multi_task = w.take(1);
+    let _seed = w.take(8);
+
+    let count = w.u32() as usize;
+    let mut scalars = 0usize;
+    for _ in 0..count {
+        let len = w.u32() as usize;
+        scalars += len;
+        for _ in 0..len {
+            w.take(4); // one f32 LE scalar per write — no section tags in v1
+        }
+    }
+    assert_eq!(
+        scalars,
+        reasoner.num_params(),
+        "v1 stores every parameter scalar exactly once"
+    );
+    assert_eq!(w.pos, buf.len() - 8, "checksum is the only trailer");
+
+    // The trailing u64 is the Fx hash of every preceding field.
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    assert_eq!(stored, w.hasher.finish(), "checksum definition unchanged");
+}
+
+/// A v1 snapshot loads under the v2 reader and serves bit-identically:
+/// same config, same scalar count, and bit-equal predictions on a fresh
+/// workload — the "old snapshot keeps serving" guarantee.
+#[test]
+fn v1_snapshot_loads_and_serves_bit_identically() {
+    let reasoner = trained_reasoner();
+    let mut buf = Vec::new();
+    write_snapshot(&reasoner, &mut buf).unwrap();
+    assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 1);
+
+    let back = read_snapshot(&buf[..]).unwrap();
+    assert_eq!(back.config(), reasoner.config());
+    assert_eq!(back.num_params(), reasoner.num_params());
+    assert!(!back.is_quantised(), "v1 files carry no quantised store");
+
+    let subject = csa_multiplier(5);
+    assert_eq!(
+        reasoner.predict(&subject.aig),
+        back.predict(&subject.aig),
+        "a v1 snapshot must keep serving bit-exactly under the v2 reader"
+    );
+
+    // And a quantised save/load of the same model coexists: the two
+    // formats round-trip independently.
+    let mut quant = back.clone();
+    quant.quantise();
+    let mut v2 = Vec::new();
+    write_snapshot(&quant, &mut v2).unwrap();
+    assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
+    let quant_back = read_snapshot(&v2[..]).unwrap();
+    assert_eq!(
+        quant.predict(&subject.aig),
+        quant_back.predict(&subject.aig),
+        "v2 round trip serves bit-exactly too"
+    );
+}

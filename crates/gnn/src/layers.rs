@@ -10,7 +10,7 @@
 //! in the layer for the optimiser.
 
 use crate::graph::Graph;
-use crate::tensor::{fused_gemm_into, Matrix};
+use crate::tensor::{fused_gemm_into, Epilogue, Matrix, QuantisedMatrix, Weights};
 use rand::Rng;
 
 /// Activations recorded by a training-mode forward through one [`Linear`]
@@ -23,6 +23,14 @@ pub struct LinearTape {
 }
 
 /// A dense layer `y = act(x @ W + b)` with optional ReLU.
+///
+/// Inference can run from an optional read-only i8-quantised weight
+/// store ([`Linear::quantise`]); training always reads and updates the
+/// `f32` weights. The optimiser/injection entry points
+/// ([`Linear::param_grads`] and [`Linear::param_slices_mut`]) drop the
+/// quantised store so a weight update through them cannot leave it
+/// serving stale values; writing the public `w` field directly bypasses
+/// that guard — re-invoke [`Linear::quantise`] after doing so.
 #[derive(Clone, Debug)]
 pub struct Linear {
     /// Weight matrix, `in_dim x out_dim`.
@@ -34,6 +42,9 @@ pub struct Linear {
     /// Bias gradient accumulator.
     pub gb: Vec<f32>,
     relu: bool,
+    /// i8-quantised inference weights (per-output-column scale), present
+    /// only after [`Linear::quantise`] / [`Linear::install_quantised`].
+    qw: Option<QuantisedMatrix>,
 }
 
 impl Linear {
@@ -45,7 +56,38 @@ impl Linear {
             gw: Matrix::zeros(in_dim, out_dim),
             gb: vec![0.0; out_dim],
             relu,
+            qw: None,
         }
+    }
+
+    /// Builds (or refreshes) the i8-quantised inference weight store from
+    /// the current `f32` weights. Call after training/weight updates;
+    /// inference forwards use the store from then on.
+    pub fn quantise(&mut self) {
+        self.qw = Some(QuantisedMatrix::quantise(&self.w));
+    }
+
+    /// The quantised inference weights, if present.
+    pub fn quantised(&self) -> Option<&QuantisedMatrix> {
+        self.qw.as_ref()
+    }
+
+    /// Installs a deserialised quantised store (snapshot loading). The
+    /// `f32` weights are refreshed from the dequantised values so the
+    /// training-path view of the layer stays consistent with what
+    /// inference serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s shape differs from the layer's weight matrix.
+    pub fn install_quantised(&mut self, q: QuantisedMatrix) {
+        assert_eq!(
+            (q.rows(), q.cols()),
+            (self.w.rows(), self.w.cols()),
+            "quantised store shape mismatch"
+        );
+        self.w = q.dequantise();
+        self.qw = Some(q);
     }
 
     /// Inference forward pass.
@@ -57,24 +99,57 @@ impl Linear {
 
     /// Inference forward pass into a caller-owned buffer (no heap
     /// allocation once `y` has enough capacity). One fused GEMM pass:
-    /// bias and the optional ReLU run in the kernel epilogue.
+    /// the optional dequantisation scales, bias and the optional ReLU
+    /// run in the kernel epilogue. Serves the quantised store when one
+    /// is installed, the `f32` weights otherwise.
     pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
-        fused_gemm_into(
-            x,
-            self.w.as_slice(),
-            None,
-            Some(&self.b),
-            self.relu,
-            self.w.cols(),
-            y,
-        );
+        match &self.qw {
+            Some(q) => fused_gemm_into(
+                x,
+                Weights::I8(q.values()),
+                None,
+                Epilogue {
+                    scales: Some(q.scales()),
+                    bias: Some(&self.b),
+                    relu: self.relu,
+                },
+                q.cols(),
+                y,
+            ),
+            None => fused_gemm_into(
+                x,
+                Weights::F32(self.w.as_slice()),
+                None,
+                Epilogue {
+                    scales: None,
+                    bias: Some(&self.b),
+                    relu: self.relu,
+                },
+                self.w.cols(),
+                y,
+            ),
+        }
     }
 
     /// Training forward pass: records the input and output on `tape` for
-    /// the backward pass.
+    /// the backward pass. Always computes through the `f32` weights (the
+    /// tape and backward pass differentiate those), even when a quantised
+    /// inference store is installed.
     pub fn forward_train(&self, x: &Matrix, tape: &mut LinearTape) -> Matrix {
         tape.x.copy_from(x);
-        let y = self.forward(x);
+        let mut y = Matrix::default();
+        fused_gemm_into(
+            x,
+            Weights::F32(self.w.as_slice()),
+            None,
+            Epilogue {
+                scales: None,
+                bias: Some(&self.b),
+                relu: self.relu,
+            },
+            self.w.cols(),
+            &mut y,
+        );
         tape.y.copy_from(&y);
         y
     }
@@ -106,7 +181,11 @@ impl Linear {
     }
 
     /// Parameter/gradient pairs for the optimiser.
+    ///
+    /// Exposing the weights mutably invalidates (drops) any quantised
+    /// inference store — it would otherwise serve the pre-update weights.
     pub fn param_grads(&mut self) -> Vec<(&mut [f32], &[f32])> {
+        self.qw = None;
         vec![
             (self.w.as_mut_slice(), self.gw.as_slice()),
             (&mut self.b, &self.gb),
@@ -120,13 +199,28 @@ impl Linear {
     }
 
     /// Mutable parameter tensors in snapshot order (weight injection).
+    ///
+    /// Like [`Linear::param_grads`], this drops any quantised store: the
+    /// caller is about to overwrite the weights it was built from.
     pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        self.qw = None;
         vec![self.w.as_mut_slice(), &mut self.b]
     }
 
     /// Number of scalar parameters.
     pub fn num_params(&self) -> usize {
         self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Resident weight-store bytes: the quantised store when installed
+    /// (i8 payload + scales), the `f32` weights otherwise, plus the
+    /// `f32` bias either way.
+    pub fn resident_weight_bytes(&self) -> usize {
+        let weights = match &self.qw {
+            Some(q) => q.resident_bytes(),
+            None => self.w.rows() * self.w.cols() * 4,
+        };
+        weights + self.b.len() * 4
     }
 }
 
@@ -179,16 +273,44 @@ impl SageLayer {
     /// W_neigh + b)` in one GEMM pass. `W_self`/`W_neigh` are the row
     /// halves of the combined weight matrix (row-major, so they are
     /// contiguous slices — nothing is copied, and snapshots keep the
-    /// combined on-disk layout).
+    /// combined on-disk layout). With a quantised store installed the
+    /// halves are the same slices of the i8 payload, sharing the store's
+    /// per-output-column scales (columns are untouched by the row split).
     fn fused_into(&self, h: &Matrix, agg: &Matrix, out: &mut Matrix) {
+        let n = self.lin.w.cols();
+        match self.lin.quantised() {
+            Some(q) => {
+                let (q_self, q_neigh) = q.values().split_at(self.in_dim * n);
+                fused_gemm_into(
+                    h,
+                    Weights::I8(q_self),
+                    Some((agg, Weights::I8(q_neigh))),
+                    Epilogue {
+                        scales: Some(q.scales()),
+                        bias: Some(&self.lin.b),
+                        relu: true,
+                    },
+                    n,
+                    out,
+                );
+            }
+            None => self.fused_into_f32(h, agg, out),
+        }
+    }
+
+    /// The `f32` split-weight convolution (the training-path forward).
+    fn fused_into_f32(&self, h: &Matrix, agg: &Matrix, out: &mut Matrix) {
         let n = self.lin.w.cols();
         let (w_self, w_neigh) = self.lin.w.as_slice().split_at(self.in_dim * n);
         fused_gemm_into(
             h,
-            w_self,
-            Some((agg, w_neigh)),
-            Some(&self.lin.b),
-            true,
+            Weights::F32(w_self),
+            Some((agg, Weights::F32(w_neigh))),
+            Epilogue {
+                scales: None,
+                bias: Some(&self.lin.b),
+                relu: true,
+            },
             n,
             out,
         );
@@ -197,15 +319,17 @@ impl SageLayer {
     /// Training forward pass: records activations on `tape`.
     ///
     /// The output is computed through the same split-weight fused kernel
-    /// as [`SageLayer::forward_into`] (training and inference logits stay
-    /// bit-identical); only the tape still materialises the `[h | agg]`
-    /// concatenation, because the backward pass needs it for the weight
-    /// gradient `X^T @ dY` over the full `2 * in_dim` width.
+    /// as [`SageLayer::forward_into`] over the `f32` weights (training
+    /// and unquantised inference logits stay bit-identical; training
+    /// never reads a quantised store); only the tape still materialises
+    /// the `[h | agg]` concatenation, because the backward pass needs it
+    /// for the weight gradient `X^T @ dY` over the full `2 * in_dim`
+    /// width.
     pub fn forward_train(&self, graph: &Graph, h: &Matrix, tape: &mut LinearTape) -> Matrix {
         let agg = graph.mean_aggregate(h);
         h.hconcat_into(&agg, &mut tape.x);
         let mut y = Matrix::default();
-        self.fused_into(h, &agg, &mut y);
+        self.fused_into_f32(h, &agg, &mut y);
         tape.y.copy_from(&y);
         y
     }
@@ -222,6 +346,22 @@ impl SageLayer {
         let mut grad_h = grad_self;
         grad_h.add_scaled(&graph.mean_aggregate_backward(&grad_neigh), 1.0);
         grad_h
+    }
+
+    /// Quantises the layer's combined weight matrix for inference (see
+    /// [`Linear::quantise`]).
+    pub fn quantise(&mut self) {
+        self.lin.quantise();
+    }
+
+    /// Read access to the underlying linear (snapshot serialisation).
+    pub fn linear(&self) -> &Linear {
+        &self.lin
+    }
+
+    /// Mutable access to the underlying linear (snapshot injection).
+    pub fn linear_mut(&mut self) -> &mut Linear {
+        &mut self.lin
     }
 
     /// Clears gradient accumulators.
@@ -342,6 +482,58 @@ mod tests {
             let h = Matrix::glorot(n, 3, &mut rng);
             layer.forward_into(&graph, &h, &mut ws, &mut out);
             assert_eq!(out, layer.forward(&graph, &h), "n = {n}");
+        }
+    }
+
+    /// A quantised layer serves logits equal (to float tolerance) to the
+    /// f32 forward over its dequantised weights, through both the dense
+    /// and the split-weight SAGE path; the training forward keeps reading
+    /// the original f32 weights.
+    #[test]
+    fn quantised_forward_matches_dequantised_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut lin = Linear::new(6, 5, true, &mut rng);
+        let x = Matrix::glorot(7, 6, &mut rng);
+        let f32_out = lin.forward(&x);
+        lin.quantise();
+        let q = lin.quantised().expect("store installed").clone();
+        let quant_out = lin.forward(&x);
+        // Reference: dense forward over the dequantised weights.
+        let mut want = x.matmul(&q.dequantise());
+        want.add_row_vector(&lin.b);
+        want.relu_in_place();
+        for (g, w) in quant_out.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+        // Quantisation really changed something (sanity) but not much.
+        let mut max_diff = 0.0f32;
+        for (a, b) in quant_out.as_slice().iter().zip(f32_out.as_slice()) {
+            max_diff = max_diff.max((a - b).abs());
+        }
+        assert!(max_diff < 0.05, "quantisation error too large: {max_diff}");
+
+        // Training forward still reads the f32 weights bit-exactly.
+        let mut tape = LinearTape::default();
+        let trained = lin.forward_train(&x, &mut tape);
+        assert_eq!(trained, f32_out);
+
+        // Mutable weight exposure invalidates the store.
+        let _ = lin.param_grads();
+        assert!(lin.quantised().is_none());
+
+        let mut sage = SageLayer::new(3, 4, &mut rng);
+        let graph = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], Direction::Bidirectional);
+        let h = Matrix::glorot(5, 3, &mut rng);
+        sage.quantise();
+        let got = sage.forward(&graph, &h);
+        let deq = sage.linear().quantised().expect("installed").dequantise();
+        let agg = graph.mean_aggregate(&h);
+        let concat = h.hconcat(&agg);
+        let mut want = concat.matmul(&deq);
+        want.add_row_vector(&sage.linear().b);
+        want.relu_in_place();
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-5, "sage: {g} vs {w}");
         }
     }
 

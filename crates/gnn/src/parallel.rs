@@ -40,6 +40,23 @@ pub fn for_each_row<F>(data: &mut [f32], width: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    for_each_row_block(data, width, 1, f);
+}
+
+/// Applies `f(first_row_index, block)` to consecutive blocks of up to
+/// `block_rows` full `width`-sized rows of `data`, in parallel over row
+/// ranges. Thread boundaries land on block multiples, so a multi-row
+/// register tile is never split across workers; the final block may hold
+/// fewer than `block_rows` rows.
+///
+/// # Panics
+///
+/// Panics if `width` is zero while `data` is non-empty, if `data.len()`
+/// is not a multiple of `width`, or if `block_rows` is zero.
+pub fn for_each_row_block<F>(data: &mut [f32], width: usize, block_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
     if data.is_empty() {
         return;
     }
@@ -47,6 +64,7 @@ where
         width > 0 && data.len().is_multiple_of(width),
         "bad row width"
     );
+    assert!(block_rows > 0, "bad block height");
     let rows = data.len() / width;
     // Decide serial vs parallel from the row count alone first: the serial
     // path must stay completely free of env lookups and allocations (it is
@@ -58,12 +76,12 @@ where
         num_threads().min(max_useful)
     };
     if nt <= 1 {
-        for (r, chunk) in data.chunks_mut(width).enumerate() {
-            f(r, chunk);
+        for (blk, chunk) in data.chunks_mut(block_rows * width).enumerate() {
+            f(blk * block_rows, chunk);
         }
         return;
     }
-    let rows_per = rows.div_ceil(nt);
+    let rows_per = rows.div_ceil(nt).next_multiple_of(block_rows);
     crossbeam::thread::scope(|s| {
         let mut rest = data;
         let mut start_row = 0;
@@ -73,8 +91,8 @@ where
             let fref = &f;
             let sr = start_row;
             s.spawn(move |_| {
-                for (i, chunk) in head.chunks_mut(width).enumerate() {
-                    fref(sr + i, chunk);
+                for (i, chunk) in head.chunks_mut(block_rows * width).enumerate() {
+                    fref(sr + i * block_rows, chunk);
                 }
             });
             start_row += take / width;
@@ -142,6 +160,32 @@ mod tests {
         let mut data = vec![1.0f32; 8];
         for_each_row(&mut data, 2, |r, chunk| chunk[0] = r as f32);
         assert_eq!(data, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0]);
+    }
+
+    /// Row blocks tile the data exactly once, blocks never split across
+    /// the parallel boundary, and the first-row index is always a block
+    /// multiple — for row counts on and off the block height.
+    #[test]
+    fn for_each_row_block_visits_every_row_once_in_aligned_blocks() {
+        let width = 3;
+        for rows in [1usize, 4, 7, 4096 * 3 + 2] {
+            let mut data = vec![0.0f32; rows * width];
+            for_each_row_block(&mut data, width, 4, |row0, block| {
+                assert_eq!(row0 % 4, 0, "blocks start on tile boundaries");
+                assert!(block.len() <= 4 * width);
+                assert!(block.len().is_multiple_of(width), "only whole rows");
+                for (i, chunk) in block.chunks_mut(width).enumerate() {
+                    for v in chunk.iter_mut() {
+                        *v += (row0 + i) as f32 + 1.0;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..width {
+                    assert_eq!(data[r * width + c], r as f32 + 1.0, "rows = {rows}");
+                }
+            }
+        }
     }
 
     #[test]

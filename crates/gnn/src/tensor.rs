@@ -5,15 +5,24 @@
 //! which preserves the batching/parallelism story of Figures 7 and 8 at CPU
 //! scale. Only the operations the GNN stack needs are implemented.
 //!
-//! The forward-pass GEMMs all funnel through one register-blocked row
-//! micro-kernel ([`gemm_row`]): the K dimension is swept in [`KC`]-sized
-//! cache panels and unrolled four-wide, so each step issues four
-//! independent multiply-adds per output element and the compiler
-//! vectorises the N loop. [`fused_gemm_into`] drives that kernel with an
-//! optional *second* input/weight pair (the split-weight SAGE trick:
-//! `concat([h, agg]) @ W == h @ W_self + agg @ W_neigh`, no concat buffer)
-//! and a fused bias + ReLU epilogue, so a whole layer is one pass over the
+//! The forward-pass GEMMs all funnel through one register-blocked tile
+//! micro-kernel ([`gemm_tile`]): up to [`MR`] output rows are processed
+//! per sweep, the K dimension is swept in [`KC`]-sized cache panels and
+//! unrolled four-wide, so each loaded weight panel is reused across every
+//! row of the tile and the compiler vectorises the N loop.
+//! [`fused_gemm_into`] drives that kernel with an optional *second*
+//! input/weight pair (the split-weight SAGE trick: `concat([h, agg]) @ W
+//! == h @ W_self + agg @ W_neigh`, no concat buffer) and a fused
+//! scale + bias + ReLU epilogue, so a whole layer is one pass over the
 //! output instead of matmul-then-bias-then-activation.
+//!
+//! Weights come in two storage classes behind the same kernel: plain
+//! `f32` ([`Matrix`]) and a read-only i8-quantised store
+//! ([`QuantisedMatrix`], per-output-column scale). The quantised path
+//! accumulates `f32` sums of `activation x i8-weight` products inside the
+//! K-panel loop and applies the column scales once in the epilogue —
+//! mathematically the dequantised product, at a quarter of the resident
+//! weight bytes, with no layer or model code aware of the difference.
 
 use crate::parallel;
 use rand::Rng;
@@ -150,7 +159,14 @@ impl Matrix {
     /// Panics if `self.cols != other.rows`.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        fused_gemm_into(self, &other.data, None, None, false, other.cols, out);
+        fused_gemm_into(
+            self,
+            Weights::F32(&other.data),
+            None,
+            Epilogue::default(),
+            other.cols,
+            out,
+        );
     }
 
     /// `out += self @ other`, accumulating into an existing buffer — the
@@ -169,8 +185,9 @@ impl Matrix {
             "matmul_add_into accumulator shape mismatch"
         );
         let n = other.cols;
-        parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
-            gemm_row(self.row(r), &other.data, out_row);
+        parallel::for_each_row_block(&mut out.data, n.max(1), MR, |row0, block| {
+            let rows = block.len() / n.max(1);
+            gemm_tile(self, row0, rows, other.data.as_slice(), n, block);
         });
     }
 
@@ -354,50 +371,235 @@ impl Matrix {
     }
 }
 
+/// A read-only i8-quantised weight matrix with one `f32` scale per
+/// **output column**.
+///
+/// `value(r, c) ~= data[r * cols + c] as f32 * scales[c]`. Quantisation
+/// is symmetric absmax: each column's scale is `max_r |w[r][c]| / 127`,
+/// so the i8 range is fully used per column and a column of zeros
+/// quantises (and dequantises) to exact zeros. The store is ~4x smaller
+/// than the `f32` weights it replaces and is consumed directly by the
+/// fused GEMM kernel: raw i8 products are accumulated in `f32` and the
+/// column scale is applied once in the epilogue.
+#[derive(Clone, PartialEq, Default)]
+pub struct QuantisedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl fmt::Debug for QuantisedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuantisedMatrix({}x{} i8)", self.rows, self.cols)
+    }
+}
+
+impl QuantisedMatrix {
+    /// Quantises an `f32` matrix with per-column symmetric absmax scales.
+    pub fn quantise(src: &Matrix) -> QuantisedMatrix {
+        let (rows, cols) = (src.rows(), src.cols());
+        let mut scales = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (s, &v) in scales.iter_mut().zip(src.row(r)) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s /= 127.0;
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for (&v, &s) in src.row(r).iter().zip(&scales) {
+                let q = if s == 0.0 { 0.0 } else { (v / s).round() };
+                data.push(q.clamp(-127.0, 127.0) as i8);
+            }
+        }
+        QuantisedMatrix {
+            rows,
+            cols,
+            data,
+            scales,
+        }
+    }
+
+    /// Rebuilds a store from its serialised parts (snapshot loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or `scales.len() != cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+    ) -> QuantisedMatrix {
+        assert_eq!(data.len(), rows * cols, "quantised payload shape mismatch");
+        assert_eq!(scales.len(), cols, "one scale per output column");
+        QuantisedMatrix {
+            rows,
+            cols,
+            data,
+            scales,
+        }
+    }
+
+    /// Expands back to `f32` (`q * scale`, exact in `f32`: the product of
+    /// an integer in ±127 and an `f32` scale rounds once).
+    pub fn dequantise(&self) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (&q, &s) in row.iter().zip(&self.scales) {
+                data.push(q as f32 * s);
+            }
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The raw row-major i8 values.
+    pub fn values(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The per-output-column dequantisation scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Resident bytes of the store (i8 payload + f32 scales).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+}
+
 /// K-dimension cache-block size: one `KC x n` panel of the weight matrix
 /// (64 KiB at `n = 64`) stays resident in L1/L2 across the accumulation
 /// sweep of a row block.
 const KC: usize = 256;
 
-/// Register-blocked row micro-kernel: `out_row += a_row @ b` where `b` is
-/// a row-major `a_row.len() x out_row.len()` weight slice.
+/// Register-tile height: output rows processed per micro-kernel sweep.
+/// Each loaded weight panel (the four `b` row slices of a K-quad) is
+/// reused across all `MR` rows, cutting weight-load traffic by the tile
+/// height; `MR` output rows of accumulators stay live at once, which at
+/// `n <= 64` still fits the architectural register/L1 budget.
+const MR: usize = 4;
+
+/// A weight element the micro-kernel can promote to `f32` on load — the
+/// one seam between the `f32` and i8-quantised storage classes. Both
+/// monomorphisations keep the vectorisable N loop; `promote` is an
+/// identity for `f32` and a lane-wise int-to-float convert for `i8`.
+trait WeightElem: Copy + Send + Sync {
+    fn promote(self) -> f32;
+}
+
+impl WeightElem for f32 {
+    #[inline(always)]
+    fn promote(self) -> f32 {
+        self
+    }
+}
+
+impl WeightElem for i8 {
+    #[inline(always)]
+    fn promote(self) -> f32 {
+        self as f32
+    }
+}
+
+/// A weight operand for [`fused_gemm_into`]: a plain row-major `f32`
+/// slice, or the raw i8 values of a [`QuantisedMatrix`] (whose column
+/// scales the caller passes separately for the epilogue).
+#[derive(Copy, Clone)]
+pub(crate) enum Weights<'a> {
+    /// Row-major `k x n` `f32` weights.
+    F32(&'a [f32]),
+    /// Row-major `k x n` i8-quantised weights (apply column scales in the
+    /// epilogue).
+    I8(&'a [i8]),
+}
+
+impl Weights<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Weights::F32(w) => w.len(),
+            Weights::I8(w) => w.len(),
+        }
+    }
+}
+
+/// Register-blocked tile micro-kernel: `out[i] += x.row(row0 + i) @ b`
+/// for `i in 0..rows`, where `b` is a row-major `x.cols() x n` weight
+/// slice and `out` is the contiguous `rows x n` output block.
 ///
-/// K is swept in [`KC`]-sized panels and unrolled four-wide: each step
-/// folds four weight rows into the output with four independent products
-/// per element, which the compiler turns into FMA chains vectorised over
-/// N. The scalar remainder keeps the skip on zero activations that makes
-/// the sparse 0/1 feature matrices of the first layer cheap.
+/// K is swept in [`KC`]-sized panels and unrolled four-wide; the four
+/// weight-row slices of each K-quad are hoisted out of the row loop, so
+/// one panel load feeds all `rows` output rows of the tile (the
+/// multi-row register tile). Per output element each step folds four
+/// independent products, which the compiler turns into FMA chains
+/// vectorised over N. Per-row accumulation order is identical to the
+/// single-row kernel this replaces, so `f32` results are bit-identical.
+/// The per-row skip on all-zero coefficient quads (and the scalar
+/// remainder's zero skip) keeps the sparse 0/1 feature matrices of the
+/// first layer cheap.
 #[inline]
-fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
-    let n = out_row.len();
-    debug_assert_eq!(b.len(), a_row.len() * n);
+fn gemm_tile<E: WeightElem>(
+    x: &Matrix,
+    row0: usize,
+    rows: usize,
+    b: &[E],
+    n: usize,
+    out: &mut [f32],
+) {
+    let k_total = x.cols;
+    debug_assert_eq!(b.len(), k_total * n);
+    debug_assert_eq!(out.len(), rows * n);
     let mut kb = 0;
-    while kb < a_row.len() {
-        let kend = (kb + KC).min(a_row.len());
+    while kb < k_total {
+        let kend = (kb + KC).min(k_total);
         let mut k = kb;
         while k + 4 <= kend {
-            let a0 = a_row[k];
-            let a1 = a_row[k + 1];
-            let a2 = a_row[k + 2];
-            let a3 = a_row[k + 3];
-            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
-                let b0 = &b[k * n..(k + 1) * n];
-                let b1 = &b[(k + 1) * n..(k + 2) * n];
-                let b2 = &b[(k + 2) * n..(k + 3) * n];
-                let b3 = &b[(k + 3) * n..(k + 4) * n];
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+            let b0 = &b[k * n..(k + 1) * n];
+            let b1 = &b[(k + 1) * n..(k + 2) * n];
+            let b2 = &b[(k + 2) * n..(k + 3) * n];
+            let b3 = &b[(k + 3) * n..(k + 4) * n];
+            for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+                let a_row = x.row(row0 + i);
+                let a0 = a_row[k];
+                let a1 = a_row[k + 1];
+                let a2 = a_row[k + 2];
+                let a3 = a_row[k + 3];
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o += a0 * v0.promote()
+                            + a1 * v1.promote()
+                            + a2 * v2.promote()
+                            + a3 * v3.promote();
+                    }
                 }
             }
             k += 4;
         }
         while k < kend {
-            let a = a_row[k];
-            if a != 0.0 {
-                for (o, &v) in out_row.iter_mut().zip(&b[k * n..(k + 1) * n]) {
-                    *o += a * v;
+            let bk = &b[k * n..(k + 1) * n];
+            for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+                let a = x.row(row0 + i)[k];
+                if a != 0.0 {
+                    for (o, &v) in out_row.iter_mut().zip(bk) {
+                        *o += a * v.promote();
+                    }
                 }
             }
             k += 1;
@@ -406,43 +608,40 @@ fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
     }
 }
 
-/// Fused layer GEMM: `out = act(x1 @ w1 [+ x2 @ w2] [+ bias])` in one pass
-/// over the output, parallel over row blocks.
-///
-/// `w1`/`w2` are row-major `x.cols() x n` weight slices (for the SAGE
-/// split-weight trick they are the two contiguous halves of one combined
-/// `2d x n` matrix, so no weights are copied). The bias add and ReLU run
-/// in the GEMM epilogue while the freshly accumulated row is still in
+/// Dispatches one tile through [`gemm_tile`] for either weight storage
+/// class.
+#[inline]
+fn gemm_tile_dyn(x: &Matrix, row0: usize, rows: usize, w: Weights<'_>, n: usize, out: &mut [f32]) {
+    match w {
+        Weights::F32(b) => gemm_tile(x, row0, rows, b, n, out),
+        Weights::I8(b) => gemm_tile(x, row0, rows, b, n, out),
+    }
+}
+
+/// The post-accumulation work fused into the GEMM: optional per-output-
+/// column scales (the i8 dequantisation step — applied *before* the
+/// bias, which is stored unscaled), optional bias add, optional ReLU.
+/// All of it runs on each freshly accumulated tile while it is still in
 /// cache.
-///
-/// # Panics
-///
-/// Panics on any shape mismatch between the inputs, weights, bias and `n`.
-pub(crate) fn fused_gemm_into(
-    x1: &Matrix,
-    w1: &[f32],
-    pair2: Option<(&Matrix, &[f32])>,
-    bias: Option<&[f32]>,
-    relu: bool,
-    n: usize,
-    out: &mut Matrix,
-) {
-    assert_eq!(w1.len(), x1.cols * n, "weight shape mismatch");
-    if let Some((x2, w2)) = pair2 {
-        assert_eq!(x2.rows, x1.rows, "fused GEMM input row mismatch");
-        assert_eq!(w2.len(), x2.cols * n, "second weight shape mismatch");
-    }
-    if let Some(b) = bias {
-        assert_eq!(b.len(), n, "bias width mismatch");
-    }
-    out.reshape_for_overwrite(x1.rows, n);
-    parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
-        out_row.fill(0.0);
-        gemm_row(x1.row(r), w1, out_row);
-        if let Some((x2, w2)) = pair2 {
-            gemm_row(x2.row(r), w2, out_row);
+#[derive(Copy, Clone, Default)]
+pub(crate) struct Epilogue<'a> {
+    /// Per-output-column multipliers (i8 dequantisation), length `n`.
+    pub scales: Option<&'a [f32]>,
+    /// Per-output-column bias, length `n`.
+    pub bias: Option<&'a [f32]>,
+    /// Clamp the result at zero.
+    pub relu: bool,
+}
+
+impl Epilogue<'_> {
+    #[inline]
+    fn apply(&self, out_row: &mut [f32]) {
+        if let Some(s) = self.scales {
+            for (o, &sv) in out_row.iter_mut().zip(s) {
+                *o *= sv;
+            }
         }
-        match (bias, relu) {
+        match (self.bias, self.relu) {
             (Some(b), true) => {
                 for (o, &bv) in out_row.iter_mut().zip(b) {
                     *o = (*o + bv).max(0.0);
@@ -459,6 +658,54 @@ pub(crate) fn fused_gemm_into(
                 }
             }
             (None, false) => {}
+        }
+    }
+}
+
+/// Fused layer GEMM: `out = act((x1 @ w1 [+ x2 @ w2]) [* scales] [+
+/// bias])` in one pass over the output, parallel over [`MR`]-row tile
+/// blocks.
+///
+/// `w1`/`w2` are row-major `x.cols() x n` weight operands (for the SAGE
+/// split-weight trick they are the two contiguous halves of one combined
+/// `2d x n` matrix, so no weights are copied — and, being halves of one
+/// quantised store, they share the one set of column scales in
+/// `epilogue`). The epilogue runs while the freshly accumulated rows are
+/// still in cache.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch between the inputs, weights, epilogue
+/// vectors and `n`.
+pub(crate) fn fused_gemm_into(
+    x1: &Matrix,
+    w1: Weights<'_>,
+    pair2: Option<(&Matrix, Weights<'_>)>,
+    epilogue: Epilogue<'_>,
+    n: usize,
+    out: &mut Matrix,
+) {
+    assert_eq!(w1.len(), x1.cols * n, "weight shape mismatch");
+    if let Some((x2, w2)) = pair2 {
+        assert_eq!(x2.rows, x1.rows, "fused GEMM input row mismatch");
+        assert_eq!(w2.len(), x2.cols * n, "second weight shape mismatch");
+    }
+    if let Some(s) = epilogue.scales {
+        assert_eq!(s.len(), n, "scale width mismatch");
+    }
+    if let Some(b) = epilogue.bias {
+        assert_eq!(b.len(), n, "bias width mismatch");
+    }
+    out.reshape_for_overwrite(x1.rows, n);
+    parallel::for_each_row_block(&mut out.data, n.max(1), MR, |row0, block| {
+        block.fill(0.0);
+        let rows = block.len() / n.max(1);
+        gemm_tile_dyn(x1, row0, rows, w1, n, block);
+        if let Some((x2, w2)) = pair2 {
+            gemm_tile_dyn(x2, row0, rows, w2, n, block);
+        }
+        for out_row in block.chunks_exact_mut(n.max(1)) {
+            epilogue.apply(out_row);
         }
     });
 }
@@ -533,7 +780,18 @@ mod tests {
         let w = small(10, 4, 42);
         let bias: Vec<f32> = (0..4).map(|i| i as f32 * 0.25 - 0.4).collect();
         let mut fused = Matrix::default();
-        fused_gemm_into(&x, w.as_slice(), None, Some(&bias), true, 4, &mut fused);
+        fused_gemm_into(
+            &x,
+            Weights::F32(w.as_slice()),
+            None,
+            Epilogue {
+                scales: None,
+                bias: Some(&bias),
+                relu: true,
+            },
+            4,
+            &mut fused,
+        );
         let mut unfused = x.matmul(&w);
         unfused.add_row_vector(&bias);
         unfused.relu_in_place();
@@ -551,10 +809,9 @@ mod tests {
         let mut split = Matrix::default();
         fused_gemm_into(
             &h,
-            w_self,
-            Some((&agg, w_neigh)),
-            None,
-            false,
+            Weights::F32(w_self),
+            Some((&agg, Weights::F32(w_neigh))),
+            Epilogue::default(),
             7,
             &mut split,
         );
@@ -660,6 +917,128 @@ mod tests {
         m.reset(3, 2);
         assert_eq!((m.rows(), m.cols()), (3, 2));
         assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    /// Quantise → dequantise is idempotent on already-dequantised values
+    /// (the i8 payload and scales reproduce exactly), and the error of a
+    /// single quantisation round is bounded by half a quantisation step
+    /// per column.
+    #[test]
+    fn quantise_roundtrip_and_error_bound() {
+        let w = small(24, 9, 71);
+        let q = QuantisedMatrix::quantise(&w);
+        assert_eq!((q.rows(), q.cols()), (24, 9));
+        assert_eq!(q.values().len(), 24 * 9);
+        assert_eq!(q.scales().len(), 9);
+        let deq = q.dequantise();
+        for c in 0..9 {
+            let step = q.scales()[c];
+            for r in 0..24 {
+                assert!(
+                    (deq.get(r, c) - w.get(r, c)).abs() <= 0.5 * step + 1e-7,
+                    "({r},{c}): {} vs {} exceeds half a step {step}",
+                    deq.get(r, c),
+                    w.get(r, c)
+                );
+            }
+        }
+        // Requantising the dequantised values is exact.
+        let q2 = QuantisedMatrix::quantise(&deq);
+        assert_eq!(q2.values(), q.values());
+        for (a, b) in q2.scales().iter().zip(q.scales()) {
+            assert!((a - b).abs() <= f32::EPSILON * b.abs(), "{a} vs {b}");
+        }
+        // ~4x smaller than the f32 store it replaces.
+        assert!(q.resident_bytes() * 3 < 24 * 9 * 4);
+    }
+
+    /// An all-zero column quantises to scale 0 / values 0 and dequantises
+    /// back to exact zeros (no division by the zero absmax).
+    #[test]
+    fn quantise_handles_zero_columns() {
+        let mut w = small(6, 4, 72);
+        for r in 0..6 {
+            w.set(r, 2, 0.0);
+        }
+        let q = QuantisedMatrix::quantise(&w);
+        assert_eq!(q.scales()[2], 0.0);
+        let deq = q.dequantise();
+        for r in 0..6 {
+            assert_eq!(deq.get(r, 2), 0.0);
+        }
+    }
+
+    /// The quantised GEMM path (i8 accumulation + epilogue scales) equals
+    /// the f32 GEMM over the dequantised weights to float tolerance, for
+    /// both the plain and the split-weight form.
+    #[test]
+    fn quantised_gemm_matches_dequantised_f32_path() {
+        let x = small(9, 20, 81);
+        let w = small(20, 7, 82);
+        let q = QuantisedMatrix::quantise(&w);
+        let deq = q.dequantise();
+        let bias: Vec<f32> = (0..7).map(|i| i as f32 * 0.1 - 0.3).collect();
+        for relu in [false, true] {
+            let mut quant = Matrix::default();
+            fused_gemm_into(
+                &x,
+                Weights::I8(q.values()),
+                None,
+                Epilogue {
+                    scales: Some(q.scales()),
+                    bias: Some(&bias),
+                    relu,
+                },
+                7,
+                &mut quant,
+            );
+            let mut f32_path = Matrix::default();
+            fused_gemm_into(
+                &x,
+                Weights::F32(deq.as_slice()),
+                None,
+                Epilogue {
+                    scales: None,
+                    bias: Some(&bias),
+                    relu,
+                },
+                7,
+                &mut f32_path,
+            );
+            assert_close(&quant, &f32_path);
+        }
+
+        // Split-weight: the two row halves of one quantised store share
+        // its column scales.
+        let h = small(5, 10, 83);
+        let agg = small(5, 10, 84);
+        let (q_self, q_neigh) = q.values().split_at(10 * 7);
+        let mut split = Matrix::default();
+        fused_gemm_into(
+            &h,
+            Weights::I8(q_self),
+            Some((&agg, Weights::I8(q_neigh))),
+            Epilogue {
+                scales: Some(q.scales()),
+                bias: None,
+                relu: false,
+            },
+            7,
+            &mut split,
+        );
+        let concat = h.hconcat(&agg);
+        assert_close(&split, &naive_matmul(&concat, &deq));
+    }
+
+    /// Multi-row tiles must survive row counts off the tile height: every
+    /// `m mod MR` residue, including sub-tile matrices.
+    #[test]
+    fn tiled_matmul_handles_all_row_remainders() {
+        for m in 1..=9usize {
+            let a = small(m, 37, 90 + m as u64);
+            let b = small(37, 5, 91);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+        }
     }
 
     #[test]

@@ -335,7 +335,15 @@ impl fmt::Display for Int {
         if self.neg {
             s.push('-');
         }
-        s.push_str(&digits.pop().unwrap().to_string());
+        // A non-zero value has a non-empty magnitude, so the loop above
+        // pushed at least one digit chunk (`div_small` always returns a
+        // remainder before the magnitude can empty) — but a formatter
+        // must never be able to panic, so the empty case renders the
+        // value it mathematically is: zero.
+        match digits.pop() {
+            Some(top) => s.push_str(&top.to_string()),
+            None => s.push('0'),
+        }
         while let Some(d) = digits.pop() {
             s.push_str(&format!("{d:019}"));
         }
@@ -381,6 +389,49 @@ mod tests {
         assert_eq!(Int::from(5i64).shl(3).to_i128(), Some(40));
         assert_eq!(Int::from(1i64).shl(126).to_i128(), Some(1i128 << 126));
         assert_eq!(Int::pow2(64).bits(), 65);
+    }
+
+    /// Decimal rendering regression: every digits-vector shape the
+    /// `Display` loop can produce — zero (early return), single-limb
+    /// single-chunk values, values straddling the 10^19 chunk boundary
+    /// (leading chunk must not be zero-padded, later chunks must be),
+    /// and multi-limb magnitudes.
+    #[test]
+    fn display_zero_single_limb_and_chunk_boundaries() {
+        assert_eq!(Int::zero().to_string(), "0");
+        assert_eq!(Int::default().to_string(), "0");
+        assert_eq!((Int::from(3i64) - Int::from(3i64)).to_string(), "0");
+        assert_eq!((-Int::zero()).to_string(), "0");
+
+        assert_eq!(Int::one().to_string(), "1");
+        assert_eq!(Int::from(-1i64).to_string(), "-1");
+        assert_eq!(Int::from(42i64).to_string(), "42");
+        assert_eq!(Int::from(u64::MAX).to_string(), "18446744073709551615");
+
+        // Exactly at and around the 10^19 decimal-chunk divisor.
+        let chunk = Int::from(10_000_000_000_000_000_000u64);
+        assert_eq!(chunk.to_string(), "10000000000000000000");
+        assert_eq!(
+            (&chunk + &Int::one()).to_string(),
+            "10000000000000000001",
+            "second chunk must be zero-padded to 19 digits"
+        );
+        assert_eq!((&chunk - &Int::one()).to_string(), "9999999999999999999");
+
+        // Multi-limb: 2^128 = 340282366920938463463374607431768211456.
+        assert_eq!(
+            Int::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+        assert_eq!(
+            (-Int::pow2(128)).to_string(),
+            "-340282366920938463463374607431768211456"
+        );
+
+        // Display agrees with i128 formatting across the boundary into
+        // two-limb territory.
+        let big = Int::from(u64::MAX) + Int::one();
+        assert_eq!(big.to_string(), (u64::MAX as i128 + 1).to_string());
     }
 
     #[test]

@@ -32,11 +32,17 @@ USAGE:
                  [--kind csa|booth] [--depth shallow|deep|LxH] [--seed N]
     gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
                  [--workers N] [--cache N] [--queue-cap N] [--linger MICROS]
-                 [--compact] FILE.aag [FILE.aig ...]
+                 [--quant] [--compact] FILE.aag [FILE.aig ...]
                  (--cache 0 disables the structural-hash cache)
     gamora bench-serve --model MODEL.gsnap [--bits 16] [--count 64]
                        [--batches 1,8,64] [--workers N] [--shards N]
                        [--linger MICROS] [--queue-cap N] [--deadline MICROS]
+                       [--quant]
+
+--quant serves the i8-quantised weight store (per-output-column scales,
+f32 accumulation): ~4x smaller resident weights, argmax predictions
+matching the f32 path on >= 99.9% of nodes. bench-serve --quant also
+reports the f32-vs-quantised argmax agreement and weight-store sizes.
 
 bench-serve extras:
     --shards N        route through a structural-hash ShardRouter over N
@@ -97,7 +103,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-cap",
     "--deadline",
 ];
-const SWITCH_FLAGS: &[&str] = &["--extract", "--score", "--compact", "--quiet"];
+const SWITCH_FLAGS: &[&str] = &["--extract", "--score", "--compact", "--quiet", "--quant"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -293,8 +299,12 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         AnalysisKind::Classify
     };
 
-    let reasoner =
+    let mut reasoner =
         GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    if flags.has("--quant") {
+        reasoner.quantise();
+    }
+    let quantised = reasoner.is_quantised();
     let server = Server::start(
         reasoner,
         ServeConfig {
@@ -360,6 +370,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let json = Json::obj([
         ("command", Json::str("infer")),
         ("model", Json::str(model_path)),
+        ("quantised", Json::Bool(quantised)),
         ("files", Json::Arr(files)),
         ("serving", Json::Obj(serving)),
     ]);
@@ -450,14 +461,22 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
 
     // One model instance serves every configuration: workers share it
     // through the `Arc`, no per-worker (or per-configuration) clones.
-    let reasoner = Arc::new(
-        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?,
-    );
+    let mut loaded =
+        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    let quant = flags.has("--quant");
+    // Under --quant, keep the f32 twin around to measure how often the
+    // quantised store flips an argmax decision.
+    let f32_twin = quant.then(|| loaded.clone());
+    if quant {
+        loaded.quantise();
+    }
+    let reasoner = Arc::new(loaded);
     let subject = generate_multiplier(MultiplierKind::Csa, bits);
     eprintln!(
         "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes), \
-         {shards} shard(s) ...",
-        subject.aig.num_nodes()
+         {shards} shard(s){} ...",
+        subject.aig.num_nodes(),
+        if quant { ", quantised weights" } else { "" }
     );
     let base = ServeConfig {
         workers,
@@ -539,8 +558,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         ("submissions", Json::uint(count)),
         ("workers", Json::uint(workers)),
         ("shards", Json::uint(shards)),
+        ("quantised", Json::Bool(quant)),
         ("rows", Json::Arr(rows)),
     ];
+    if let Some(f32_twin) = &f32_twin {
+        fields.push((
+            "quantisation",
+            bench_quantisation(f32_twin, &reasoner, &subject.aig),
+        ));
+    }
     if shards > 1 {
         fields.push(("sharding", bench_shard_affinity(&reasoner, shards, base)?));
     }
@@ -565,6 +591,47 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     );
     println!("{json}");
     Ok(())
+}
+
+/// Quantisation accuracy sidebar for `--quant` runs: per-task argmax
+/// agreement between the f32 twin and the quantised model on the bench
+/// subject, plus the resident weight-store sizes behind the
+/// throughput rows.
+fn bench_quantisation(f32_twin: &GamoraReasoner, quant: &GamoraReasoner, subject: &Aig) -> Json {
+    let a = f32_twin.predict(subject);
+    let b = quant.predict(subject);
+    let n = a.num_nodes().max(1);
+    let mut agree = [0usize; 3];
+    for i in 0..a.num_nodes() {
+        agree[0] += (a.root_leaf[i] == b.root_leaf[i]) as usize;
+        agree[1] += (a.is_xor[i] == b.is_xor[i]) as usize;
+        agree[2] += (a.is_maj[i] == b.is_maj[i]) as usize;
+    }
+    let frac = |c: usize| c as f64 / n as f64;
+    let mean = (frac(agree[0]) + frac(agree[1]) + frac(agree[2])) / 3.0;
+    let f32_bytes = f32_twin.resident_weight_bytes();
+    let q_bytes = quant.resident_weight_bytes();
+    eprintln!(
+        "  quantisation: argmax agreement {:.4}% mean over {} nodes, \
+         weights {f32_bytes} -> {q_bytes} bytes ({:.2}x)",
+        mean * 100.0,
+        a.num_nodes(),
+        f32_bytes as f64 / q_bytes as f64
+    );
+    Json::obj([
+        (
+            "argmax_agreement",
+            Json::obj([
+                ("root_leaf", Json::Num(frac(agree[0]))),
+                ("xor", Json::Num(frac(agree[1]))),
+                ("maj", Json::Num(frac(agree[2]))),
+                ("mean", Json::Num(mean)),
+            ]),
+        ),
+        ("f32_weight_bytes", Json::uint(f32_bytes)),
+        ("quantised_weight_bytes", Json::uint(q_bytes)),
+        ("compression", Json::Num(f32_bytes as f64 / q_bytes as f64)),
+    ])
 }
 
 /// Shard-affinity run: distinct netlists spread over the shards, then
