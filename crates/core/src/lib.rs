@@ -53,10 +53,12 @@ pub use extract::{compare_extraction, extract_from_predictions, filter_candidate
 pub use features::FeatureMode;
 pub use postprocess::{lsb_correction, lsb_correction_with};
 pub use reasoner::{
-    inference_memory_estimate, score_predictions, EvalReport, GamoraReasoner, ModelDepth,
-    Predictions, ReasonerConfig,
+    inference_memory_estimate, score_predictions, BatchTimings, EvalReport, GamoraReasoner,
+    ModelDepth, Predictions, ReasonerConfig,
 };
 pub use snapshot::SnapshotError;
 
 // Re-export the neighbouring layers a user needs to drive the pipeline.
-pub use gamora_gnn::{Direction, InferenceScratch, TrainConfig, TrainReport};
+pub use gamora_gnn::{
+    Direction, ForwardObserver, ForwardStage, InferenceScratch, TrainConfig, TrainReport,
+};

@@ -7,9 +7,22 @@ use crate::labels::{decode_joint, SINGLE_TASK_CLASSES, TASK_CLASSES};
 use gamora_aig::Aig;
 use gamora_gnn::loss::argmax;
 use gamora_gnn::{
-    train, Direction, Graph, GraphData, InferenceScratch, Matrix, ModelConfig, MultiTaskSage,
-    TrainConfig, TrainReport,
+    train, Direction, ForwardObserver, Graph, GraphData, InferenceScratch, Matrix, ModelConfig,
+    MultiTaskSage, TrainConfig, TrainReport,
 };
+use std::time::Instant;
+
+/// Wall times of the phases inside one batched prediction, in microseconds
+/// (see [`GamoraReasoner::predict_batch_into_timed`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchTimings {
+    /// Streaming the AIGs into the merged batch graph + feature matrix.
+    pub assemble_micros: u64,
+    /// The GNN forward pass over the merged graph.
+    pub forward_micros: u64,
+    /// Argmax decode plus splitting merged predictions back per netlist.
+    pub split_micros: u64,
+}
 
 /// Model capacity presets (paper §IV-A).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -285,6 +298,35 @@ impl GamoraReasoner {
         out: &mut Predictions,
     ) {
         let logits = self.model.infer(graph, features, scratch);
+        self.decode_logits(logits, out);
+    }
+
+    /// [`GamoraReasoner::predict_prepared_into`] with timing: returns the
+    /// wall times of the GNN forward and the argmax decode, in
+    /// microseconds, and forwards per-layer stage times to `observer` when
+    /// one is given. Costs four monotonic clock reads over the plain path
+    /// (plus two per forward stage when observed) and stays
+    /// allocation-free.
+    pub fn predict_prepared_into_observed(
+        &self,
+        scratch: &mut InferenceScratch,
+        graph: &Graph,
+        features: &Matrix,
+        out: &mut Predictions,
+        observer: Option<&dyn ForwardObserver>,
+    ) -> (u64, u64) {
+        let forward_start = Instant::now();
+        let logits = self
+            .model
+            .infer_observed(graph, features, scratch, observer);
+        let forward_micros = forward_start.elapsed().as_micros() as u64;
+        let decode_start = Instant::now();
+        self.decode_logits(logits, out);
+        (forward_micros, decode_start.elapsed().as_micros() as u64)
+    }
+
+    /// Argmax-decodes per-task logits into per-node predictions.
+    fn decode_logits(&self, logits: &[Matrix], out: &mut Predictions) {
         let n = logits[0].rows();
         out.root_leaf.clear();
         out.is_xor.clear();
@@ -353,7 +395,31 @@ impl GamoraReasoner {
         aigs: &[&Aig],
         outs: &mut Vec<Predictions>,
     ) {
+        self.predict_batch_into_timed(batch, scratch, aigs, outs, None);
+    }
+
+    /// [`GamoraReasoner::predict_batch_into`] with per-phase timing: the
+    /// same allocation-free batch pipeline, returning the wall time of
+    /// batch assembly, GNN forward and prediction split, and reporting
+    /// per-layer forward stages to `observer` when one is given. The
+    /// timing overhead is a handful of monotonic clock reads per *batch*
+    /// — nothing per node — so the serve path can stay instrumented
+    /// permanently (guarded by the `metrics_overhead` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aigs` is empty.
+    pub fn predict_batch_into_timed(
+        &self,
+        batch: &mut BatchScratch,
+        scratch: &mut InferenceScratch,
+        aigs: &[&Aig],
+        outs: &mut Vec<Predictions>,
+        observer: Option<&dyn ForwardObserver>,
+    ) -> BatchTimings {
+        let assemble_start = Instant::now();
         assemble_batch_into(aigs, self.config.feature_mode, self.config.direction, batch);
+        let assemble_micros = assemble_start.elapsed().as_micros() as u64;
         // Resize `outs` without discarding warmed capacity: trimmed
         // entries park in the scratch's spare pool and are reused on
         // regrowth (serve queue-drain sizes fluctuate batch to batch).
@@ -370,7 +436,9 @@ impl GamoraReasoner {
             merged,
             ..
         } = batch;
-        self.predict_prepared_into(scratch, graph, features, merged);
+        let (forward_micros, decode_micros) =
+            self.predict_prepared_into_observed(scratch, graph, features, merged, observer);
+        let scatter_start = Instant::now();
         for ((out, &aig), &start) in outs.iter_mut().zip(aigs).zip(offsets.iter()) {
             let end = start + aig.num_nodes();
             out.root_leaf.clear();
@@ -381,6 +449,17 @@ impl GamoraReasoner {
             out.is_maj.clear();
             out.is_maj.extend_from_slice(&merged.is_maj[start..end]);
         }
+        BatchTimings {
+            assemble_micros,
+            forward_micros,
+            split_micros: decode_micros + scatter_start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Number of SAGE trunk layers in the underlying model (sizing the
+    /// per-layer forward-timing histograms in the serve layer).
+    pub fn num_layers(&self) -> usize {
+        self.model.config().layers
     }
 
     /// Predicts and scores against exact ground truth.

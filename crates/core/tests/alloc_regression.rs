@@ -195,3 +195,103 @@ fn predict_batch_into_full_path_is_allocation_free_after_warmup() {
     reasoner.predict_batch_into(&mut batch, &mut scratch, &small, &mut outs);
     assert_eq!(outs, expected_small);
 }
+
+/// The instrumented batch path — `predict_batch_into_timed` with a live
+/// [`ForwardObserver`] recording every stage into lock-free obs
+/// histograms — must be exactly as allocation-free as the bare path.
+/// Observability that allocates on the hot path is a perf regression in
+/// disguise; this pins the "recording is allocation-free" contract from
+/// the serve worker's point of view.
+#[test]
+fn instrumented_batch_path_is_allocation_free_after_warmup() {
+    use gamora::{ForwardObserver, ForwardStage};
+    use gamora_obs::Histogram;
+
+    /// Test observer mirroring the serve crate's per-layer hook: one
+    /// preallocated histogram per stage, plain `record` calls.
+    struct HistObserver {
+        layers: Vec<Histogram>,
+        shared: Histogram,
+        heads: Histogram,
+    }
+
+    impl ForwardObserver for HistObserver {
+        fn record_stage(&self, stage: ForwardStage, micros: u64) {
+            match stage {
+                ForwardStage::Sage(l) => {
+                    if let Some(h) = self.layers.get(l) {
+                        h.record(micros);
+                    }
+                }
+                ForwardStage::Shared => self.shared.record(micros),
+                ForwardStage::Heads => self.heads.record(micros),
+            }
+        }
+    }
+
+    let _guard = TEST_LOCK.lock().unwrap();
+    let m3 = csa_multiplier(3);
+    let m4 = csa_multiplier(4);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m3.aig],
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let reasoner = reasoner;
+
+    let observer = HistObserver {
+        layers: (0..reasoner.num_layers())
+            .map(|_| Histogram::new())
+            .collect(),
+        shared: Histogram::new(),
+        heads: Histogram::new(),
+    };
+
+    let aigs: Vec<&Aig> = vec![&m4.aig, &m3.aig];
+    let mut batch = reasoner.batch_scratch();
+    let mut scratch = reasoner.scratch();
+    let mut outs: Vec<Predictions> = Vec::new();
+
+    // Warmup (already instrumented: the observer must never allocate,
+    // warm or cold — histograms preallocate all buckets up front).
+    reasoner.predict_batch_into_timed(&mut batch, &mut scratch, &aigs, &mut outs, Some(&observer));
+    let expected = outs.clone();
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..32 {
+        reasoner.predict_batch_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &mut outs,
+            Some(&observer),
+        );
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state instrumented predict_batch_into_timed (stage timing \
+         + per-layer histogram recording) must not allocate"
+    );
+    assert_eq!(outs, expected);
+
+    // The observer really saw every stage of every pass: 33 batches x
+    // (3 trunk layers + shared + heads).
+    for (l, h) in observer.layers.iter().enumerate() {
+        assert_eq!(h.snapshot().count(), 33, "layer {l} recorded per pass");
+    }
+    assert_eq!(observer.shared.snapshot().count(), 33);
+    assert_eq!(observer.heads.snapshot().count(), 33);
+}

@@ -51,6 +51,8 @@ mod trainer;
 pub use adam::Adam;
 pub use graph::{Direction, Graph};
 pub use layers::{Linear, LinearTape, SageLayer, SageScratch};
-pub use model::{InferenceScratch, ModelConfig, MultiTaskSage, Tape};
+pub use model::{
+    ForwardObserver, ForwardStage, InferenceScratch, ModelConfig, MultiTaskSage, Tape,
+};
 pub use tensor::{Matrix, QuantisedMatrix};
 pub use trainer::{evaluate, train, GraphData, TrainConfig, TrainReport};

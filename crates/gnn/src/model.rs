@@ -84,6 +84,29 @@ impl ModelConfig {
     }
 }
 
+/// A stage of the inference forward pass, as reported to a
+/// [`ForwardObserver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardStage {
+    /// One SAGE trunk layer (0-based index).
+    Sage(usize),
+    /// The shared post-embedding linear layer.
+    Shared,
+    /// All per-task classification heads together.
+    Heads,
+}
+
+/// Receives per-stage wall times from [`MultiTaskSage::infer_observed`].
+///
+/// This is the seam serving-side observability hooks into: the GNN crate
+/// only reports `(stage, micros)` pairs and gains no dependency on any
+/// metrics machinery. Implementations must be cheap and allocation-free —
+/// they run inside the inference hot path.
+pub trait ForwardObserver {
+    /// Called once per forward stage with its wall time in microseconds.
+    fn record_stage(&self, stage: ForwardStage, micros: u64);
+}
+
 /// Multi-task GraphSAGE: shared trunk, shared linear, per-task heads.
 #[derive(Clone, Debug)]
 pub struct MultiTaskSage {
@@ -172,9 +195,31 @@ impl MultiTaskSage {
         x: &Matrix,
         scratch: &'a mut InferenceScratch,
     ) -> &'a [Matrix] {
+        self.infer_observed(graph, x, scratch, None)
+    }
+
+    /// [`MultiTaskSage::infer`] with optional per-stage timing.
+    ///
+    /// When `observer` is `Some`, each trunk layer, the shared linear and
+    /// the combined heads report their wall time through
+    /// [`ForwardObserver::record_stage`]; when `None`, no clocks are read
+    /// and the pass is exactly the plain `infer`. Timing adds two monotonic
+    /// clock reads per stage and no allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong feature width or row count.
+    pub fn infer_observed<'a>(
+        &self,
+        graph: &Graph,
+        x: &Matrix,
+        scratch: &'a mut InferenceScratch,
+        observer: Option<&dyn ForwardObserver>,
+    ) -> &'a [Matrix] {
         assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
         assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
         for (l, layer) in self.sage.iter().enumerate() {
+            let started = observer.map(|_| std::time::Instant::now());
             {
                 let InferenceScratch {
                     ws, h_in, h_out, ..
@@ -183,16 +228,30 @@ impl MultiTaskSage {
                 layer.forward_into(graph, input, ws, h_out);
             }
             std::mem::swap(&mut scratch.h_in, &mut scratch.h_out);
+            if let (Some(obs), Some(t)) = (observer, started) {
+                obs.record_stage(ForwardStage::Sage(l), t.elapsed().as_micros() as u64);
+            }
         }
-        let InferenceScratch {
-            h_in, z, logits, ..
-        } = &mut *scratch;
-        self.shared.forward_into(h_in, z);
-        if logits.len() != self.heads.len() {
-            logits.resize_with(self.heads.len(), Matrix::default);
+        let started = observer.map(|_| std::time::Instant::now());
+        {
+            let InferenceScratch { h_in, z, .. } = &mut *scratch;
+            self.shared.forward_into(h_in, z);
         }
-        for (head, out) in self.heads.iter().zip(logits.iter_mut()) {
-            head.forward_into(z, out);
+        if let (Some(obs), Some(t)) = (observer, started) {
+            obs.record_stage(ForwardStage::Shared, t.elapsed().as_micros() as u64);
+        }
+        let started = observer.map(|_| std::time::Instant::now());
+        {
+            let InferenceScratch { z, logits, .. } = &mut *scratch;
+            if logits.len() != self.heads.len() {
+                logits.resize_with(self.heads.len(), Matrix::default);
+            }
+            for (head, out) in self.heads.iter().zip(logits.iter_mut()) {
+                head.forward_into(z, out);
+            }
+        }
+        if let (Some(obs), Some(t)) = (observer, started) {
+            obs.record_stage(ForwardStage::Heads, t.elapsed().as_micros() as u64);
         }
         &scratch.logits
     }
@@ -483,6 +542,42 @@ mod tests {
         for (a, b) in again.iter().zip(&q_logits) {
             assert_eq!(a, b, "quantised inference must be deterministic");
         }
+    }
+
+    /// The observed forward pass is bit-identical to the plain one and
+    /// reports every stage exactly once, in order.
+    #[test]
+    fn infer_observed_reports_all_stages() {
+        use std::cell::RefCell;
+        struct Recorder(RefCell<Vec<(ForwardStage, u64)>>);
+        impl ForwardObserver for Recorder {
+            fn record_stage(&self, stage: ForwardStage, micros: u64) {
+                self.0.borrow_mut().push((stage, micros));
+            }
+        }
+        let model = tiny_model();
+        let graph = tiny_graph();
+        let mut x = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            x.set(r, r % 3, 1.0);
+        }
+        let expected = model.forward(&graph, &x);
+        let recorder = Recorder(RefCell::new(Vec::new()));
+        let mut scratch = InferenceScratch::default();
+        let logits = model.infer_observed(&graph, &x, &mut scratch, Some(&recorder));
+        for (a, b) in logits.iter().zip(&expected) {
+            assert_eq!(a, b, "observation must not change the forward");
+        }
+        let stages: Vec<ForwardStage> = recorder.0.borrow().iter().map(|&(s, _)| s).collect();
+        assert_eq!(
+            stages,
+            vec![
+                ForwardStage::Sage(0),
+                ForwardStage::Sage(1),
+                ForwardStage::Shared,
+                ForwardStage::Heads,
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Named metric registry, point-in-time snapshots, and text exposition.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge};
+
+/// A live metric handle held by a [`Registry`].
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Names a set of live metrics and snapshots them together.
+///
+/// Registration hands back `Arc` handles that recording sites keep and bump
+/// directly — the registry is only consulted at snapshot time, so it adds
+/// zero cost to the hot path. Registering an existing name returns the
+/// existing handle (and panics on a kind mismatch).
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn find(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Register (or fetch) a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.find(name) {
+            match m {
+                Metric::Counter(c) => return Arc::clone(c),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let c = Arc::new(Counter::new());
+        self.entries
+            .push((name.to_string(), Metric::Counter(Arc::clone(&c))));
+        c
+    }
+
+    /// Register (or fetch) a gauge (merged across shards by maximum).
+    pub fn gauge(&mut self, name: &str) -> Arc<Gauge> {
+        if let Some(m) = self.find(name) {
+            match m {
+                Metric::Gauge(g) => return Arc::clone(g),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        self.entries
+            .push((name.to_string(), Metric::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    /// Register (or fetch) a latency histogram.
+    pub fn histogram(&mut self, name: &str) -> Arc<Histogram> {
+        if let Some(m) = self.find(name) {
+            match m {
+                Metric::Histogram(h) => return Arc::clone(h),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        self.entries
+            .push((name.to_string(), Metric::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// Capture every registered metric at a point in time.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, m)| {
+                    let snap = match m {
+                        Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), snap)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value (high-water semantics under merge).
+    Gauge(u64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of a whole [`Registry`], mergeable across shards.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricSnapshot)>,
+}
+
+impl Snapshot {
+    /// Iterate `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricSnapshot)> {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricSnapshot::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricSnapshot::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricSnapshot::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Merge another snapshot into this one, matching metrics by name.
+    ///
+    /// Counters and histograms accumulate; gauges keep the maximum
+    /// (they record high-water marks such as peak queue depth). Metrics
+    /// present only in `other` are appended.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, theirs) in &other.entries {
+            match self.entries.iter_mut().find(|(n, _)| n == name) {
+                Some((_, ours)) => match (ours, theirs) {
+                    (MetricSnapshot::Counter(a), MetricSnapshot::Counter(b)) => *a += *b,
+                    (MetricSnapshot::Gauge(a), MetricSnapshot::Gauge(b)) => *a = (*a).max(*b),
+                    (MetricSnapshot::Histogram(a), MetricSnapshot::Histogram(b)) => a.merge(b),
+                    _ => {}
+                },
+                None => self.entries.push((name.clone(), theirs.clone())),
+            }
+        }
+    }
+
+    /// Render a Prometheus-style text exposition.
+    ///
+    /// Counters become `<name> <value>` with a `# TYPE` line; histograms emit
+    /// cumulative `_bucket{le="..."}` series (non-empty buckets plus `+Inf`)
+    /// and `_sum`/`_count`.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (_lower, upper, n) in h.buckets() {
+                        cumulative += n;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {cumulative}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_and_merge() {
+        let mut reg_a = Registry::new();
+        let jobs_a = reg_a.counter("jobs_total");
+        let depth_a = reg_a.gauge("peak_queued");
+        let lat_a = reg_a.histogram("latency_micros");
+        jobs_a.add(10);
+        depth_a.set_max(7);
+        lat_a.record(100);
+        lat_a.record(200);
+
+        let mut reg_b = Registry::new();
+        let jobs_b = reg_b.counter("jobs_total");
+        let depth_b = reg_b.gauge("peak_queued");
+        let lat_b = reg_b.histogram("latency_micros");
+        jobs_b.add(5);
+        depth_b.set_max(3);
+        lat_b.record(400);
+
+        let mut merged = reg_a.snapshot();
+        merged.merge(&reg_b.snapshot());
+        assert_eq!(merged.counter("jobs_total"), 15);
+        assert_eq!(merged.gauge("peak_queued"), 7);
+        let h = merged.histogram("latency_micros").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum, 700);
+        assert_eq!(h.max, 400);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x"), 2);
+        assert_eq!(reg.snapshot().iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let mut reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.histogram("x");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut reg = Registry::new();
+        reg.counter("jobs_total").add(3);
+        reg.gauge("peak_queued").set_max(9);
+        let h = reg.histogram("lat_micros");
+        h.record(1);
+        h.record(1);
+        h.record(40);
+        let text = reg.snapshot().prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 3"));
+        assert!(text.contains("# TYPE peak_queued gauge"));
+        assert!(text.contains("peak_queued 9"));
+        assert!(text.contains("# TYPE lat_micros histogram"));
+        assert!(text.contains("lat_micros_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_micros_sum 42"));
+        assert!(text.contains("lat_micros_count 3"));
+    }
+}

@@ -14,7 +14,8 @@ use gamora::{
 };
 use gamora_aig::{aiger, Aig};
 use gamora_circuits::{generate_multiplier, MultiplierKind};
-use gamora_serve::report::{serve_stats_json, Json};
+use gamora_obs::Snapshot;
+use gamora_serve::report::{histogram_json, serve_stats_json, stages_json, Json};
 use gamora_serve::router::ShardRouter;
 use gamora_serve::scheduler::{
     AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
@@ -32,12 +33,13 @@ USAGE:
                  [--kind csa|booth] [--depth shallow|deep|LxH] [--seed N]
     gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
                  [--workers N] [--cache N] [--queue-cap N] [--linger MICROS]
-                 [--quant] [--compact] FILE.aag [FILE.aig ...]
+                 [--quant] [--compact] [--layer-times] [--metrics-out PATH]
+                 FILE.aag [FILE.aig ...]
                  (--cache 0 disables the structural-hash cache)
     gamora bench-serve --model MODEL.gsnap [--bits 16] [--count 64]
                        [--batches 1,8,64] [--workers N] [--shards N]
                        [--linger MICROS] [--queue-cap N] [--deadline MICROS]
-                       [--quant]
+                       [--quant] [--layer-times] [--metrics-out PATH]
 
 --quant serves the i8-quantised weight store (per-output-column scales,
 f32 accumulation): ~4x smaller resident weights, argmax predictions
@@ -55,7 +57,17 @@ bench-serve extras:
                       rejected without a forward pass
     --linger MICROS   short-batch linger window for batch formation
 
-Reports are JSON on stdout; diagnostics go to stderr.";
+observability (infer and bench-serve):
+    --metrics-out PATH  write the full metric registry (stage latency
+                        histograms, cache tiers, counters) as
+                        Prometheus-style text to PATH on exit
+    --layer-times       also record per-layer GNN forward timings
+                        (forward_layer_*_micros histograms)
+
+Reports are JSON on stdout; diagnostics go to stderr. Serve reports
+carry a per-stage latency block (p50/p90/p99/p99.9 in microseconds);
+bench-serve reports cold and hot stage latencies plus queue-depth and
+batch-size distributions, and per-shard stats when --shards > 1.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -102,8 +114,16 @@ const VALUE_FLAGS: &[&str] = &[
     "--linger",
     "--queue-cap",
     "--deadline",
+    "--metrics-out",
 ];
-const SWITCH_FLAGS: &[&str] = &["--extract", "--score", "--compact", "--quiet", "--quant"];
+const SWITCH_FLAGS: &[&str] = &[
+    "--extract",
+    "--score",
+    "--compact",
+    "--quiet",
+    "--quant",
+    "--layer-times",
+];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -256,6 +276,17 @@ fn read_aiger_file(path: &str) -> Result<Aig, String> {
     Ok(aig)
 }
 
+/// Honours `--metrics-out PATH`: writes the snapshot as Prometheus-style
+/// text. A no-op when the flag is absent.
+fn write_metrics_out(flags: &Flags, snapshot: &Snapshot) -> Result<(), String> {
+    if let Some(path) = flags.get("--metrics-out") {
+        std::fs::write(path, snapshot.prometheus())
+            .map_err(|e| format!("writing metrics to '{path}': {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn class_histogram(preds: &Predictions) -> Json {
     let mut counts = [0usize; 4];
     for &c in &preds.root_leaf {
@@ -313,6 +344,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             cache_capacity,
             queue_capacity,
             linger_micros,
+            layer_timing: flags.has("--layer-times"),
         },
     );
 
@@ -362,11 +394,14 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
                 .collect(),
         ));
     }
+    let snapshot = server.metrics();
     let stats = server.shutdown();
     let Json::Obj(mut serving) = serve_stats_json(&stats) else {
         unreachable!("serve_stats_json returns an object")
     };
     serving.push(("wall_seconds".to_string(), Json::Num(wall.as_secs_f64())));
+    serving.push(("stages".to_string(), stages_json(&snapshot)));
+    write_metrics_out(&flags, &snapshot)?;
     let json = Json::obj([
         ("command", Json::str("infer")),
         ("model", Json::str(model_path)),
@@ -431,6 +466,14 @@ impl Ingress {
         }
     }
 
+    /// The merged metric snapshot (all shards, for a sharded ingress).
+    fn metrics(&self) -> Snapshot {
+        match self {
+            Ingress::Single(s) => s.metrics(),
+            Ingress::Sharded(r) => r.metrics(),
+        }
+    }
+
     fn shutdown(self) -> ServeStats {
         match self {
             Ingress::Single(s) => s.shutdown(),
@@ -482,10 +525,16 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         workers,
         queue_capacity: queue_cap,
         linger_micros,
+        layer_timing: flags.has("--layer-times"),
         ..ServeConfig::default()
     };
 
     let mut rows = Vec::new();
+    // Stage-latency accumulators over every batch-size run: cold and hot
+    // runs merge separately (their distributions answer different
+    // questions — model cost vs cache cost).
+    let mut cold_metrics = Snapshot::default();
+    let mut hot_metrics = Snapshot::default();
     for &batch in &batch_sizes {
         // Cold: cache disabled, every submission runs the model.
         let ingress = Ingress::start(
@@ -508,6 +557,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("serving failed: {e}"))?;
         }
         let cold = count as f64 / t0.elapsed().as_secs_f64();
+        cold_metrics.merge(&ingress.metrics());
         ingress.shutdown();
 
         // Hot: cache enabled and pre-warmed — the repeated-netlist path.
@@ -536,6 +586,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("serving failed: {e}"))?;
         }
         let hot = count as f64 / t0.elapsed().as_secs_f64();
+        hot_metrics.merge(&ingress.metrics());
         let stats = ingress.shutdown();
         assert_eq!(
             stats.forward_passes, 1,
@@ -560,6 +611,13 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         ("shards", Json::uint(shards)),
         ("quantised", Json::Bool(quant)),
         ("rows", Json::Arr(rows)),
+        (
+            "latency",
+            Json::obj([
+                ("cold", latency_block(&cold_metrics)),
+                ("hot", latency_block(&hot_metrics)),
+            ]),
+        ),
     ];
     if let Some(f32_twin) = &f32_twin {
         fields.push((
@@ -583,6 +641,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             )?,
         ));
     }
+    let mut all_metrics = cold_metrics;
+    all_metrics.merge(&hot_metrics);
+    write_metrics_out(&flags, &all_metrics)?;
     let json = Json::Obj(
         fields
             .into_iter()
@@ -591,6 +652,18 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     );
     println!("{json}");
     Ok(())
+}
+
+/// One cold/hot latency block: the per-stage percentile summaries plus
+/// the queue-depth and batch-size distributions of the merged runs.
+fn latency_block(metrics: &Snapshot) -> Json {
+    let mut fields = vec![("stages".to_string(), stages_json(metrics))];
+    for name in ["queue_depth", "batch_size"] {
+        if let Some(h) = metrics.histogram(name) {
+            fields.push((name.to_string(), histogram_json(h)));
+        }
+    }
+    Json::Obj(fields)
 }
 
 /// Quantisation accuracy sidebar for `--quant` runs: per-task argmax
@@ -675,6 +748,9 @@ fn bench_shard_affinity(
     }
     let per_shard = router.shard_stats();
     let shards_used = per_shard.iter().filter(|s| s.jobs > 0).count();
+    // Per-shard stage latencies: each shard keeps a private registry, so
+    // this shows whether one shard's cache or queue is running hot.
+    let per_shard_stages: Vec<Json> = router.shard_metrics().iter().map(stages_json).collect();
     let stats = router.shutdown();
     let affinity_ok = repeat_hits == subjects.len() && stats.forward_passes == warm_forwards;
     eprintln!(
@@ -697,8 +773,13 @@ fn bench_shard_affinity(
         ("affinity_ok", Json::Bool(affinity_ok)),
         (
             "per_shard_jobs",
-            Json::arr(per_shard.iter().map(|s| Json::uint(s.jobs as usize))),
+            Json::arr(per_shard.iter().map(|s| Json::u64(s.jobs))),
         ),
+        (
+            "per_shard",
+            Json::arr(per_shard.iter().map(serve_stats_json)),
+        ),
+        ("per_shard_stages", Json::Arr(per_shard_stages)),
     ]))
 }
 

@@ -39,7 +39,44 @@ use gamora_aig::hasher::{
     fingerprint_from_node_hashes, identity_fingerprint, structural_node_hashes, FxHashMap,
 };
 use gamora_aig::Aig;
+use gamora_obs::{Counter, Histogram, Registry, StageTimer};
 use std::sync::Arc;
+
+/// Per-tier cache observability: probe/resolve latency histograms plus
+/// verbatim/transfer hit and miss counters. The handles are `Arc`s into a
+/// [`Registry`]; recording is wait-free and allocation-free, so the timed
+/// helpers ([`PredictionCache::probe_timed`],
+/// [`CacheEntry::resolve_timed`]) are safe both under the scheduler's
+/// cache mutex (probe) and on the lock-free resolve path.
+pub struct CacheMetrics {
+    /// O(1) LRU probe latency (under the cache lock).
+    pub probe_micros: Arc<Histogram>,
+    /// O(nodes) verbatim-clone / transfer-reindex latency (no lock held).
+    pub resolve_micros: Arc<Histogram>,
+    /// Resolutions served bit-exactly from the stored vectors.
+    pub hits_verbatim: Arc<Counter>,
+    /// Resolutions transferred onto a renumbered isomorph.
+    pub hits_transferred: Arc<Counter>,
+    /// Probes that found no entry for the key.
+    pub probe_misses: Arc<Counter>,
+    /// Probed entries that refused to resolve (duplicate cones or a
+    /// genuine fingerprint collision) — honest misses.
+    pub resolve_misses: Arc<Counter>,
+}
+
+impl CacheMetrics {
+    /// Registers the cache metrics in `reg` under `cache_*` names.
+    pub fn register(reg: &mut Registry) -> CacheMetrics {
+        CacheMetrics {
+            probe_micros: reg.histogram("cache_probe_micros"),
+            resolve_micros: reg.histogram("cache_resolve_micros"),
+            hits_verbatim: reg.counter("cache_hits_verbatim_total"),
+            hits_transferred: reg.counter("cache_hits_transferred_total"),
+            probe_misses: reg.counter("cache_probe_misses_total"),
+            resolve_misses: reg.counter("cache_resolve_misses_total"),
+        }
+    }
+}
 
 /// Cache key: canonical fingerprint qualified by coarse shape counts.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -159,6 +196,25 @@ impl CacheEntry {
             return Some((self.predictions.clone(), HitKind::Verbatim));
         }
         self.transfer(sig).map(|p| (p, HitKind::Transferred))
+    }
+
+    /// [`CacheEntry::resolve`] with tier accounting: records the resolve
+    /// latency and bumps the verbatim/transferred hit counter (or the
+    /// resolve-miss counter on an honest refusal).
+    pub fn resolve_timed(
+        &self,
+        sig: &GraphSignature,
+        metrics: &CacheMetrics,
+    ) -> Option<(Predictions, HitKind)> {
+        let timer = StageTimer::start();
+        let resolved = self.resolve(sig);
+        timer.observe(&metrics.resolve_micros);
+        match &resolved {
+            Some((_, HitKind::Verbatim)) => metrics.hits_verbatim.inc(),
+            Some((_, HitKind::Transferred)) => metrics.hits_transferred.inc(),
+            None => metrics.resolve_misses.inc(),
+        }
+        resolved
     }
 
     fn transfer(&self, sig: &GraphSignature) -> Option<Predictions> {
@@ -289,6 +345,24 @@ impl PredictionCache {
         self.detach(idx);
         self.push_front(idx);
         Some(Arc::clone(&self.slab[idx].entry))
+    }
+
+    /// [`PredictionCache::probe`] with probe-latency and probe-miss
+    /// accounting. Recording is a few relaxed atomics, so calling this
+    /// under the scheduler's cache mutex does not widen the critical
+    /// section meaningfully.
+    pub fn probe_timed(
+        &mut self,
+        key: &CacheKey,
+        metrics: &CacheMetrics,
+    ) -> Option<Arc<CacheEntry>> {
+        let timer = StageTimer::start();
+        let entry = self.probe(key);
+        timer.observe(&metrics.probe_micros);
+        if entry.is_none() {
+            metrics.probe_misses.inc();
+        }
+        entry
     }
 
     /// Looks up predictions for a submission, marking it most recently
@@ -482,6 +556,40 @@ mod tests {
         let mut renumbered = sig.clone();
         renumbered.identity ^= 1;
         assert!(cache.lookup(&renumbered).is_none());
+    }
+
+    /// The timed probe/resolve wrappers serve identical answers to the
+    /// plain API and account each tier exactly once.
+    #[test]
+    fn timed_probe_resolve_accounts_tiers() {
+        let mut reg = Registry::new();
+        let metrics = CacheMetrics::register(&mut reg);
+        let aig = toy_aig(false);
+        let sig = GraphSignature::of(&aig);
+        let mut cache = PredictionCache::new(4);
+
+        assert!(cache.probe_timed(&sig.key, &metrics).is_none());
+        cache.insert(&sig, toy_predictions(&aig));
+        let entry = cache.probe_timed(&sig.key, &metrics).expect("hit");
+        let (served, kind) = entry.resolve_timed(&sig, &metrics).expect("verbatim");
+        assert_eq!(kind, HitKind::Verbatim);
+        assert_eq!(served.root_leaf, toy_predictions(&aig).root_leaf);
+
+        // A renumbered identity forces the transfer tier.
+        let mut renumbered = sig.clone();
+        renumbered.identity ^= 1;
+        let (_, kind) = entry
+            .resolve_timed(&renumbered, &metrics)
+            .expect("transfer");
+        assert_eq!(kind, HitKind::Transferred);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache_probe_misses_total"), 1);
+        assert_eq!(snap.counter("cache_hits_verbatim_total"), 1);
+        assert_eq!(snap.counter("cache_hits_transferred_total"), 1);
+        assert_eq!(snap.counter("cache_resolve_misses_total"), 0);
+        assert_eq!(snap.histogram("cache_probe_micros").unwrap().count(), 2);
+        assert_eq!(snap.histogram("cache_resolve_micros").unwrap().count(), 2);
     }
 
     #[test]

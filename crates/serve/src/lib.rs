@@ -25,6 +25,15 @@
 //!   over one `Arc`'d model, each with its own queue and prediction
 //!   cache; repeats of a netlist always land on the shard whose cache is
 //!   warm, so no cache mutex is ever shared across shards.
+//! * [`metrics`] — full serve-path observability over `gamora_obs`:
+//!   per-stage latency histograms (admission, queue wait, linger,
+//!   signature hash, batch assembly, GNN forward, prediction split),
+//!   end-to-end latency, queue-depth/batch-size distributions, per-tier
+//!   cache accounting and optional per-layer forward timing. Each server
+//!   owns a private registry ([`Server::metrics`] snapshots it;
+//!   [`ShardRouter::metrics`] merges the shards'), and recording is
+//!   wait-free and allocation-free, so the instrumented hot path stays
+//!   within a few percent of the uninstrumented one.
 //! * [`report`] — dependency-free JSON for the `gamora` binary's output.
 //!
 //! The `gamora` binary (this crate's `src/bin/gamora.rs`) wires it
@@ -53,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod report;
 pub mod router;
 pub mod scheduler;
 
-pub use cache::{CacheEntry, CacheKey, GraphSignature, HitKind, PredictionCache};
+pub use cache::{CacheEntry, CacheKey, CacheMetrics, GraphSignature, HitKind, PredictionCache};
+pub use metrics::{LayerObserver, ServeMetrics};
 pub use report::Json;
 pub use router::ShardRouter;
 pub use scheduler::{

@@ -5,6 +5,7 @@
 //! insertion order, so reports diff cleanly across runs).
 
 use crate::scheduler::ServeStats;
+use gamora_obs::{HistogramSnapshot, Snapshot};
 use std::fmt;
 
 /// A JSON value.
@@ -15,8 +16,16 @@ pub enum Json {
     /// `true` / `false`
     Bool(bool),
     /// Any finite number (serialised via Rust's shortest-roundtrip float
-    /// formatting; integers print without a decimal point).
+    /// formatting; integers print without a decimal point). Use
+    /// [`Json::Int`]/[`Json::UInt`] for integers that may exceed 2^53 —
+    /// an `f64` cannot hold those exactly.
     Num(f64),
+    /// A signed integer, serialised digit-exactly at any magnitude.
+    Int(i64),
+    /// An unsigned integer, serialised digit-exactly at any magnitude
+    /// (counters and histogram sums are `u64` and can exceed both 2^53
+    /// and `i64::MAX`).
+    UInt(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -46,14 +55,20 @@ impl Json {
         Json::Str(s.into())
     }
 
-    /// An integer value (exact for |n| < 2^53).
+    /// A signed integer value, exact at any magnitude.
     pub fn int(n: impl Into<i64>) -> Json {
-        Json::Num(n.into() as f64)
+        Json::Int(n.into())
     }
 
-    /// A `usize` value (exact for n < 2^53).
+    /// A `usize` value, exact at any magnitude.
     pub fn uint(n: usize) -> Json {
-        Json::Num(n as f64)
+        Json::UInt(n as u64)
+    }
+
+    /// A `u64` value, exact at any magnitude (no detour through `f64`,
+    /// which silently rounds above 2^53).
+    pub fn u64(n: u64) -> Json {
+        Json::UInt(n)
     }
 
     /// Serialises with two-space indentation.
@@ -75,6 +90,12 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => write_num(out, *n),
+            Json::Int(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::UInt(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => write_seq(out, depth, pretty, '[', ']', items.len(), |out, i| {
                 items[i].write(out, depth + 1, pretty);
@@ -165,20 +186,92 @@ impl fmt::Display for Json {
 /// `rejected_overload`, `peak_queued`) alongside the serving totals.
 pub fn serve_stats_json(stats: &ServeStats) -> Json {
     Json::obj([
-        ("jobs_submitted", Json::uint(stats.jobs_submitted as usize)),
-        ("jobs", Json::uint(stats.jobs as usize)),
-        ("batches", Json::uint(stats.batches as usize)),
-        ("forward_passes", Json::uint(stats.forward_passes as usize)),
-        ("cache_hits", Json::uint(stats.cache_hits as usize)),
-        ("cache_misses", Json::uint(stats.cache_misses as usize)),
-        ("jobs_dropped", Json::uint(stats.jobs_dropped as usize)),
-        ("jobs_expired", Json::uint(stats.jobs_expired as usize)),
-        (
-            "rejected_overload",
-            Json::uint(stats.rejected_overload as usize),
-        ),
-        ("peak_queued", Json::uint(stats.peak_queued as usize)),
+        ("jobs_submitted", Json::u64(stats.jobs_submitted)),
+        ("jobs", Json::u64(stats.jobs)),
+        ("batches", Json::u64(stats.batches)),
+        ("forward_passes", Json::u64(stats.forward_passes)),
+        ("cache_hits", Json::u64(stats.cache_hits)),
+        ("cache_misses", Json::u64(stats.cache_misses)),
+        ("jobs_dropped", Json::u64(stats.jobs_dropped)),
+        ("jobs_expired", Json::u64(stats.jobs_expired)),
+        ("rejected_overload", Json::u64(stats.rejected_overload)),
+        ("peak_queued", Json::u64(stats.peak_queued)),
     ])
+}
+
+/// The JSON summary of one latency histogram: observation count, mean,
+/// the p50/p90/p99/p99.9 percentiles, and the exact min/max. Percentile
+/// fields are `null` for an empty histogram (no observation to rank).
+pub fn histogram_json(h: &HistogramSnapshot) -> Json {
+    let pct = |q: f64| {
+        if h.is_empty() {
+            Json::Null
+        } else {
+            Json::u64(h.percentile(q))
+        }
+    };
+    Json::obj([
+        ("count", Json::u64(h.count())),
+        (
+            "mean",
+            if h.is_empty() {
+                Json::Null
+            } else {
+                Json::Num(h.mean())
+            },
+        ),
+        ("p50", pct(0.50)),
+        ("p90", pct(0.90)),
+        ("p99", pct(0.99)),
+        ("p999", pct(0.999)),
+        (
+            "min",
+            if h.is_empty() {
+                Json::Null
+            } else {
+                Json::u64(h.min)
+            },
+        ),
+        (
+            "max",
+            if h.is_empty() {
+                Json::Null
+            } else {
+                Json::u64(h.max)
+            },
+        ),
+    ])
+}
+
+/// Short report key → registered metric name for every per-job serve
+/// stage (all in microseconds), in pipeline order. Shared by the JSON
+/// reports so `bench-serve` and `infer` stay field-compatible.
+pub const STAGE_METRICS: &[(&str, &str)] = &[
+    ("admission", "stage_admission_micros"),
+    ("queue_wait", "stage_queue_wait_micros"),
+    ("linger", "stage_linger_micros"),
+    ("signature_hash", "stage_signature_hash_micros"),
+    ("batch_assemble", "stage_batch_assemble_micros"),
+    ("gnn_forward", "stage_gnn_forward_micros"),
+    ("prediction_split", "stage_prediction_split_micros"),
+    ("time_to_rejection", "stage_time_to_rejection_micros"),
+    ("e2e", "latency_e2e_micros"),
+];
+
+/// The per-stage latency block of a metric snapshot: one
+/// [`histogram_json`] summary per [`STAGE_METRICS`] entry present in the
+/// snapshot, keyed by the short stage name.
+pub fn stages_json(snapshot: &Snapshot) -> Json {
+    Json::Obj(
+        STAGE_METRICS
+            .iter()
+            .filter_map(|(key, metric)| {
+                snapshot
+                    .histogram(metric)
+                    .map(|h| (key.to_string(), histogram_json(h)))
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -206,6 +299,80 @@ mod tests {
         assert_eq!(Json::Num(0.25).compact(), "0.25");
         assert_eq!(Json::Num(f64::NAN).compact(), "null");
         assert_eq!(Json::int(-7i32).compact(), "-7");
+    }
+
+    /// Regression: integer constructors must be digit-exact beyond the
+    /// 2^53 `f64` mantissa limit and beyond `i64::MAX` — a `u64` counter
+    /// routed through `f64` silently rounds ((1<<53)+1 prints as
+    /// 9007199254740992) and a cast through `i64` wraps negative.
+    #[test]
+    fn large_integers_serialise_without_truncation_or_rounding() {
+        let above_f64_mantissa = (1u64 << 53) + 1; // rounds under f64
+        assert_eq!(
+            Json::u64(above_f64_mantissa).compact(),
+            "9007199254740993",
+            "must not round to the nearest representable f64"
+        );
+        let above_i64 = i64::MAX as u64 + 1; // wraps under an i64 cast
+        assert_eq!(Json::u64(above_i64).compact(), "9223372036854775808");
+        assert_eq!(Json::u64(u64::MAX).compact(), "18446744073709551615");
+        assert_eq!(Json::int(i64::MIN).compact(), "-9223372036854775808");
+        assert_eq!(Json::int(i64::MAX).compact(), "9223372036854775807");
+        assert_eq!(
+            Json::uint(above_f64_mantissa as usize).compact(),
+            "9007199254740993",
+            "uint must not detour through f64 either"
+        );
+        // And through a full serve-stats rendering, not just in isolation.
+        let stats = ServeStats {
+            jobs_submitted: u64::MAX,
+            ..ServeStats::default()
+        };
+        assert!(serve_stats_json(&stats)
+            .compact()
+            .contains("\"jobs_submitted\":18446744073709551615"));
+    }
+
+    #[test]
+    fn histogram_json_reports_percentiles_and_handles_empty() {
+        use gamora_obs::Histogram;
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let rendered = histogram_json(&h.snapshot()).compact();
+        // Values < 64 are exact (linear region); p99's rank value 99 sits
+        // in the width-2 bucket [98, 99], reported by its lower bound.
+        for field in [
+            "\"count\":100",
+            "\"p50\":50",
+            "\"p90\":90",
+            "\"p99\":98",
+            "\"p999\":100",
+            "\"min\":1",
+            "\"max\":100",
+        ] {
+            assert!(rendered.contains(field), "{field} missing from {rendered}");
+        }
+
+        let empty = histogram_json(&HistogramSnapshot::empty()).compact();
+        assert!(empty.contains("\"count\":0"));
+        assert!(empty.contains("\"p50\":null"));
+        assert!(empty.contains("\"mean\":null"));
+    }
+
+    #[test]
+    fn stages_json_keys_present_stage_histograms() {
+        use gamora_obs::Registry;
+        let mut reg = Registry::new();
+        reg.histogram("stage_gnn_forward_micros").record(1000);
+        reg.histogram("latency_e2e_micros").record(2000);
+        reg.histogram("unrelated_micros").record(1);
+        let Json::Obj(fields) = stages_json(&reg.snapshot()) else {
+            panic!("stages_json returns an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["gnn_forward", "e2e"], "pipeline order, present only");
     }
 
     #[test]

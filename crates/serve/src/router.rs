@@ -30,6 +30,7 @@ use crate::scheduler::{
 use gamora::GamoraReasoner;
 use gamora_aig::hasher::structural_fingerprint;
 use gamora_aig::Aig;
+use gamora_obs::Snapshot;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -211,6 +212,23 @@ impl ShardRouter {
     /// Per-shard counters, in shard order.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.shards.iter().map(Server::stats).collect()
+    }
+
+    /// One fleet-wide metric snapshot: every shard's registry snapshot
+    /// merged by name (counters sum, gauges keep the max, stage
+    /// histograms add bucket-wise — so fleet percentiles are computed
+    /// over the union of all shards' observations).
+    pub fn metrics(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for shard in &self.shards {
+            merged.merge(&shard.metrics());
+        }
+        merged
+    }
+
+    /// Per-shard metric snapshots, in shard order.
+    pub fn shard_metrics(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(Server::metrics).collect()
     }
 
     /// Begins a graceful shutdown on every shard: new submissions fail

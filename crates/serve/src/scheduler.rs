@@ -49,6 +49,7 @@
 //! [`ShardRouter`](crate::router::ShardRouter).
 
 use crate::cache::{CacheEntry, GraphSignature, HitKind, PredictionCache};
+use crate::metrics::ServeMetrics;
 use gamora::{
     extract_from_predictions, lsb_correction, BatchScratch, GamoraReasoner, InferenceScratch,
     Predictions,
@@ -56,6 +57,7 @@ use gamora::{
 use gamora_aig::hasher::FxHashMap;
 use gamora_aig::Aig;
 use gamora_exact::ExtractedAdder;
+use gamora_obs::{Registry, Snapshot, StageTimer};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,6 +109,12 @@ pub struct ServeConfig {
     /// running it, in microseconds. `0` is fully greedy (run whatever is
     /// there). A full batch never waits.
     pub linger_micros: u64,
+    /// Record per-layer GNN forward timings (`forward_layer_*_micros`
+    /// histograms). Off by default: the coarse stage histograms are always
+    /// on and effectively free, while per-layer timing adds two clock
+    /// reads per layer per forward pass — still cheap, but opt-in so the
+    /// default hot path stays minimal.
+    pub layer_timing: bool,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +125,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             queue_capacity: 1024,
             linger_micros: 200,
+            layer_timing: false,
         }
     }
 }
@@ -228,25 +237,15 @@ pub(crate) struct Job {
     pub(crate) sig: Option<GraphSignature>,
     pub(crate) deadline: Option<Instant>,
     pub(crate) submitted: Instant,
+    /// When the job entered the queue (stamped by `admit`); together with
+    /// `submitted` this splits end-to-end latency into admission wait vs
+    /// queue wait. Initialised to `submitted` by constructors.
+    pub(crate) admitted: Instant,
     /// Bulk-submission id (`0` = single submit): lets a burst aborted by
     /// shutdown retract its own still-queued jobs instead of leaving them
     /// to burn forward passes into dropped receivers.
     pub(crate) burst: u64,
     pub(crate) tx: mpsc::Sender<Result<JobOutput, ServeError>>,
-}
-
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    jobs: AtomicU64,
-    batches: AtomicU64,
-    forward_passes: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    jobs_dropped: AtomicU64,
-    jobs_expired: AtomicU64,
-    rejected_overload: AtomicU64,
-    peak_queued: AtomicU64,
 }
 
 /// A point-in-time snapshot of server counters.
@@ -321,7 +320,12 @@ struct Shared {
     cache: Mutex<Option<PredictionCache>>,
     /// Whether structural-hash shortcuts (cache + intra-batch dedup) are on.
     hashing_enabled: bool,
-    counters: Counters,
+    /// Every counter/gauge/histogram the serve path records into. The
+    /// handles are `Arc`s into `registry`; recording is wait-free.
+    metrics: ServeMetrics,
+    /// Owns the metric storage; immutable after construction, snapshotted
+    /// by [`Server::metrics`].
+    registry: Registry,
     max_batch: usize,
     /// `0` = unbounded.
     queue_capacity: usize,
@@ -356,6 +360,11 @@ impl Server {
     pub fn start_shared(reasoner: Arc<GamoraReasoner>, config: ServeConfig) -> Server {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.workers > 0, "at least one worker");
+        let mut registry = Registry::new();
+        let metrics = ServeMetrics::register(
+            &mut registry,
+            config.layer_timing.then(|| reasoner.num_layers()),
+        );
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -368,7 +377,8 @@ impl Server {
                 (config.cache_capacity > 0).then(|| PredictionCache::new(config.cache_capacity)),
             ),
             hashing_enabled: config.cache_capacity > 0,
-            counters: Counters::default(),
+            metrics,
+            registry,
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
             linger: Duration::from_micros(config.linger_micros),
@@ -446,16 +456,20 @@ impl Server {
         deadline: Option<Instant>,
         block: bool,
     ) -> Result<JobTicket, SubmitError> {
+        let timer = StageTimer::start();
         let (tx, rx) = mpsc::channel();
+        let submitted = Instant::now();
         let job = Job {
             aig,
             kind,
             sig,
             deadline,
-            submitted: Instant::now(),
+            submitted,
+            admitted: submitted,
             burst: 0,
             tx,
         };
+        let m = &self.shared.metrics;
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         loop {
             if queue.shutdown {
@@ -465,10 +479,8 @@ impl Server {
                 break;
             }
             if !block {
-                self.shared
-                    .counters
-                    .rejected_overload
-                    .fetch_add(1, Ordering::Relaxed);
+                m.rejected_overload.inc();
+                timer.observe(&m.stage_time_to_rejection);
                 return Err(SubmitError::Overloaded);
             }
             // A blocking submit with a deadline never waits past it: once
@@ -478,10 +490,8 @@ impl Server {
             queue = match job.deadline {
                 Some(d) => {
                     let Some(left) = d.checked_duration_since(Instant::now()) else {
-                        self.shared
-                            .counters
-                            .rejected_overload
-                            .fetch_add(1, Ordering::Relaxed);
+                        m.rejected_overload.inc();
+                        timer.observe(&m.stage_time_to_rejection);
                         return Err(SubmitError::Overloaded);
                     };
                     self.shared
@@ -495,18 +505,23 @@ impl Server {
         }
         self.admit(&mut queue, job);
         drop(queue);
+        timer.observe(&m.stage_admission);
         self.shared.available.notify_one();
         Ok(JobTicket { rx })
     }
 
-    /// Pushes an admitted job and updates the admission counters. Caller
-    /// holds the queue lock and has already checked capacity + shutdown.
-    fn admit(&self, queue: &mut QueueState, job: Job) {
+    /// Pushes an admitted job and updates the admission metrics (the
+    /// submitted counter, the queue-depth distribution and its high-water
+    /// gauge). Caller holds the queue lock and has already checked
+    /// capacity + shutdown; the caller also records `stage_admission`,
+    /// which includes any blocking wait for queue space.
+    fn admit(&self, queue: &mut QueueState, mut job: Job) {
+        job.admitted = Instant::now();
         queue.jobs.push_back(job);
-        let c = &self.shared.counters;
-        c.submitted.fetch_add(1, Ordering::Relaxed);
-        c.peak_queued
-            .fetch_max(queue.jobs.len() as u64, Ordering::Relaxed);
+        let m = &self.shared.metrics;
+        m.jobs_submitted.inc();
+        m.queue_depth.record(queue.jobs.len() as u64);
+        m.peak_queued.set_max(queue.jobs.len() as u64);
     }
 
     /// Submits many jobs under one queue lock (so an idle worker sees them
@@ -543,10 +558,7 @@ impl Server {
         let before = queue.jobs.len();
         queue.jobs.retain(|j| j.burst != burst);
         let retracted = (before - queue.jobs.len()) as u64;
-        shared
-            .counters
-            .jobs_dropped
-            .fetch_add(retracted, Ordering::Relaxed);
+        shared.metrics.jobs_dropped.add(retracted);
         retracted
     }
 
@@ -566,6 +578,7 @@ impl Server {
         let mut tickets = Vec::with_capacity(jobs.len());
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         for (aig, kind, sig) in jobs {
+            let timer = StageTimer::start();
             loop {
                 if queue.shutdown {
                     Self::retract_burst_locked(&self.shared, &mut queue, burst);
@@ -581,6 +594,7 @@ impl Server {
                 queue = self.shared.space.wait(queue).expect("queue poisoned");
             }
             let (tx, rx) = mpsc::channel();
+            let submitted = Instant::now();
             self.admit(
                 &mut queue,
                 Job {
@@ -588,11 +602,13 @@ impl Server {
                     kind,
                     sig,
                     deadline: None,
-                    submitted: Instant::now(),
+                    submitted,
+                    admitted: submitted,
                     burst,
                     tx,
                 },
             );
+            timer.observe(&self.shared.metrics.stage_admission);
             tickets.push(JobTicket { rx });
         }
         drop(queue);
@@ -600,21 +616,31 @@ impl Server {
         Ok((burst, tickets))
     }
 
-    /// Current counter values.
+    /// Current counter values, read from the same metric registrations
+    /// [`Server::metrics`] snapshots — the two views can never diverge.
     pub fn stats(&self) -> ServeStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
         ServeStats {
-            jobs_submitted: c.submitted.load(Ordering::Relaxed),
-            jobs: c.jobs.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            forward_passes: c.forward_passes.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
-            jobs_dropped: c.jobs_dropped.load(Ordering::Relaxed),
-            jobs_expired: c.jobs_expired.load(Ordering::Relaxed),
-            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
-            peak_queued: c.peak_queued.load(Ordering::Relaxed),
+            jobs_submitted: m.jobs_submitted.get(),
+            jobs: m.jobs.get(),
+            batches: m.batches.get(),
+            forward_passes: m.forward_passes.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            jobs_dropped: m.jobs_dropped.get(),
+            jobs_expired: m.jobs_expired.get(),
+            rejected_overload: m.rejected_overload.get(),
+            peak_queued: m.peak_queued.get(),
         }
+    }
+
+    /// A point-in-time snapshot of every serve metric: the counters behind
+    /// [`Server::stats`], the per-stage latency histograms, the cache tier
+    /// metrics, and (when [`ServeConfig::layer_timing`] is on) per-layer
+    /// forward timings. Snapshots from multiple shards merge by name via
+    /// [`Snapshot::merge`].
+    pub fn metrics(&self) -> Snapshot {
+        self.shared.registry.snapshot()
     }
 
     /// Begins a graceful shutdown without blocking: new submissions fail
@@ -646,10 +672,7 @@ impl Server {
         if let Ok(mut queue) = self.shared.queue.lock() {
             let leftover = queue.jobs.len() as u64;
             if leftover > 0 {
-                self.shared
-                    .counters
-                    .jobs_dropped
-                    .fetch_add(leftover, Ordering::Relaxed);
+                self.shared.metrics.jobs_dropped.add(leftover);
             }
             queue.jobs.clear();
         }
@@ -711,6 +734,7 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState)
             // job (timer overshoot alone can eat a tight ttl), and the
             // conservative exit only costs a batching opportunity.
             if batch_can_grow(&queue, shared) && !shared.linger.is_zero() {
+                let linger_timer = StageTimer::start();
                 let linger_until = Instant::now() + shared.linger;
                 while batch_can_grow(&queue, shared) {
                     if queue
@@ -734,6 +758,10 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState)
                         .expect("queue poisoned");
                     queue = guard;
                 }
+                // Recorded only when a window was actually entered, so the
+                // distribution measures real batching dead time, not the
+                // zero-cost full-batch fast path.
+                linger_timer.observe(&shared.metrics.stage_linger);
             }
             let take = shared.max_batch.min(queue.jobs.len());
             queue.jobs.drain(..take).collect::<Vec<Job>>()
@@ -755,10 +783,7 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState)
             run_batch(shared, model, state, batch, &accounted);
         }));
         if outcome.is_err() {
-            shared
-                .counters
-                .jobs_dropped
-                .fetch_add(batch_len - accounted.get(), Ordering::Relaxed);
+            shared.metrics.jobs_dropped.add(batch_len - accounted.get());
             eprintln!("gamora-serve: batch panicked; its unanswered jobs were dropped");
         }
     }
@@ -772,15 +797,22 @@ fn run_batch(
     accounted: &Cell<u64>,
 ) {
     // Phase 0: deadline admission — expired jobs are rejected before any
-    // hashing or model work is spent on them.
+    // hashing or model work is spent on them. Queue wait (submission →
+    // batch claim) is recorded per live job; expired jobs record their
+    // whole submission → shed span as time-to-rejection instead.
+    let m = &shared.metrics;
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
         if job.deadline.is_some_and(|d| now > d) {
-            shared.counters.jobs_expired.fetch_add(1, Ordering::Relaxed);
+            m.jobs_expired.inc();
+            m.stage_time_to_rejection
+                .record(now.saturating_duration_since(job.submitted).as_micros() as u64);
             accounted.set(accounted.get() + 1);
             let _ = job.tx.send(Err(ServeError::DeadlineExpired));
         } else {
+            m.stage_queue_wait
+                .record(now.saturating_duration_since(job.admitted).as_micros() as u64);
             live.push(job);
         }
     }
@@ -788,7 +820,8 @@ fn run_batch(
     if batch.is_empty() {
         return;
     }
-    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    m.batches.inc();
+    m.batch_size.record(batch.len() as u64);
 
     // Phase 1: resolve from the cache. The lock covers only the O(1) LRU
     // probe; the O(nodes) verbatim clone / transfer re-indexing runs on
@@ -798,10 +831,13 @@ fn run_batch(
     // mode measures pure model throughput. Router-submitted jobs carry a
     // precomputed signature; worker-side hashing is the fallback.
     let signatures: Vec<GraphSignature> = if shared.hashing_enabled {
-        batch
+        let hash_timer = StageTimer::start();
+        let sigs = batch
             .iter_mut()
             .map(|j| j.sig.take().unwrap_or_else(|| GraphSignature::of(&j.aig)))
-            .collect()
+            .collect();
+        hash_timer.observe(&m.stage_hash);
+        sigs
     } else {
         Vec::new()
     };
@@ -811,12 +847,15 @@ fn run_batch(
             let cache = cache
                 .as_mut()
                 .expect("hashing_enabled implies a cache (both derive from cache_capacity > 0)");
-            signatures.iter().map(|sig| cache.probe(&sig.key)).collect()
+            signatures
+                .iter()
+                .map(|sig| cache.probe_timed(&sig.key, &m.cache))
+                .collect()
         };
         probes
             .iter()
             .zip(&signatures)
-            .map(|(entry, sig)| entry.as_ref().and_then(|e| e.resolve(sig)))
+            .map(|(entry, sig)| entry.as_ref().and_then(|e| e.resolve_timed(sig, &m.cache)))
             .collect()
     } else {
         vec![None; batch.len()]
@@ -861,11 +900,12 @@ fn run_batch(
             batch_ws,
             outs,
         } = state;
-        model.predict_batch_into(batch_ws, scratch, &aigs, outs);
-        shared
-            .counters
-            .forward_passes
-            .fetch_add(1, Ordering::Relaxed);
+        let timings =
+            model.predict_batch_into_timed(batch_ws, scratch, &aigs, outs, m.forward_observer());
+        m.stage_assemble.record(timings.assemble_micros);
+        m.stage_forward.record(timings.forward_micros);
+        m.stage_split.record(timings.split_micros);
+        m.forward_passes.inc();
         if shared.hashing_enabled {
             // Build the O(nodes) hash indexes outside the lock; only the
             // O(1) LRU insertion happens under it.
@@ -908,18 +948,19 @@ fn run_batch(
                 None
             }
         };
+        let latency_micros = job.submitted.elapsed().as_micros() as u64;
         let out = JobOutput {
             predictions,
             adders,
             cache_hit,
-            latency_micros: job.submitted.elapsed().as_micros() as u64,
+            latency_micros,
         };
-        let c = &shared.counters;
-        c.jobs.fetch_add(1, Ordering::Relaxed);
+        m.latency_e2e.record(latency_micros);
+        m.jobs.inc();
         if cache_hit {
-            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+            m.cache_hits.inc();
         } else {
-            c.cache_misses.fetch_add(1, Ordering::Relaxed);
+            m.cache_misses.inc();
         }
         accounted.set(accounted.get() + 1);
         let _ = job.tx.send(Ok(out));
@@ -1370,6 +1411,7 @@ mod tests {
                 cache_capacity: 0,
                 queue_capacity: 1,
                 linger_micros: 10_000_000, // 10s: lingering would blow the time box
+                ..ServeConfig::default()
             },
         );
         let start = Instant::now();
@@ -1401,6 +1443,7 @@ mod tests {
                 cache_capacity: 0,
                 queue_capacity: 1,
                 linger_micros: 0,
+                ..ServeConfig::default()
             },
         );
         // Through a 1-slot queue the burst can only advance one forward
@@ -1454,6 +1497,7 @@ mod tests {
                 cache_capacity: 0,
                 queue_capacity: 0,
                 linger_micros: 500_000, // 0.5s linger vs a 0.2s ttl
+                ..ServeConfig::default()
             },
         );
         let out = server
@@ -1484,6 +1528,7 @@ mod tests {
                 cache_capacity: 0,
                 queue_capacity: 1,
                 linger_micros: 0,
+                ..ServeConfig::default()
             },
         );
         let subject = csa_multiplier(3).aig;
@@ -1519,6 +1564,155 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.rejected_overload, 1);
         assert_eq!(stats.jobs, 2);
+    }
+
+    /// The metric snapshot tells the full serve story: counters agree
+    /// with `stats()`, every stage histogram is present, and the miss/hit
+    /// paths each record the spans they must (forward stages for misses,
+    /// cache probe/resolve for hits).
+    #[test]
+    fn metrics_snapshot_covers_stages_and_matches_stats() {
+        let server = Server::start(tiny_trained(), ServeConfig::default());
+        let subject = csa_multiplier(4).aig;
+        let miss = server
+            .submit(subject.clone(), AnalysisKind::Classify)
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        assert!(!miss.cache_hit);
+        let hit = server
+            .submit(subject.clone(), AnalysisKind::Classify)
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        assert!(hit.cache_hit);
+
+        let snap = server.metrics();
+        let stats = server.stats();
+        assert_eq!(snap.counter("serve_jobs_submitted_total"), 2);
+        assert_eq!(snap.counter("serve_jobs_completed_total"), stats.jobs);
+        assert_eq!(snap.counter("serve_cache_hits_total"), stats.cache_hits);
+        assert_eq!(snap.gauge("serve_peak_queued"), stats.peak_queued);
+
+        // Per-job stages: one observation per completed job.
+        for stage in [
+            "stage_admission_micros",
+            "stage_queue_wait_micros",
+            "latency_e2e_micros",
+        ] {
+            assert_eq!(
+                snap.histogram(stage).expect(stage).count(),
+                2,
+                "{stage} must see both jobs"
+            );
+        }
+        // Per-batch miss-path stages: exactly one forward pass happened.
+        for stage in [
+            "stage_batch_assemble_micros",
+            "stage_gnn_forward_micros",
+            "stage_prediction_split_micros",
+        ] {
+            assert_eq!(snap.histogram(stage).expect(stage).count(), 1, "{stage}");
+        }
+        // The hit was a verbatim resolve; both batches probed.
+        assert_eq!(snap.counter("cache_hits_verbatim_total"), 1);
+        assert_eq!(snap.histogram("cache_probe_micros").unwrap().count(), 2);
+        // Distributions saw each admission / executed batch.
+        assert_eq!(snap.histogram("queue_depth").unwrap().count(), 2);
+        assert_eq!(snap.histogram("batch_size").unwrap().count(), 2);
+        // Layer timing is off by default — no per-layer series registered.
+        assert!(snap.histogram("forward_layer_0_micros").is_none());
+        // E2E latency can never undercut its queue-wait component.
+        let e2e = snap.histogram("latency_e2e_micros").unwrap();
+        let wait = snap.histogram("stage_queue_wait_micros").unwrap();
+        assert!(
+            e2e.sum >= wait.sum,
+            "e2e {} < queue wait {}",
+            e2e.sum,
+            wait.sum
+        );
+        server.shutdown();
+    }
+
+    /// Opting into `layer_timing` registers and fills one histogram per
+    /// GNN trunk layer plus the shared/heads stages.
+    #[test]
+    fn layer_timing_records_per_layer_forward_spans() {
+        let server = Server::start(
+            tiny_trained(), // 2 trunk layers
+            ServeConfig {
+                layer_timing: true,
+                ..ServeConfig::default()
+            },
+        );
+        server
+            .submit(csa_multiplier(4).aig, AnalysisKind::Classify)
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        let snap = server.metrics();
+        for name in [
+            "forward_layer_0_micros",
+            "forward_layer_1_micros",
+            "forward_shared_micros",
+            "forward_heads_micros",
+        ] {
+            assert_eq!(snap.histogram(name).expect(name).count(), 1, "{name}");
+        }
+        assert!(snap.histogram("forward_layer_2_micros").is_none());
+        server.shutdown();
+    }
+
+    /// Shed submissions record their time-to-rejection: the overload path
+    /// is observable, not silent.
+    #[test]
+    fn overload_rejection_records_time_to_rejection() {
+        let server = Server::start(
+            tiny_trained(),
+            ServeConfig {
+                max_batch: 1,
+                workers: 1,
+                cache_capacity: 0,
+                queue_capacity: 1,
+                linger_micros: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let subject = csa_multiplier(3).aig;
+        // Hold the worker, fill the one queue slot, then shed.
+        let busy = server
+            .submit(subject.clone(), AnalysisKind::SleepForTest)
+            .expect("admitted");
+        while server.stats().batches < 1 {
+            std::thread::yield_now();
+        }
+        let queued = server
+            .submit(subject.clone(), AnalysisKind::Classify)
+            .expect("admitted");
+        let mut shed = 0u64;
+        while shed == 0 {
+            if server
+                .try_submit(subject.clone(), AnalysisKind::Classify)
+                .is_err()
+            {
+                shed = 1;
+            }
+        }
+        let snap = server.metrics();
+        assert_eq!(
+            snap.counter("serve_rejected_overload_total"),
+            server.stats().rejected_overload
+        );
+        assert!(
+            snap.histogram("stage_time_to_rejection_micros")
+                .unwrap()
+                .count()
+                >= 1,
+            "every Overloaded shed must record its time to rejection"
+        );
+        busy.wait().expect("answered");
+        queued.wait().expect("answered");
+        server.shutdown();
     }
 
     /// `max_batch` jobs end a linger window immediately — a full batch

@@ -51,6 +51,7 @@ fn saturated_bounded_queue_sheds_load_and_completes_admitted_jobs() {
             cache_capacity: 0, // one forward pass per job: the queue really backs up
             queue_capacity: QUEUE_CAP,
             linger_micros: 0,
+            ..ServeConfig::default()
         },
     );
     let subject = csa_multiplier(6).aig;
@@ -115,6 +116,7 @@ fn expired_job_is_rejected_without_a_forward_pass() {
             cache_capacity: 0,
             queue_capacity: 0,
             linger_micros: 0,
+            ..ServeConfig::default()
         },
     );
     // Occupy the worker with a real job, then queue a job whose deadline
@@ -183,6 +185,7 @@ fn blocking_submit_waits_for_space_and_respects_the_bound() {
             cache_capacity: 0,
             queue_capacity: 1,
             linger_micros: 0,
+            ..ServeConfig::default()
         },
     );
     let subject = csa_multiplier(5).aig;
@@ -222,6 +225,7 @@ fn shutdown_concurrent_with_submitters_leaves_no_hung_client() {
             cache_capacity: 0,
             queue_capacity: 2,
             linger_micros: 0,
+            ..ServeConfig::default()
         },
     );
     let subject = csa_multiplier(6).aig;
