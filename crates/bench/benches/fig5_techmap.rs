@@ -51,7 +51,7 @@ fn main() {
     for kind in [MultiplierKind::Csa, MultiplierKind::Booth] {
         let depth = match kind {
             MultiplierKind::Csa => ModelDepth::Shallow,
-            MultiplierKind::Booth => ModelDepth::Deep,
+            _ => ModelDepth::Deep,
         };
         for (lib_name, lib) in &libraries {
             println!("\n--- {kind} multiplier, {lib_name} mapping ---");

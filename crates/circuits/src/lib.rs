@@ -51,5 +51,6 @@ pub fn generate_multiplier(kind: MultiplierKind, bits: usize) -> ArithCircuit {
     match kind {
         MultiplierKind::Csa => csa_multiplier(bits),
         MultiplierKind::Booth => booth_multiplier(bits),
+        MultiplierKind::Dadda => dadda_multiplier(bits),
     }
 }

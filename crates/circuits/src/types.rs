@@ -10,6 +10,8 @@ pub enum MultiplierKind {
     Csa,
     /// Radix-4 Booth encoding: signed digit recoding + column compression.
     Booth,
+    /// Dadda tree: minimal-stage column reduction + carry-select merge.
+    Dadda,
 }
 
 impl fmt::Display for MultiplierKind {
@@ -17,6 +19,7 @@ impl fmt::Display for MultiplierKind {
         match self {
             MultiplierKind::Csa => write!(f, "CSA"),
             MultiplierKind::Booth => write!(f, "Booth"),
+            MultiplierKind::Dadda => write!(f, "Dadda"),
         }
     }
 }

@@ -135,14 +135,17 @@ pub fn assemble_batch_into(
     for (aig, &off) in aigs.iter().zip(offsets.iter()) {
         write_features_at(aig, mode, features, off);
     }
-    Graph::from_edges_into(
+    // Constituents occupy disjoint contiguous node ranges with no
+    // cross-constituent edges — exactly the sectioned contract, so the
+    // CSR build fans out per constituent on large batches.
+    Graph::from_sections_into(
         total,
         direction,
-        |sink| {
-            for (aig, &off) in aigs.iter().zip(offsets.iter()) {
-                let off = off as u32;
-                aig.for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
-            }
+        aigs.len(),
+        |i| (offsets[i], aigs[i].num_nodes()),
+        |i, sink| {
+            let off = offsets[i] as u32;
+            aigs[i].for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
         },
         graph,
     );
@@ -173,14 +176,16 @@ pub fn batch_graphs_into(parts: &[(&Aig, &Matrix)], direction: Direction, ws: &m
         features.as_mut_slice()[off * dim..(off + aig.num_nodes()) * dim]
             .copy_from_slice(x.as_slice());
     }
-    Graph::from_edges_into(
+    Graph::from_sections_into(
         total,
         direction,
-        |sink| {
-            for ((aig, _), &off) in parts.iter().zip(offsets.iter()) {
-                let off = off as u32;
-                aig.for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
-            }
+        parts.len(),
+        |i| (offsets[i], parts[i].0.num_nodes()),
+        |i, sink| {
+            let off = offsets[i] as u32;
+            parts[i]
+                .0
+                .for_each_edge(|s, d| sink(s.as_u32() + off, d.as_u32() + off));
         },
         graph,
     );

@@ -13,8 +13,8 @@
 //! billion-node scalability. The *structural-only* ablation of Figure 4
 //! zeroes the two functional (inversion) features.
 
-use gamora_aig::{Aig, NodeKind};
-use gamora_gnn::Matrix;
+use gamora_aig::{Aig, NodeId, NodeKind};
+use gamora_gnn::{parallel, Matrix};
 
 /// Which node features to expose to the model.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -59,23 +59,39 @@ pub fn write_features_at(aig: &Aig, mode: FeatureMode, x: &mut Matrix, base: usi
         base + aig.num_nodes() <= x.rows(),
         "feature rows out of range"
     );
-    for n in aig.node_ids() {
-        if aig.kind(n) != NodeKind::And {
-            continue;
-        }
-        let row = x.row_mut(base + n.index());
-        row[0] = 1.0;
-        if mode == FeatureMode::StructuralFunctional {
-            let (f0, f1) = aig.fanins(n);
-            if f0.is_complement() {
-                row[1] = 1.0;
-            }
-            if f1.is_complement() {
-                row[2] = 1.0;
-            }
-        }
+    let cols = x.cols();
+    let n = aig.num_nodes();
+    if n == 0 {
+        return;
     }
+    // Tile the AIG's node range over row blocks: million-node subjects
+    // encode in parallel, small ones take the serial path unchanged. Each
+    // row depends only on its own node, so the output is identical at any
+    // thread count.
+    let rows = &mut x.as_mut_slice()[base * cols..(base + n) * cols];
+    parallel::for_each_row_block(rows, cols, FEATURE_BLOCK_ROWS, |n0, block| {
+        for (i, row) in block.chunks_mut(cols).enumerate() {
+            let node = NodeId::new((n0 + i) as u32);
+            if aig.kind(node) != NodeKind::And {
+                continue;
+            }
+            row[0] = 1.0;
+            if mode == FeatureMode::StructuralFunctional {
+                let (f0, f1) = aig.fanins(node);
+                if f0.is_complement() {
+                    row[1] = 1.0;
+                }
+                if f1.is_complement() {
+                    row[2] = 1.0;
+                }
+            }
+        }
+    });
 }
+
+/// Row-block height for tiled feature writes: feature rows are tiny
+/// (three floats), so blocks are tall to amortise the per-block dispatch.
+const FEATURE_BLOCK_ROWS: usize = 256;
 
 #[cfg(test)]
 mod tests {

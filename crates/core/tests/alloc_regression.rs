@@ -295,3 +295,62 @@ fn instrumented_batch_path_is_allocation_free_after_warmup() {
     assert_eq!(observer.shared.snapshot().count(), 33);
     assert_eq!(observer.heads.snapshot().count(), 33);
 }
+
+/// A batch large enough to route through the *sectioned* assembly entry
+/// point (`Graph::from_sections_into`) must honour the same zero-alloc
+/// contract. With the intra-thread cap forced to 1 the sectioned build
+/// takes its serial fallback — the exact dispatch the serve path uses
+/// when a worker's thread budget is exhausted — and that fallback must
+/// reuse the caller's scratch without touching the heap. (The
+/// multi-thread path reuses the same buffers but pays scoped-thread
+/// spawns, which allocate by nature; its bit-identical output is pinned
+/// by the gnn `assembly_equivalence` suite instead.)
+#[test]
+fn sectioned_assembly_serial_dispatch_is_allocation_free_after_warmup() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let prev_cap = gamora_gnn::parallel::intra_threads();
+    gamora_gnn::parallel::set_intra_threads(1);
+
+    // 4 x 16-bit CSA = 10376 merged nodes: above the per-thread row
+    // cutoff, so without the cap this batch *would* fan out.
+    let m16 = csa_multiplier(16);
+    let m3 = csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m3.aig],
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let reasoner = reasoner;
+
+    let aigs: Vec<&Aig> = vec![&m16.aig, &m16.aig, &m16.aig, &m16.aig];
+    let mut batch = reasoner.batch_scratch();
+    let mut scratch = reasoner.scratch();
+    let mut outs: Vec<Predictions> = Vec::new();
+
+    reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut outs);
+    let expected = outs.clone();
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..4 {
+        reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut outs);
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    gamora_gnn::parallel::set_intra_threads(prev_cap);
+    assert_eq!(
+        after - before,
+        0,
+        "serial-dispatch sectioned batch assembly must not allocate after warmup"
+    );
+    assert_eq!(outs, expected);
+}

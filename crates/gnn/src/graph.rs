@@ -3,6 +3,10 @@
 use crate::parallel;
 use crate::tensor::Matrix;
 
+/// A replayable `(src, dst)` edge stream: called with a sink, invoked
+/// once to count degrees and once to fill CSR slots.
+type EdgeStream<'a> = &'a dyn Fn(&mut dyn FnMut(u32, u32));
+
 /// Which way messages flow over a directed edge list.
 ///
 /// The AIG's natural edges run fanin → node. Adder roots must "see" their
@@ -73,12 +77,95 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is out of `0..num_nodes`, or (debug only) if
-    /// the two `edges` invocations stream different sequences.
+    /// Panics if an endpoint is out of `0..num_nodes`, if the prefix-summed
+    /// edge count overflows the u32 CSR index, or (debug only) if the two
+    /// `edges` invocations stream different sequences.
     pub fn from_edges_into<F>(num_nodes: usize, direction: Direction, edges: F, out: &mut Graph)
     where
         F: Fn(&mut dyn FnMut(u32, u32)),
     {
+        Graph::build_serial(num_nodes, direction, &edges, out);
+    }
+
+    /// [`Graph::from_edges_into`] over a *sectioned* node space: the nodes
+    /// `0..num_nodes` are tiled by `num_sections` contiguous sections
+    /// (`span(i)` returns section `i`'s `(first_node, node_count)`), and
+    /// `edges(i, sink)` streams section `i`'s edges, **both endpoints of
+    /// which must lie inside section `i`**. Disjoint-union batches satisfy
+    /// this by construction — one section per constituent, no
+    /// cross-constituent edges.
+    ///
+    /// Because sections never share CSR rows or slots, every build pass
+    /// (count, prefix sum, fill, reverse derivation, inverse degrees)
+    /// fans out over contiguous section groups on the scoped-thread pool,
+    /// each worker writing a disjoint sub-slice in the same order the
+    /// serial path would — the output is **bit-identical** to
+    /// [`Graph::from_edges_into`] fed the concatenated stream. Small
+    /// graphs, single sections, and a 1-thread cap
+    /// ([`parallel::set_intra_threads`]) fall back to the serial path,
+    /// which keeps the zero-allocation reuse contract; the parallel path
+    /// reuses the same caller-owned buffers and only pays scoped-thread
+    /// spawns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sections do not tile `0..num_nodes` in order, if an
+    /// edge endpoint leaves its section, or if the prefix-summed edge
+    /// count overflows the u32 CSR index.
+    pub fn from_sections_into<S, F>(
+        num_nodes: usize,
+        direction: Direction,
+        num_sections: usize,
+        span: S,
+        edges: F,
+        out: &mut Graph,
+    ) where
+        S: Fn(usize) -> (usize, usize) + Sync,
+        F: Fn(usize, &mut dyn FnMut(u32, u32)) + Sync,
+    {
+        // Sections must tile the node space contiguously, in order.
+        let mut covered = 0usize;
+        for i in 0..num_sections {
+            let (start, len) = span(i);
+            assert_eq!(start, covered, "section {i} does not start at {covered}");
+            covered += len;
+        }
+        assert_eq!(covered, num_nodes, "sections must cover every node");
+
+        let nt = parallel::effective_threads(num_nodes).min(num_sections);
+        if nt <= 1 {
+            // Serial fallback: stream the sections in order through the
+            // single-section path (identical output by definition). The
+            // per-section containment contract is still enforced so a
+            // violating caller fails the same way at every thread count.
+            Graph::build_serial(
+                num_nodes,
+                direction,
+                &|sink: &mut dyn FnMut(u32, u32)| {
+                    for i in 0..num_sections {
+                        let (start, len) = span(i);
+                        edges(i, &mut |s: u32, d: u32| {
+                            assert_section_edge(i, start, len, s, d);
+                            sink(s, d);
+                        });
+                    }
+                },
+                out,
+            );
+            return;
+        }
+        Graph::build_sectioned(num_nodes, direction, num_sections, &span, &edges, nt, out);
+    }
+
+    /// The single-threaded CSR build (also the steady state of warmed-up
+    /// serving on small graphs: zero heap allocation at capacity).
+    fn build_serial(
+        num_nodes: usize,
+        direction: Direction,
+        edges: EdgeStream<'_>,
+        out: &mut Graph,
+    ) {
+        assert_node_count(num_nodes);
         let Graph {
             num_nodes: out_nodes,
             offsets,
@@ -107,10 +194,7 @@ impl Graph {
                 }
             }
         });
-        for i in 0..num_nodes {
-            offsets[i + 1] += offsets[i];
-        }
-        let total = offsets[num_nodes] as usize;
+        let total = prefix_sum_serial(&mut offsets[1..]);
 
         // Pass 2: fill the forward CSR slots.
         cursor.clear();
@@ -143,9 +227,7 @@ impl Graph {
         for &u in neighbors.iter() {
             rev_offsets[u as usize + 1] += 1;
         }
-        for i in 0..num_nodes {
-            rev_offsets[i + 1] += rev_offsets[i];
-        }
+        prefix_sum_serial(&mut rev_offsets[1..]);
         cursor.clear();
         cursor.extend_from_slice(rev_offsets);
         rev_neighbors.clear();
@@ -167,6 +249,205 @@ impl Graph {
                 1.0 / deg as f32
             }
         }));
+    }
+
+    /// The parallel sectioned build: every pass fans contiguous section
+    /// groups (~`num_nodes / nt` nodes each) out over scoped threads, each
+    /// worker owning a disjoint `split_at_mut` sub-slice of the arrays it
+    /// writes. Within a group the serial visit order is preserved and no
+    /// group ever touches another group's rows or slots, so the arrays
+    /// come out bit-identical to the serial build.
+    #[allow(clippy::too_many_lines)]
+    fn build_sectioned<S, F>(
+        num_nodes: usize,
+        direction: Direction,
+        num_sections: usize,
+        span: &S,
+        edges: &F,
+        nt: usize,
+        out: &mut Graph,
+    ) where
+        S: Fn(usize) -> (usize, usize) + Sync,
+        F: Fn(usize, &mut dyn FnMut(u32, u32)) + Sync,
+    {
+        assert_node_count(num_nodes);
+        let Graph {
+            num_nodes: out_nodes,
+            offsets,
+            neighbors,
+            rev_offsets,
+            rev_neighbors,
+            inv_deg,
+            cursor,
+        } = out;
+        *out_nodes = num_nodes;
+
+        // Pass 1: count aggregation edges per CSR row, one section group
+        // per worker. Group `g` owns the count slots of its own nodes
+        // (`offsets[1..][node_lo..node_hi]`) and nothing else.
+        offsets.clear();
+        offsets.resize(num_nodes + 1, 0);
+        crossbeam::thread::scope(|sc| {
+            let mut rest: &mut [u32] = &mut offsets[1..];
+            let mut consumed = 0usize;
+            for_each_section_group(
+                nt,
+                num_sections,
+                num_nodes,
+                span,
+                |sec_lo, sec_hi, _, nhi| {
+                    let (slots, tail) = std::mem::take(&mut rest).split_at_mut(nhi - consumed);
+                    let nlo = consumed;
+                    rest = tail;
+                    consumed = nhi;
+                    sc.spawn(move |_| {
+                        for sec in sec_lo..sec_hi {
+                            let (start, len) = span(sec);
+                            edges(sec, &mut |s: u32, d: u32| {
+                                assert_section_edge(sec, start, len, s, d);
+                                match direction {
+                                    Direction::Fanin => slots[d as usize - nlo] += 1,
+                                    Direction::Fanout => slots[s as usize - nlo] += 1,
+                                    Direction::Bidirectional => {
+                                        slots[d as usize - nlo] += 1;
+                                        slots[s as usize - nlo] += 1;
+                                    }
+                                }
+                            });
+                        }
+                    });
+                },
+            );
+        })
+        .expect("assembly worker panicked");
+
+        let total = prefix_sum_sections(&mut offsets[1..], nt, num_sections, num_nodes, span);
+
+        // Pass 2: fill the forward CSR slots. Group `g` owns its nodes'
+        // cursors and the neighbor slots `offsets[node_lo]..offsets[node_hi]`
+        // (contiguous, because its nodes are).
+        cursor.clear();
+        cursor.extend_from_slice(offsets);
+        neighbors.clear();
+        neighbors.resize(total, 0);
+        crossbeam::thread::scope(|sc| {
+            let offs: &[u32] = offsets;
+            let mut cur_rest: &mut [u32] = &mut cursor[..num_nodes];
+            let mut nb_rest: &mut [u32] = neighbors;
+            let mut consumed = 0usize;
+            let mut slot_consumed = 0usize;
+            for_each_section_group(
+                nt,
+                num_sections,
+                num_nodes,
+                span,
+                |sec_lo, sec_hi, _, nhi| {
+                    let (cur, cur_tail) =
+                        std::mem::take(&mut cur_rest).split_at_mut(nhi - consumed);
+                    let nlo = consumed;
+                    cur_rest = cur_tail;
+                    consumed = nhi;
+                    let slot_end = offs[nhi] as usize;
+                    let (nbs, nb_tail) =
+                        std::mem::take(&mut nb_rest).split_at_mut(slot_end - slot_consumed);
+                    let slot_base = slot_consumed;
+                    nb_rest = nb_tail;
+                    slot_consumed = slot_end;
+                    sc.spawn(move |_| {
+                        for sec in sec_lo..sec_hi {
+                            edges(sec, &mut |s: u32, d: u32| {
+                                let mut put = |v: u32, u: u32| {
+                                    let slot = &mut cur[v as usize - nlo];
+                                    nbs[*slot as usize - slot_base] = u;
+                                    *slot += 1;
+                                };
+                                match direction {
+                                    Direction::Fanin => put(d, s),
+                                    Direction::Fanout => put(s, d),
+                                    Direction::Bidirectional => {
+                                        put(d, s);
+                                        put(s, d);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                },
+            );
+        })
+        .expect("assembly worker panicked");
+        debug_assert!(
+            (0..num_nodes).all(|v| cursor[v] == offsets[v + 1]),
+            "edge stream changed between the count and fill passes"
+        );
+
+        // Reverse CSR. Every neighbor of a section's node lies in the same
+        // section, so both reverse passes stay group-local too.
+        rev_offsets.clear();
+        rev_offsets.resize(num_nodes + 1, 0);
+        crossbeam::thread::scope(|sc| {
+            let offs: &[u32] = offsets;
+            let nbs: &[u32] = neighbors;
+            let mut rest: &mut [u32] = &mut rev_offsets[1..];
+            let mut consumed = 0usize;
+            for_each_section_group(nt, num_sections, num_nodes, span, |_, _, _, nhi| {
+                let (slots, tail) = std::mem::take(&mut rest).split_at_mut(nhi - consumed);
+                let nlo = consumed;
+                rest = tail;
+                consumed = nhi;
+                sc.spawn(move |_| {
+                    for &u in &nbs[offs[nlo] as usize..offs[nhi] as usize] {
+                        slots[u as usize - nlo] += 1;
+                    }
+                });
+            });
+        })
+        .expect("assembly worker panicked");
+        prefix_sum_sections(&mut rev_offsets[1..], nt, num_sections, num_nodes, span);
+
+        cursor.clear();
+        cursor.extend_from_slice(rev_offsets);
+        rev_neighbors.clear();
+        rev_neighbors.resize(total, 0);
+        crossbeam::thread::scope(|sc| {
+            let offs: &[u32] = offsets;
+            let nbs: &[u32] = neighbors;
+            let roffs: &[u32] = rev_offsets;
+            let mut cur_rest: &mut [u32] = &mut cursor[..num_nodes];
+            let mut rnb_rest: &mut [u32] = rev_neighbors;
+            let mut consumed = 0usize;
+            let mut slot_consumed = 0usize;
+            for_each_section_group(nt, num_sections, num_nodes, span, |_, _, _, nhi| {
+                let (cur, cur_tail) = std::mem::take(&mut cur_rest).split_at_mut(nhi - consumed);
+                let nlo = consumed;
+                cur_rest = cur_tail;
+                consumed = nhi;
+                let slot_end = roffs[nhi] as usize;
+                let (rnbs, rnb_tail) =
+                    std::mem::take(&mut rnb_rest).split_at_mut(slot_end - slot_consumed);
+                let slot_base = slot_consumed;
+                rnb_rest = rnb_tail;
+                slot_consumed = slot_end;
+                sc.spawn(move |_| {
+                    for v in nlo..nhi {
+                        for &u in &nbs[offs[v] as usize..offs[v + 1] as usize] {
+                            let slot = &mut cur[u as usize - nlo];
+                            rnbs[*slot as usize - slot_base] = v as u32;
+                            *slot += 1;
+                        }
+                    }
+                });
+            });
+        })
+        .expect("assembly worker panicked");
+
+        inv_deg.clear();
+        inv_deg.resize(num_nodes, 0.0);
+        let offs: &[u32] = offsets;
+        parallel::for_each_row(inv_deg, 1, |v, row| {
+            let deg = offs[v + 1] - offs[v];
+            row[0] = if deg == 0 { 0.0 } else { 1.0 / deg as f32 };
+        });
     }
 
     /// Number of nodes.
@@ -206,19 +487,23 @@ impl Graph {
         assert_eq!(h.rows(), self.num_nodes, "one embedding row per node");
         let dim = h.cols();
         out.reset(self.num_nodes, dim);
-        parallel::for_each_row(out.as_mut_slice(), dim.max(1), |v, row| {
-            let neigh = self.neighbors(v);
-            if neigh.is_empty() {
-                return;
-            }
-            for &u in neigh {
-                for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
-                    *o += x;
+        let width = dim.max(1);
+        parallel::for_each_row_block(out.as_mut_slice(), width, AGG_BLOCK_ROWS, |v0, block| {
+            for (i, row) in block.chunks_mut(width).enumerate() {
+                let v = v0 + i;
+                let neigh = self.neighbors(v);
+                if neigh.is_empty() {
+                    continue;
                 }
-            }
-            let inv = self.inv_deg[v];
-            for o in row.iter_mut() {
-                *o *= inv;
+                for &u in neigh {
+                    for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                        *o += x;
+                    }
+                }
+                let inv = self.inv_deg[v];
+                for o in row.iter_mut() {
+                    *o *= inv;
+                }
             }
         });
     }
@@ -233,17 +518,169 @@ impl Graph {
         assert_eq!(grad.rows(), self.num_nodes);
         let dim = grad.cols();
         let mut out = Matrix::zeros(self.num_nodes, dim);
-        parallel::for_each_row(out.as_mut_slice(), dim.max(1), |u, row| {
-            let consumers =
-                &self.rev_neighbors[self.rev_offsets[u] as usize..self.rev_offsets[u + 1] as usize];
-            for &v in consumers {
-                let inv = self.inv_deg[v as usize];
-                for (o, &g) in row.iter_mut().zip(grad.row(v as usize)) {
-                    *o += g * inv;
+        let width = dim.max(1);
+        parallel::for_each_row_block(out.as_mut_slice(), width, AGG_BLOCK_ROWS, |u0, block| {
+            for (i, row) in block.chunks_mut(width).enumerate() {
+                let u = u0 + i;
+                let consumers = &self.rev_neighbors
+                    [self.rev_offsets[u] as usize..self.rev_offsets[u + 1] as usize];
+                for &v in consumers {
+                    let inv = self.inv_deg[v as usize];
+                    for (o, &g) in row.iter_mut().zip(grad.row(v as usize)) {
+                        *o += g * inv;
+                    }
                 }
             }
         });
         out
+    }
+}
+
+/// Row-block height for tiled aggregation: big enough to amortise the
+/// per-block closure dispatch over the CSR gather, small enough that a
+/// block's output rows plus its gathered neighbor rows stay cache-resident.
+const AGG_BLOCK_ROWS: usize = 64;
+
+/// Node ids travel as `u32` through the edge stream and the CSR arrays.
+fn assert_node_count(num_nodes: usize) {
+    assert!(
+        num_nodes as u64 <= u32::MAX as u64 + 1,
+        "{num_nodes} nodes exceed the u32 node-id space"
+    );
+}
+
+/// Both endpoints of a sectioned edge must lie inside the section that
+/// streamed it — the disjointness that makes the parallel passes safe.
+#[inline]
+fn assert_section_edge(sec: usize, start: usize, len: usize, s: u32, d: u32) {
+    let (s, d) = (s as usize, d as usize);
+    assert!(
+        s >= start && s < start + len && d >= start && d < start + len,
+        "edge ({s}, {d}) leaves section {sec} (nodes {start}..{})",
+        start + len
+    );
+}
+
+/// Converts a running (u64) CSR prefix total to the u32 slot type,
+/// panicking with a clear message when a multi-million-edge graph
+/// overflows the index width.
+#[inline]
+fn checked_csr_index(total: u64) -> u32 {
+    if total > u64::from(u32::MAX) {
+        csr_overflow(total);
+    }
+    total as u32
+}
+
+#[cold]
+#[inline(never)]
+fn csr_overflow(total: u64) -> ! {
+    panic!(
+        "CSR prefix overflow: {total} aggregation edges exceed the u32 index limit \
+         ({} max); split the batch into smaller graphs",
+        u32::MAX
+    );
+}
+
+/// In-place inclusive prefix sum over per-node counts (the `[1..]` tail of
+/// an offsets array), overflow-checked; returns the edge total.
+fn prefix_sum_serial(counts: &mut [u32]) -> usize {
+    let mut acc = 0u64;
+    for slot in counts.iter_mut() {
+        acc += u64::from(*slot);
+        *slot = checked_csr_index(acc);
+    }
+    acc as usize
+}
+
+/// [`prefix_sum_serial`] fanned out over section groups: group-local
+/// inclusive prefixes run in parallel, the per-group bases accumulate
+/// serially on the caller thread (O(groups)), and each base adds back into
+/// its group in parallel. u32 additions only ever see the values the
+/// serial scan would produce, so the result is bit-identical.
+fn prefix_sum_sections<S>(
+    counts: &mut [u32],
+    nt: usize,
+    num_sections: usize,
+    num_nodes: usize,
+    span: &S,
+) -> usize
+where
+    S: Fn(usize) -> (usize, usize) + Sync,
+{
+    crossbeam::thread::scope(|sc| {
+        let mut rest: &mut [u32] = counts;
+        let mut consumed = 0usize;
+        for_each_section_group(nt, num_sections, num_nodes, span, |_, _, _, nhi| {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(nhi - consumed);
+            rest = tail;
+            consumed = nhi;
+            sc.spawn(move |_| {
+                let mut acc = 0u64;
+                for slot in head.iter_mut() {
+                    acc += u64::from(*slot);
+                    *slot = checked_csr_index(acc);
+                }
+            });
+        });
+    })
+    .expect("assembly worker panicked");
+
+    let mut base = 0u64;
+    crossbeam::thread::scope(|sc| {
+        let mut rest: &mut [u32] = counts;
+        let mut consumed = 0usize;
+        for_each_section_group(nt, num_sections, num_nodes, span, |_, _, _, nhi| {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(nhi - consumed);
+            rest = tail;
+            consumed = nhi;
+            let Some(&last) = head.last() else {
+                return;
+            };
+            // The largest value this group will hold after the base add.
+            checked_csr_index(base + u64::from(last));
+            let add = base as u32;
+            base += u64::from(last);
+            if add > 0 {
+                sc.spawn(move |_| {
+                    for slot in head.iter_mut() {
+                        *slot += add;
+                    }
+                });
+            }
+        });
+    })
+    .expect("assembly worker panicked");
+    base as usize
+}
+
+/// Partitions the sections into at most `nt + 1` contiguous groups of
+/// roughly `num_nodes / nt` nodes each and calls
+/// `each(sec_lo, sec_hi, node_lo, node_hi)` for every group, in order.
+/// Deterministic, so every pass of one build sees the same grouping.
+fn for_each_section_group<S>(
+    nt: usize,
+    num_sections: usize,
+    num_nodes: usize,
+    span: &S,
+    mut each: impl FnMut(usize, usize, usize, usize),
+) where
+    S: Fn(usize) -> (usize, usize),
+{
+    let target = num_nodes.div_ceil(nt).max(1);
+    let mut sec = 0usize;
+    let mut node = 0usize;
+    while sec < num_sections {
+        let (sec_lo, node_lo) = (sec, node);
+        loop {
+            let (_, len) = span(sec);
+            node += len;
+            sec += 1;
+            if sec >= num_sections || node - node_lo >= target {
+                break;
+            }
+        }
+        each(sec_lo, sec, node_lo, node);
     }
 }
 
@@ -330,6 +767,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The u32 CSR index accepts exactly `u32::MAX` edges and rejects one
+    /// more with a clear message — the boundary of the overflow guard on
+    /// multi-million-edge graphs.
+    #[test]
+    fn csr_index_accepts_the_u32_boundary() {
+        assert_eq!(checked_csr_index(u64::from(u32::MAX)), u32::MAX);
+        let mut counts = vec![u32::MAX, 0, 0];
+        assert_eq!(prefix_sum_serial(&mut counts), u32::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the u32 index limit")]
+    fn csr_index_panics_past_the_u32_boundary() {
+        let mut counts = vec![u32::MAX, 1];
+        prefix_sum_serial(&mut counts);
+    }
+
+    /// A sectioned build over two sections matches the plain streamed
+    /// build (the serial fallback path; the parallel path is covered by
+    /// the release-mode equivalence suite).
+    #[test]
+    fn sectioned_build_matches_streamed_build() {
+        let sections: [&[(u32, u32)]; 3] = [&[(0, 1), (1, 2), (0, 2)], &[], &[(3, 4), (4, 3)]];
+        let spans = [(0usize, 3usize), (3, 0), (3, 2)];
+        for dir in [
+            Direction::Fanin,
+            Direction::Fanout,
+            Direction::Bidirectional,
+        ] {
+            let mut got = Graph::default();
+            Graph::from_sections_into(
+                5,
+                dir,
+                3,
+                |i| spans[i],
+                |i, sink| {
+                    for &(s, d) in sections[i] {
+                        sink(s, d);
+                    }
+                },
+                &mut got,
+            );
+            let all: Vec<(u32, u32)> = sections.iter().flat_map(|s| s.iter().copied()).collect();
+            let want = Graph::from_edges(5, &all, dir);
+            assert_eq!(got.num_edges(), want.num_edges());
+            for v in 0..5 {
+                assert_eq!(got.neighbors(v), want.neighbors(v), "{dir:?} node {v}");
+            }
+        }
+    }
+
+    /// An edge whose endpoints leave its section must be rejected — the
+    /// disjointness contract the parallel passes rely on.
+    #[test]
+    #[should_panic(expected = "leaves section")]
+    fn sectioned_build_rejects_cross_section_edges() {
+        let mut g = Graph::default();
+        Graph::from_sections_into(
+            4,
+            Direction::Fanin,
+            2,
+            |i| if i == 0 { (0, 2) } else { (2, 2) },
+            |i, sink| {
+                if i == 0 {
+                    sink(0, 3); // crosses into section 1
+                }
+            },
+            &mut g,
+        );
     }
 
     /// The backward pass must be the exact adjoint of the forward pass:

@@ -4,13 +4,41 @@
 //! fall back to serial execution so training on tiny graphs is not dominated
 //! by thread-spawn overhead.
 
-/// Number of worker threads: `GAMORA_THREADS` env override, else the
-/// machine's available parallelism.
+std::thread_local! {
+    /// Per-thread intra-op parallelism cap installed by
+    /// [`set_intra_threads`] (0 = uncapped). Serve workers pin this at
+    /// startup so `workers x kernel threads` never oversubscribes the
+    /// machine; tests pin it to force the serial or parallel path
+    /// deterministically.
+    static INTRA_LIMIT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Caps the parallelism of every kernel/assembly call made *from the
+/// calling thread* to `limit` threads. `1` forces fully serial execution,
+/// `0` removes the cap. The cap takes precedence over `GAMORA_THREADS`
+/// and hardware detection — it is the per-worker budget a pool supervisor
+/// hands out after consulting [`num_threads`] itself.
+pub fn set_intra_threads(limit: usize) {
+    INTRA_LIMIT.with(|c| c.set(limit));
+}
+
+/// The calling thread's intra-op parallelism cap (0 = uncapped).
+pub fn intra_threads() -> usize {
+    INTRA_LIMIT.with(|c| c.get())
+}
+
+/// Number of worker threads: the calling thread's [`set_intra_threads`]
+/// cap if one is installed, else the `GAMORA_THREADS` env override, else
+/// the machine's available parallelism.
 ///
 /// Hardware detection is cached: `available_parallelism` reads cgroup
 /// files on Linux (allocating on every call), which would put heap churn
 /// and syscalls on the allocation-free inference hot path.
 pub fn num_threads() -> usize {
+    let cap = INTRA_LIMIT.with(|c| c.get());
+    if cap > 0 {
+        return cap;
+    }
     if let Ok(v) = std::env::var("GAMORA_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -204,6 +232,16 @@ mod tests {
 
     #[test]
     fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn intra_thread_cap_overrides_detection() {
+        set_intra_threads(3);
+        assert_eq!(num_threads(), 3);
+        assert_eq!(intra_threads(), 3);
+        set_intra_threads(0);
+        assert_eq!(intra_threads(), 0);
         assert!(num_threads() >= 1);
     }
 }

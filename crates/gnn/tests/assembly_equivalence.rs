@@ -1,0 +1,300 @@
+//! Parallel/serial equivalence: the sectioned CSR build and the tiled
+//! aggregation kernels must be **bit-identical** to their serial
+//! counterparts, for every direction, across awkward shapes (empty
+//! sections, isolated nodes, node counts that are not multiples of the
+//! tile size) and under every thread budget.
+//!
+//! The suite runs in two regimes:
+//! - proptest over small random sectioned graphs, where the sectioned
+//!   entry point takes its serial fallback — guards the contract checks
+//!   and the fallback's stream ordering;
+//! - deterministic large graphs (above `parallel`'s per-thread row
+//!   cutoff) with an explicit intra-thread cap, where the scoped-thread
+//!   fan-out actually engages — guards the disjoint-slice passes and the
+//!   split prefix sum.
+
+use gamora_gnn::{parallel, Direction, Graph, Matrix, ModelConfig, MultiTaskSage};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Restores the caller's intra-thread cap on drop, so a failing assert
+/// can't leak a forced budget into other tests on the same thread.
+struct CapGuard(usize);
+
+impl CapGuard {
+    fn set(limit: usize) -> CapGuard {
+        let prev = parallel::intra_threads();
+        parallel::set_intra_threads(limit);
+        CapGuard(prev)
+    }
+}
+
+impl Drop for CapGuard {
+    fn drop(&mut self) {
+        parallel::set_intra_threads(self.0);
+    }
+}
+
+/// Builds the same sectioned edge set through both entry points and
+/// asserts every observable array is bit-identical.
+fn assert_sectioned_matches_streamed(sections: &[(usize, Vec<(u32, u32)>)], direction: Direction) {
+    let spans: Vec<(usize, usize)> = sections
+        .iter()
+        .scan(0usize, |base, (n, _)| {
+            let span = (*base, *n);
+            *base += n;
+            Some(span)
+        })
+        .collect();
+    let num_nodes: usize = sections.iter().map(|(n, _)| *n).sum();
+
+    let mut serial = Graph::default();
+    Graph::from_edges_into(
+        num_nodes,
+        direction,
+        |sink| {
+            for ((_, edges), &(base, _)) in sections.iter().zip(&spans) {
+                for &(s, d) in edges {
+                    sink(s + base as u32, d + base as u32);
+                }
+            }
+        },
+        &mut serial,
+    );
+
+    let mut sectioned = Graph::default();
+    Graph::from_sections_into(
+        num_nodes,
+        direction,
+        sections.len(),
+        |i| spans[i],
+        |i, sink| {
+            let base = spans[i].0 as u32;
+            for &(s, d) in &sections[i].1 {
+                sink(s + base, d + base);
+            }
+        },
+        &mut sectioned,
+    );
+
+    assert_eq!(sectioned.num_nodes(), serial.num_nodes());
+    assert_eq!(sectioned.num_edges(), serial.num_edges());
+    for v in 0..num_nodes {
+        assert_eq!(sectioned.neighbors(v), serial.neighbors(v), "node {v}");
+    }
+    // inv_deg and the reverse adjacency are private; mean aggregation
+    // exercises forward offsets + inv_deg, the backward pass exercises
+    // the reverse arrays. Bitwise equality of both outputs pins them all.
+    let h = feature_ramp(num_nodes, 3);
+    assert_eq!(
+        serial.mean_aggregate(&h).as_slice(),
+        sectioned.mean_aggregate(&h).as_slice()
+    );
+    assert_eq!(
+        serial.mean_aggregate_backward(&h).as_slice(),
+        sectioned.mean_aggregate_backward(&h).as_slice()
+    );
+}
+
+/// Deterministic non-uniform matrix (dyadic values, exact in f32).
+fn feature_ramp(rows: usize, cols: usize) -> Matrix {
+    let mut h = Matrix::zeros(rows.max(1), cols);
+    for (i, v) in h.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i % 23) as f32 - 11.0) * 0.25;
+    }
+    h
+}
+
+/// One random section: a node count (possibly zero) and edges drawn
+/// inside it, including duplicates and self-loops.
+fn section() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (0usize..24, 0usize..48).prop_flat_map(|(n, m)| {
+        vec((0u32..24, 0u32..24), m).prop_map(move |edges| {
+            if n == 0 {
+                (0, Vec::new())
+            } else {
+                let wrap = |v: u32| v % n as u32;
+                (n, edges.iter().map(|&(s, d)| (wrap(s), wrap(d))).collect())
+            }
+        })
+    })
+}
+
+/// Between 1 and 5 random sections.
+fn sections() -> impl Strategy<Value = Vec<(usize, Vec<(u32, u32)>)>> {
+    (1usize..6).prop_flat_map(|k| vec(section(), k))
+}
+
+proptest! {
+    /// Small sectioned graphs (serial fallback regime): bit-identical to
+    /// the streamed build for every direction, including empty sections,
+    /// isolated nodes and duplicate edges.
+    #[test]
+    fn sectioned_equals_streamed_small(sections in sections()) {
+        for direction in [Direction::Fanin, Direction::Fanout, Direction::Bidirectional] {
+            assert_sectioned_matches_streamed(&sections, direction);
+        }
+    }
+
+    /// A 1-thread cap forces the serial path through the sectioned entry
+    /// point; the result must still match the streamed build exactly.
+    #[test]
+    fn sectioned_equals_streamed_forced_serial(sections in sections()) {
+        let _guard = CapGuard::set(1);
+        assert_sectioned_matches_streamed(&sections, Direction::Bidirectional);
+    }
+
+    /// Tiled mean aggregation at a multi-thread cap is bit-identical to
+    /// the 1-thread kernel on small graphs of awkward (non-tile-multiple)
+    /// sizes.
+    #[test]
+    fn aggregation_cap_invariant_small(
+        n in 1usize..60,
+        edges in (0usize..80).prop_flat_map(|m| vec((0u32..60, 0u32..60), m)),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u32, d % n as u32))
+            .collect();
+        let g = Graph::from_edges(n, &edges, Direction::Bidirectional);
+        let h = feature_ramp(n, 7);
+        let serial = {
+            let _one = CapGuard::set(1);
+            g.mean_aggregate(&h)
+        };
+        let tiled = {
+            let _four = CapGuard::set(4);
+            g.mean_aggregate(&h)
+        };
+        prop_assert_eq!(serial.as_slice(), tiled.as_slice());
+    }
+}
+
+/// Deterministic sectioned graph large enough to engage the scoped-thread
+/// fan-out: `num_nodes` is far above `parallel`'s per-thread cutoff and
+/// the section sizes are deliberately lopsided and non-tile-multiple.
+fn large_sections() -> Vec<(usize, Vec<(u32, u32)>)> {
+    let sizes = [9473usize, 1, 0, 6301, 4096, 777];
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut edges = Vec::new();
+            // ~2 edges per node, plus guaranteed isolated tail nodes.
+            for _ in 0..n.saturating_mul(2) {
+                let s = (next() % n.max(1) as u64) as u32;
+                let d = (next() % n.max(1) as u64) as u32;
+                edges.push((s, d));
+            }
+            (n, edges)
+        })
+        .collect()
+}
+
+#[test]
+fn sectioned_equals_streamed_large_parallel() {
+    let sections = large_sections();
+    let _guard = CapGuard::set(4);
+    for direction in [
+        Direction::Fanin,
+        Direction::Fanout,
+        Direction::Bidirectional,
+    ] {
+        assert_sectioned_matches_streamed(&sections, direction);
+    }
+}
+
+#[test]
+fn sectioned_reuse_across_thread_budgets() {
+    // The same Graph instance rebuilt under different caps must converge
+    // to identical arrays — buffer reuse can't leak stale slots.
+    let sections = large_sections();
+    let spans: Vec<(usize, usize)> = sections
+        .iter()
+        .scan(0usize, |base, (n, _)| {
+            let span = (*base, *n);
+            *base += n;
+            Some(span)
+        })
+        .collect();
+    let num_nodes: usize = sections.iter().map(|(n, _)| *n).sum();
+    let build = |cap: usize, out: &mut Graph| {
+        let _guard = CapGuard::set(cap);
+        Graph::from_sections_into(
+            num_nodes,
+            Direction::Bidirectional,
+            sections.len(),
+            |i| spans[i],
+            |i, sink| {
+                let base = spans[i].0 as u32;
+                for &(s, d) in &sections[i].1 {
+                    sink(s + base, d + base);
+                }
+            },
+            out,
+        );
+    };
+    let mut reference = Graph::default();
+    build(1, &mut reference);
+    let mut reused = Graph::default();
+    for cap in [4, 1, 3, 2] {
+        build(cap, &mut reused);
+        assert_eq!(reused.num_edges(), reference.num_edges());
+        for v in 0..num_nodes {
+            assert_eq!(reused.neighbors(v), reference.neighbors(v), "cap, node {v}");
+        }
+    }
+}
+
+#[test]
+fn model_embeddings_cap_invariant_large() {
+    // Full forward pass on a >8192-node graph: logits at a 4-thread cap
+    // must be bit-identical to the 1-thread kernels.
+    let sections = large_sections();
+    let spans: Vec<(usize, usize)> = sections
+        .iter()
+        .scan(0usize, |base, (n, _)| {
+            let span = (*base, *n);
+            *base += n;
+            Some(span)
+        })
+        .collect();
+    let num_nodes: usize = sections.iter().map(|(n, _)| *n).sum();
+    let mut graph = Graph::default();
+    {
+        let _guard = CapGuard::set(4);
+        Graph::from_sections_into(
+            num_nodes,
+            Direction::Bidirectional,
+            sections.len(),
+            |i| spans[i],
+            |i, sink| {
+                let base = spans[i].0 as u32;
+                for &(s, d) in &sections[i].1 {
+                    sink(s + base, d + base);
+                }
+            },
+            &mut graph,
+        );
+    }
+    let x = feature_ramp(num_nodes, 3);
+    let model = MultiTaskSage::new(ModelConfig::shallow(3, vec![4, 2, 2]));
+    let serial_logits = {
+        let _one = CapGuard::set(1);
+        model.forward(&graph, &x)
+    };
+    let parallel_logits = {
+        let _four = CapGuard::set(4);
+        model.forward(&graph, &x)
+    };
+    assert_eq!(serial_logits.len(), parallel_logits.len());
+    for (s, p) in serial_logits.iter().zip(&parallel_logits) {
+        assert_eq!(s.as_slice(), p.as_slice());
+    }
+}

@@ -30,16 +30,19 @@ gamora — persistent-model inference service for AIG symbolic reasoning
 
 USAGE:
     gamora train --out MODEL.gsnap [--bits 3,4,5,6,7,8] [--epochs 300]
-                 [--kind csa|booth] [--depth shallow|deep|LxH] [--seed N]
+                 [--kind csa|booth|dadda] [--depth shallow|deep|LxH]
+                 [--seed N]
     gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
                  [--workers N] [--cache N] [--queue-cap N] [--linger MICROS]
                  [--quant] [--compact] [--layer-times] [--metrics-out PATH]
-                 FILE.aag [FILE.aig ...]
+                 [--intra-threads N] FILE.aag [FILE.aig ...]
                  (--cache 0 disables the structural-hash cache)
-    gamora bench-serve --model MODEL.gsnap [--bits 16] [--count 64]
+    gamora bench-serve --model MODEL.gsnap [--bits 16 | --bits N1,N2,...]
+                       [--kind csa|booth|dadda] [--count 64]
                        [--batches 1,8,64] [--workers N] [--shards N]
                        [--linger MICROS] [--queue-cap N] [--deadline MICROS]
                        [--quant] [--layer-times] [--metrics-out PATH]
+                       [--intra-threads N]
 
 --quant serves the i8-quantised weight store (per-output-column scales,
 f32 accumulation): ~4x smaller resident weights, argmax predictions
@@ -47,6 +50,16 @@ matching the f32 path on >= 99.9% of nodes. bench-serve --quant also
 reports the f32-vs-quantised argmax agreement and weight-store sizes.
 
 bench-serve extras:
+    --bits N1,N2,...  several widths run a scaling sweep: every width gets
+                      a cold nodes/sec measurement with the thread pool and
+                      with kernels forced single-threaded, reported in the
+                      JSON `scaling` block (the first width still drives
+                      the classic cold/hot batch-size rows)
+    --kind K          subject multiplier architecture: csa (default),
+                      booth, or dadda
+    --intra-threads N per-worker kernel/assembly thread budget (0 = auto:
+                      the machine budget divided by --workers; also the
+                      GAMORA_THREADS-aware knob behind `ServeConfig`)
     --shards N        route through a structural-hash ShardRouter over N
                       per-cache server shards (default 1 = single server);
                       adds a shard-affinity repeat run to the report
@@ -115,6 +128,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-cap",
     "--deadline",
     "--metrics-out",
+    "--intra-threads",
 ];
 const SWITCH_FLAGS: &[&str] = &[
     "--extract",
@@ -184,6 +198,17 @@ impl Flags {
     }
 }
 
+fn parse_kind(s: &str) -> Result<MultiplierKind, String> {
+    match s {
+        "csa" => Ok(MultiplierKind::Csa),
+        "booth" => Ok(MultiplierKind::Booth),
+        "dadda" => Ok(MultiplierKind::Dadda),
+        other => Err(format!(
+            "--kind expects csa, booth, or dadda; got '{other}'"
+        )),
+    }
+}
+
 fn parse_depth(s: &str) -> Result<ModelDepth, String> {
     match s {
         "shallow" => Ok(ModelDepth::Shallow),
@@ -207,11 +232,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         .to_string();
     let bits = flags.usize_list_or("--bits", &[3, 4, 5, 6, 7, 8])?;
     let epochs = flags.usize_or("--epochs", 300)?;
-    let kind = match flags.get("--kind").unwrap_or("csa") {
-        "csa" => MultiplierKind::Csa,
-        "booth" => MultiplierKind::Booth,
-        other => return Err(format!("--kind expects csa or booth, got '{other}'")),
-    };
+    let kind = parse_kind(flags.get("--kind").unwrap_or("csa"))?;
     let depth = parse_depth(flags.get("--depth").unwrap_or("shallow"))?;
     let seed: u64 = match flags.get("--seed") {
         None => ReasonerConfig::default().seed,
@@ -324,6 +345,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let cache_capacity = flags.usize_or("--cache", defaults.cache_capacity)?;
     let queue_capacity = flags.usize_or("--queue-cap", defaults.queue_capacity)?;
     let linger_micros = flags.usize_or("--linger", defaults.linger_micros as usize)? as u64;
+    let intra_threads = flags.usize_or("--intra-threads", 0)?;
     let kind = if flags.has("--extract") {
         AnalysisKind::ExtractAdders
     } else {
@@ -345,6 +367,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             queue_capacity,
             linger_micros,
             layer_timing: flags.has("--layer-times"),
+            intra_threads,
         },
     );
 
@@ -487,7 +510,13 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let model_path = flags
         .get("--model")
         .ok_or("bench-serve requires --model MODEL.gsnap")?;
-    let bits = flags.usize_or("--bits", 16)?;
+    // Several widths turn the run into a scaling sweep: the first width
+    // drives the classic cold/hot batch-size rows (comparable with earlier
+    // baselines), every width gets a cold nodes/sec measurement with the
+    // thread pool and with kernels forced single-threaded.
+    let bits_list = flags.usize_list_or("--bits", &[16])?;
+    let &bits = bits_list.first().ok_or("--bits needs at least one width")?;
+    let kind = parse_kind(flags.get("--kind").unwrap_or("csa"))?;
     let count = flags.usize_or("--count", 64)?;
     let batch_sizes = flags.usize_list_or("--batches", &[1, 8, 64])?;
     let workers = flags.usize_or("--workers", 1)?;
@@ -498,6 +527,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     // baselines); any positive value also triggers the saturation run.
     let queue_cap = flags.usize_or("--queue-cap", 0)?;
     let deadline_micros = flags.usize_or("--deadline", 0)? as u64;
+    let intra_threads = flags.usize_or("--intra-threads", 0)?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
@@ -514,9 +544,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         loaded.quantise();
     }
     let reasoner = Arc::new(loaded);
-    let subject = generate_multiplier(MultiplierKind::Csa, bits);
+    let subject = generate_multiplier(kind, bits);
     eprintln!(
-        "bench-serve: {count} submissions of a {bits}-bit CSA multiplier ({} nodes), \
+        "bench-serve: {count} submissions of a {bits}-bit {kind} multiplier ({} nodes), \
          {shards} shard(s){} ...",
         subject.aig.num_nodes(),
         if quant { ", quantised weights" } else { "" }
@@ -526,6 +556,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         queue_capacity: queue_cap,
         linger_micros,
         layer_timing: flags.has("--layer-times"),
+        intra_threads,
         ..ServeConfig::default()
     };
 
@@ -605,6 +636,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         ("command", Json::str("bench-serve")),
         ("model", Json::str(model_path)),
         ("subject_bits", Json::uint(bits)),
+        ("subject_kind", Json::str(kind.to_string())),
         ("subject_nodes", Json::uint(subject.aig.num_nodes())),
         ("submissions", Json::uint(count)),
         ("workers", Json::uint(workers)),
@@ -619,6 +651,12 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             ]),
         ),
     ];
+    if bits_list.len() > 1 {
+        fields.push((
+            "scaling",
+            bench_scaling_sweep(&reasoner, kind, &bits_list, count, base)?,
+        ));
+    }
     if let Some(f32_twin) = &f32_twin {
         fields.push((
             "quantisation",
@@ -664,6 +702,125 @@ fn latency_block(metrics: &Snapshot) -> Json {
         }
     }
     Json::Obj(fields)
+}
+
+/// Scaling sweep over subject widths: for every `--bits` entry, measure
+/// the cold serve path (cache off, batch 1) with the thread pool and with
+/// kernels forced single-threaded, reporting nodes/sec plus the
+/// assembly/forward stage split from the per-stage histograms. This is the
+/// "fast at the paper's scale" trajectory: 2.6k-node toys up to
+/// million-node multipliers through the same serve path.
+fn bench_scaling_sweep(
+    reasoner: &Arc<GamoraReasoner>,
+    kind: MultiplierKind,
+    bits_list: &[usize],
+    count: usize,
+    base: ServeConfig,
+) -> Result<Json, String> {
+    let base_nodes = generate_multiplier(kind, bits_list[0]).aig.num_nodes();
+    let mut widths = Vec::new();
+    for &w in bits_list {
+        let subject = generate_multiplier(kind, w);
+        let nodes = subject.aig.num_nodes();
+        // Keep the total node budget roughly constant across widths so a
+        // 256-bit entry submits a few million-node subjects instead of
+        // `count` of them.
+        let subs = ((count * base_nodes) / nodes.max(1)).clamp(2, count.max(2));
+        eprintln!("  scaling {w:>4}-bit {kind}: {nodes} nodes x {subs} cold submissions ...");
+        let (pool_nps, pool) = scaling_run(reasoner, base, base.intra_threads, &subject.aig, subs)?;
+        let (single_nps, single) = scaling_run(reasoner, base, 1, &subject.aig, subs)?;
+        let speedup = pool_nps / single_nps;
+        eprintln!(
+            "  scaling {w:>4}-bit {kind}: pool {pool_nps:>12.0} nodes/sec   \
+             1-thread {single_nps:>12.0} nodes/sec   speedup {speedup:.2}x"
+        );
+        widths.push(Json::obj([
+            ("bits", Json::uint(w)),
+            ("nodes", Json::uint(nodes)),
+            ("aig_edges", Json::uint(2 * subject.aig.num_ands())),
+            ("submissions", Json::uint(subs)),
+            ("pool", pool),
+            ("single_thread", single),
+            ("parallel_speedup", Json::Num(speedup)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("kind", Json::str(kind.to_string())),
+        (
+            "host_threads",
+            Json::uint(gamora_gnn::parallel::num_threads()),
+        ),
+        ("widths", Json::Arr(widths)),
+    ]))
+}
+
+/// One cold scaling measurement: batch 1, cache off, the given intra-op
+/// thread budget. The first submission warms the worker scratch to the
+/// subject's high-water mark; the timed submissions then measure the
+/// steady state. Returns (nodes/sec, report row).
+fn scaling_run(
+    reasoner: &Arc<GamoraReasoner>,
+    base: ServeConfig,
+    intra_threads: usize,
+    aig: &Aig,
+    subs: usize,
+) -> Result<(f64, Json), String> {
+    let server = Server::start_shared(
+        Arc::clone(reasoner),
+        ServeConfig {
+            max_batch: 1,
+            cache_capacity: 0,
+            intra_threads,
+            ..base
+        },
+    );
+    server
+        .submit(aig.clone(), AnalysisKind::Classify)
+        .map_err(|e| format!("serving failed: {e}"))?
+        .wait()
+        .map_err(|e| format!("serving failed: {e}"))?;
+    let t0 = Instant::now();
+    server
+        .submit_all(
+            (0..subs)
+                .map(|_| (aig.clone(), AnalysisKind::Classify))
+                .collect(),
+        )
+        .map_err(|e| format!("serving failed: {e}"))?;
+    let wall = t0.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    server.shutdown();
+    let aigs_per_sec = subs as f64 / wall;
+    let nodes_per_sec = aigs_per_sec * aig.num_nodes() as f64;
+    // p50 rather than mean: the warmup submission is in the histograms
+    // and its first-touch growth would skew a mean at small sub counts.
+    let stage_p50 = |name: &str| {
+        metrics
+            .histogram(name)
+            .map_or(Json::Null, |h| Json::u64(h.percentile(0.50)))
+    };
+    let resolved = if intra_threads > 0 {
+        intra_threads
+    } else {
+        (gamora_gnn::parallel::num_threads() / base.workers.max(1)).max(1)
+    };
+    Ok((
+        nodes_per_sec,
+        Json::obj([
+            ("intra_threads", Json::uint(resolved)),
+            ("cold_aigs_per_sec", Json::Num(aigs_per_sec)),
+            ("nodes_per_sec", Json::Num(nodes_per_sec)),
+            (
+                "assemble_micros_p50",
+                stage_p50("stage_batch_assemble_micros"),
+            ),
+            ("forward_micros_p50", stage_p50("stage_gnn_forward_micros")),
+            (
+                "split_micros_p50",
+                stage_p50("stage_prediction_split_micros"),
+            ),
+        ]),
+    ))
 }
 
 /// Quantisation accuracy sidebar for `--quant` runs: per-task argmax

@@ -115,6 +115,15 @@ pub struct ServeConfig {
     /// reads per layer per forward pass — still cheap, but opt-in so the
     /// default hot path stays minimal.
     pub layer_timing: bool,
+    /// Intra-subject parallelism budget per worker: the number of threads
+    /// each worker's kernel and assembly calls may fan out over
+    /// (million-node subjects parallelise CSR assembly, feature encoding,
+    /// aggregation, and GEMM row blocks). `0` (the default) divides the
+    /// machine's thread budget — `GAMORA_THREADS` if set, detected cores
+    /// otherwise — evenly across `workers`, so worker-level and
+    /// intra-subject parallelism never oversubscribe the machine. `1`
+    /// forces fully serial kernels per worker.
+    pub intra_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +135,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             linger_micros: 200,
             layer_timing: false,
+            intra_threads: 0,
         }
     }
 }
@@ -383,6 +393,14 @@ impl Server {
             queue_capacity: config.queue_capacity,
             linger: Duration::from_micros(config.linger_micros),
         });
+        // Split the machine's thread budget across the pool: N workers
+        // each fanning kernels over the full core count would oversubscribe
+        // quadratically under load.
+        let intra_threads = if config.intra_threads > 0 {
+            config.intra_threads
+        } else {
+            (gamora_gnn::parallel::num_threads() / config.workers).max(1)
+        };
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -390,6 +408,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("gamora-serve-{i}"))
                     .spawn(move || {
+                        gamora_gnn::parallel::set_intra_threads(intra_threads);
                         let mut state = WorkerState {
                             scratch: model.scratch(),
                             batch_ws: model.batch_scratch(),

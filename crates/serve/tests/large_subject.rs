@@ -1,0 +1,93 @@
+//! Release-mode large-subject smoke guard: a 64-bit multiplier (~41k
+//! nodes, well above `parallel`'s per-thread row cutoff) travels the full
+//! serve path — ingress, batch assembly through the sectioned CSR build,
+//! the tiled forward pass, prediction split — and the answers are
+//! **bit-identical** to a direct in-process `predict`. On multi-core CI
+//! runners the server side engages the scoped-thread fan-out while the
+//! direct reference can be pinned serial, so this doubles as an
+//! end-to-end parallel/serial equivalence check at production scale.
+//!
+//! Debug-profile forwards at this size are painfully slow on the 1-core
+//! runner, so the test body only runs under `--release` (CI invokes it in
+//! the release hot-path guard block).
+
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_circuits::{generate_multiplier, MultiplierKind};
+use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+use std::sync::Arc;
+
+fn tiny_trained() -> GamoraReasoner {
+    let m = generate_multiplier(MultiplierKind::Csa, 3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 15,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+}
+
+#[test]
+fn sixty_four_bit_multiplier_end_to_end_matches_direct_predict() {
+    if cfg!(debug_assertions) {
+        eprintln!("large_subject: skipped in debug profile (release-only smoke guard)");
+        return;
+    }
+
+    let reasoner = Arc::new(tiny_trained());
+    let subject = generate_multiplier(MultiplierKind::Csa, 64);
+    assert!(
+        subject.aig.num_nodes() > 16_384,
+        "subject must exceed the parallel row cutoff (got {} nodes)",
+        subject.aig.num_nodes()
+    );
+
+    // Direct reference, kernels pinned serial on this thread: the ground
+    // truth the (possibly fanned-out) server must reproduce bitwise.
+    let prev_cap = gamora_gnn::parallel::intra_threads();
+    gamora_gnn::parallel::set_intra_threads(1);
+    let expected = reasoner.predict(&subject.aig);
+    gamora_gnn::parallel::set_intra_threads(prev_cap);
+    assert_eq!(expected.num_nodes(), subject.aig.num_nodes());
+
+    // Serve path: cache off so every submission pays a real cold miss,
+    // max_batch 2 so the pair below merges into one sectioned batch
+    // (2 x ~41k-node sections). intra_threads 0 = auto machine budget.
+    let server = Server::start_shared(
+        Arc::clone(&reasoner),
+        ServeConfig {
+            max_batch: 2,
+            workers: 1,
+            cache_capacity: 0,
+            linger_micros: 2_000,
+            intra_threads: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let outputs = server
+        .submit_all(vec![
+            (subject.aig.clone(), AnalysisKind::Classify),
+            (subject.aig.clone(), AnalysisKind::Classify),
+        ])
+        .expect("large-subject submissions complete");
+
+    assert_eq!(outputs.len(), 2);
+    for (i, out) in outputs.iter().enumerate() {
+        assert!(!out.cache_hit, "submission {i} must be a cold miss");
+        assert_eq!(
+            out.predictions, expected,
+            "submission {i}: served predictions must be bit-identical to \
+             the serial in-process reference"
+        );
+    }
+    server.shutdown();
+}
