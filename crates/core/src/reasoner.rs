@@ -417,6 +417,10 @@ impl GamoraReasoner {
         outs: &mut Vec<Predictions>,
         observer: Option<&dyn ForwardObserver>,
     ) -> BatchTimings {
+        // Chaos seam: `assemble` fires before the merged graph is built.
+        // An injected `err` is thrown as a typed payload; the serve layer
+        // catches it and answers the batch `AnalysisFailed`.
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::BatchAssemble);
         let assemble_start = Instant::now();
         assemble_batch_into(aigs, self.config.feature_mode, self.config.direction, batch);
         let assemble_micros = assemble_start.elapsed().as_micros() as u64;
@@ -438,6 +442,9 @@ impl GamoraReasoner {
         } = batch;
         let (forward_micros, decode_micros) =
             self.predict_prepared_into_observed(scratch, graph, features, merged, observer);
+        // Chaos seam: `split` fires after the forward pass but before any
+        // per-netlist output is written.
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::PredictionSplit);
         let scatter_start = Instant::now();
         for ((out, &aig), &start) in outs.iter_mut().zip(aigs).zip(offsets.iter()) {
             let end = start + aig.num_nodes();

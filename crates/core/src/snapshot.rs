@@ -388,6 +388,10 @@ fn read_v2_sections<R: Read>(
 /// Returns [`SnapshotError`] on I/O failure, wrong magic, unknown version,
 /// shape mismatch, or checksum mismatch.
 pub fn read_snapshot<R: Read>(r: R) -> Result<GamoraReasoner, SnapshotError> {
+    // Chaos seam: an injected `err` surfaces as a typed corruption error
+    // through the same path real corruption takes.
+    gamora_fault::hit(gamora_fault::FaultPoint::SnapshotLoad)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
     let mut r = HashingReader::new(BufReader::new(r));
 
     let mut magic = [0u8; 4];

@@ -1,0 +1,139 @@
+//! Fuzz hardening for the `.gsnap` snapshot reader (vendored proptest
+//! shim): a corrupted or truncated snapshot must come back as a typed
+//! [`SnapshotError`] — never a panic, and never an attempted allocation
+//! sized by attacker-controlled header fields (length fields are
+//! validated against the model skeleton *before* any buffer is sized).
+//!
+//! Why every single-byte corruption must fail: fields that survive
+//! semantic validation (e.g. the stored seed) are still covered by the
+//! trailing Fx checksum, whose per-field fold is bijective in each
+//! 8-byte chunk — equal-shaped streams that differ anywhere hash
+//! differently, so the checksum mismatch is the backstop. Run under
+//! `--release` in CI alongside the snapshot back-compat guard.
+
+use gamora::snapshot::{read_snapshot, write_snapshot};
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn trained_reasoner() -> GamoraReasoner {
+    let m = gamora_circuits::csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 10,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+}
+
+/// A valid v1 (f32) snapshot byte stream, built once.
+fn v1_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut buf = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 1);
+        buf
+    })
+}
+
+/// A valid v2 (section-tagged, quantised) snapshot byte stream.
+fn v2_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut reasoner = trained_reasoner();
+        reasoner.quantise();
+        let mut buf = Vec::new();
+        write_snapshot(&reasoner, &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 2);
+        buf
+    })
+}
+
+/// Flips one byte of `base` and asserts the reader returns a typed error
+/// (a no-op write — same byte value — keeps the stream valid and is
+/// skipped).
+fn assert_mutation_rejected(base: &[u8], pos: usize, value: u8, what: &str) {
+    if base[pos] == value {
+        return;
+    }
+    let mut bytes = base.to_vec();
+    bytes[pos] = value;
+    let result = read_snapshot(&bytes[..]);
+    assert!(
+        result.is_err(),
+        "{what}: byte {pos} set to {value:#04x} must be rejected, got a loaded model"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any single corrupted byte in a v1 stream yields `Err`, not a panic.
+    #[test]
+    fn v1_single_byte_corruption_is_rejected(pos in any::<u64>(), value in any::<u8>()) {
+        let base = v1_bytes();
+        assert_mutation_rejected(base, pos as usize % base.len(), value, "v1");
+    }
+
+    /// Any single corrupted byte in a v2 stream yields `Err`, not a panic.
+    #[test]
+    fn v2_single_byte_corruption_is_rejected(pos in any::<u64>(), value in any::<u8>()) {
+        let base = v2_bytes();
+        assert_mutation_rejected(base, pos as usize % base.len(), value, "v2");
+    }
+
+    /// Any strict prefix of a valid stream is rejected as truncated.
+    #[test]
+    fn truncated_snapshots_are_rejected(cut in any::<u64>(), v2 in any::<bool>()) {
+        let base = if v2 { v2_bytes() } else { v1_bytes() };
+        let cut = cut as usize % base.len(); // strictly shorter than the full stream
+        let result = read_snapshot(&base[..cut]);
+        prop_assert!(result.is_err(), "truncation at {cut}/{} must be rejected", base.len());
+    }
+}
+
+/// Header fields that size reads are validated against the model
+/// skeleton before any allocation: a 4-billion entry tensor count or
+/// scalar length comes back `Corrupt` immediately instead of attempting
+/// a multi-gigabyte `Vec`.
+#[test]
+fn huge_header_lengths_fail_before_allocating() {
+    let base = v1_bytes();
+    // Offsets in the v1 layout: magic(4) + version(4) + config(20), then
+    // the tensor count u32 at 28, then tensor 0's scalar-count u32 at 32.
+    for (offset, what) in [(28usize, "tensor count"), (32usize, "tensor 0 length")] {
+        let mut bytes = base.to_vec();
+        bytes[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_snapshot(&bytes[..]).expect_err(what);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("corrupt"),
+            "{what}: expected a Corrupt error, got: {msg}"
+        );
+    }
+}
+
+/// Cross-version confusion: relabelling a v1 stream as v2 (and vice
+/// versa) must fail the section parse or the shape checks, never panic.
+#[test]
+fn version_relabel_is_rejected() {
+    for (base, version) in [(v1_bytes(), 2u32), (v2_bytes(), 1u32)] {
+        let mut bytes = base.to_vec();
+        bytes[4..8].copy_from_slice(&version.to_le_bytes());
+        assert!(
+            read_snapshot(&bytes[..]).is_err(),
+            "a version-relabelled stream must be rejected"
+        );
+    }
+}

@@ -216,6 +216,10 @@ impl MultiTaskSage {
         scratch: &'a mut InferenceScratch,
         observer: Option<&dyn ForwardObserver>,
     ) -> &'a [Matrix] {
+        // Chaos seam: the `forward` fail point fires before any layer
+        // runs, so an injected failure never leaves scratch half-written
+        // relative to a completed pass. Disarmed cost: one relaxed load.
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::GnnForward);
         assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
         assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
         for (l, layer) in self.sage.iter().enumerate() {

@@ -16,7 +16,7 @@ use gamora_aig::{aiger, Aig};
 use gamora_circuits::{generate_multiplier, MultiplierKind};
 use gamora_obs::Snapshot;
 use gamora_serve::report::{histogram_json, serve_stats_json, stages_json, Json};
-use gamora_serve::router::ShardRouter;
+use gamora_serve::router::{RetryPolicy, ShardRouter};
 use gamora_serve::scheduler::{
     AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
 };
@@ -42,7 +42,7 @@ USAGE:
                        [--batches 1,8,64] [--workers N] [--shards N]
                        [--linger MICROS] [--queue-cap N] [--deadline MICROS]
                        [--quant] [--layer-times] [--metrics-out PATH]
-                       [--intra-threads N]
+                       [--intra-threads N] [--chaos SPEC] [--faults SPEC]
 
 --quant serves the i8-quantised weight store (per-output-column scales,
 f32 accumulation): ~4x smaller resident weights, argmax predictions
@@ -69,6 +69,20 @@ bench-serve extras:
     --deadline MICROS give saturation jobs a time-to-live; expired jobs are
                       rejected without a forward pass
     --linger MICROS   short-batch linger window for batch formation
+    --chaos SPEC      run the routed workload twice through the retrying
+                      ingress — clean, then with the fault spec armed —
+                      and report a `chaos` JSON block (throughput and p99
+                      vs the clean twin, worker respawns, quarantines,
+                      retries, failed/dropped jobs, fault fires)
+
+fault injection (infer and bench-serve):
+    --faults SPEC     arm deterministic fail points for the whole run
+                      (overrides the GAMORA_FAULTS environment variable).
+                      SPEC is `point:action[:trigger]` clauses joined by
+                      ';' — points admission|hash|cache|assemble|forward|
+                      split|snapshot|all, actions panic|err|delay(MICROS),
+                      triggers every=N|after=N|prob=P[,seed=S].
+                      Example: `all:panic:prob=0.05,seed=7`
 
 observability (infer and bench-serve):
     --metrics-out PATH  write the full metric registry (stage latency
@@ -83,6 +97,9 @@ bench-serve reports cold and hot stage latencies plus queue-depth and
 batch-size distributions, and per-shard stats when --shards > 1.";
 
 fn main() -> ExitCode {
+    // Arm fail points from GAMORA_FAULTS before any serving starts;
+    // `--faults SPEC` (below) overrides the environment.
+    gamora_fault::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
@@ -129,6 +146,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--deadline",
     "--metrics-out",
     "--intra-threads",
+    "--faults",
+    "--chaos",
 ];
 const SWITCH_FLAGS: &[&str] = &[
     "--extract",
@@ -297,6 +316,17 @@ fn read_aiger_file(path: &str) -> Result<Aig, String> {
     Ok(aig)
 }
 
+/// Honours `--faults SPEC`: arms the fail-point subsystem, overriding
+/// any `GAMORA_FAULTS` environment configuration. A no-op when the flag
+/// is absent.
+fn arm_faults(flags: &Flags) -> Result<(), String> {
+    if let Some(spec) = flags.get("--faults") {
+        let n = gamora_fault::configure(spec).map_err(|e| format!("--faults: {e}"))?;
+        eprintln!("fail points armed: {n} clause(s)");
+    }
+    Ok(())
+}
+
 /// Honours `--metrics-out PATH`: writes the snapshot as Prometheus-style
 /// text. A no-op when the flag is absent.
 fn write_metrics_out(flags: &Flags, snapshot: &Snapshot) -> Result<(), String> {
@@ -352,6 +382,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         AnalysisKind::Classify
     };
 
+    arm_faults(&flags)?;
     let mut reasoner =
         GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
     if flags.has("--quant") {
@@ -368,6 +399,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             linger_micros,
             layer_timing: flags.has("--layer-times"),
             intra_threads,
+            quarantine_ttl_micros: defaults.quarantine_ttl_micros,
         },
     );
 
@@ -531,6 +563,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    arm_faults(&flags)?;
 
     // One model instance serves every configuration: workers share it
     // through the `Arc`, no per-worker (or per-configuration) clones.
@@ -678,6 +711,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 &subject.aig,
             )?,
         ));
+    }
+    if let Some(spec) = flags.get("--chaos") {
+        fields.push(("chaos", bench_chaos(&reasoner, shards, base, spec, count)?));
     }
     let mut all_metrics = cold_metrics;
     all_metrics.merge(&hot_metrics);
@@ -937,6 +973,98 @@ fn bench_shard_affinity(
             Json::arr(per_shard.iter().map(serve_stats_json)),
         ),
         ("per_shard_stages", Json::Arr(per_shard_stages)),
+    ]))
+}
+
+/// Chaos run for `--chaos SPEC`: the same routed workload twice through
+/// the retrying ingress — once clean, once with the fault spec armed —
+/// so the report shows what self-healing costs (throughput, p99 versus
+/// the clean twin) and what it absorbed (respawns, quarantines, retries,
+/// failed jobs, fault fires). Distinct multiplier widths cycle through
+/// the submissions so a quarantined fingerprint never starves the whole
+/// run.
+fn bench_chaos(
+    reasoner: &Arc<GamoraReasoner>,
+    shards: usize,
+    base: ServeConfig,
+    spec: &str,
+    count: usize,
+) -> Result<Json, String> {
+    let subjects: Vec<Aig> = (3..11usize)
+        .map(|b| generate_multiplier(MultiplierKind::Csa, b).aig)
+        .collect();
+    let policy = RetryPolicy::default();
+    let run = |label: &str, armed_spec: Option<&str>| -> Result<Json, String> {
+        let router = ShardRouter::start(
+            Arc::clone(reasoner),
+            shards,
+            ServeConfig {
+                max_batch: 8,
+                cache_capacity: 64,
+                ..base
+            },
+        );
+        if let Some(s) = armed_spec {
+            gamora_fault::configure(s).map_err(|e| format!("--chaos: {e}"))?;
+        }
+        let jobs: Vec<(Aig, AnalysisKind)> = (0..count)
+            .map(|i| (subjects[i % subjects.len()].clone(), AnalysisKind::Classify))
+            .collect();
+        let t0 = Instant::now();
+        let outcomes = router.submit_all_retrying(jobs, &policy);
+        let wall = t0.elapsed().as_secs_f64();
+        let fires = if armed_spec.is_some() {
+            gamora_fault::disarm();
+            gamora_fault::fired_total()
+        } else {
+            0
+        };
+        let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::AnalysisFailed)))
+            .count();
+        let dropped = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::JobDropped)))
+            .count();
+        let metrics = router.metrics();
+        let stats = router.shutdown();
+        let p99 = metrics
+            .histogram("latency_e2e_micros")
+            .map_or(Json::Null, |h| {
+                if h.is_empty() {
+                    Json::Null
+                } else {
+                    Json::u64(h.percentile(0.99))
+                }
+            });
+        eprintln!(
+            "  chaos[{label}]: {completed}/{count} completed in {wall:.2}s \
+             (respawns {}, quarantines {}, retries {}, failed {failed}, dropped {dropped})",
+            stats.workers_respawned, stats.quarantines, stats.retries
+        );
+        Ok(Json::obj([
+            ("aigs_per_sec", Json::Num(count as f64 / wall)),
+            ("completed", Json::uint(completed)),
+            ("failed", Json::uint(failed)),
+            ("dropped", Json::uint(dropped)),
+            ("p99_e2e_micros", p99),
+            ("workers_respawned", Json::u64(stats.workers_respawned)),
+            ("quarantines", Json::u64(stats.quarantines)),
+            ("retries", Json::u64(stats.retries)),
+            ("jobs_failed", Json::u64(stats.jobs_failed)),
+            ("jobs_dropped", Json::u64(stats.jobs_dropped)),
+            ("fault_fires", Json::u64(fires)),
+        ]))
+    };
+    let clean = run("clean", None)?;
+    let faulted = run("faulted", Some(spec))?;
+    Ok(Json::obj([
+        ("spec", Json::str(spec)),
+        ("submissions", Json::uint(count)),
+        ("clean", clean),
+        ("faulted", faulted),
     ]))
 }
 

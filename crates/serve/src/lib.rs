@@ -20,7 +20,13 @@
 //!   admission (`try_submit` → `SubmitError::Overloaded`), a linger
 //!   window so trickling traffic still forms real batches, per-job
 //!   deadlines honoured before the forward pass, and fail-fast
-//!   submission once shutdown begins.
+//!   submission once shutdown begins. It is also **self-healing**: a
+//!   supervisor respawns workers killed by panicking batches,
+//!   submissions that repeatedly kill workers are quarantined by
+//!   structural fingerprint, and `Server::health` reports
+//!   healthy/degraded/shutting-down. The `gamora-fault` crate's fail
+//!   points (armable via `GAMORA_FAULTS` or `--faults`) make every one
+//!   of those recovery paths provokable on demand in tests and benches.
 //! * [`router`] — a structural-hash [`ShardRouter`]: N `Server` shards
 //!   over one `Arc`'d model, each with its own queue and prediction
 //!   cache; repeats of a netlist always land on the shard whose cache is
@@ -70,7 +76,8 @@ pub mod scheduler;
 pub use cache::{CacheEntry, CacheKey, CacheMetrics, GraphSignature, HitKind, PredictionCache};
 pub use metrics::{LayerObserver, ServeMetrics};
 pub use report::Json;
-pub use router::ShardRouter;
+pub use router::{RetryPolicy, ShardRouter};
 pub use scheduler::{
-    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
+    AnalysisKind, Health, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server,
+    SubmitError,
 };

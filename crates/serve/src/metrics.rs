@@ -88,10 +88,21 @@ pub struct ServeMetrics {
     pub jobs_dropped: Arc<Counter>,
     /// Admitted jobs rejected on an expired deadline.
     pub jobs_expired: Arc<Counter>,
+    /// Admitted jobs answered `ServeError::AnalysisFailed` (injected
+    /// stage errors, quarantined fingerprints).
+    pub jobs_failed: Arc<Counter>,
     /// Submissions refused at the door with `Overloaded`.
     pub rejected_overload: Arc<Counter>,
+    /// Dead worker threads respawned by the supervisor.
+    pub workers_respawned: Arc<Counter>,
+    /// Fingerprints quarantined after repeated batch panics.
+    pub quarantines: Arc<Counter>,
     /// High-water mark of the queue depth.
     pub peak_queued: Arc<Gauge>,
+    /// Current health state (0 = healthy, 1 = degraded, 2 = shutting
+    /// down); refreshed on every `health()`/`stats()` read. Gauges merge
+    /// by max, so a fleet snapshot reports the *worst* shard.
+    pub health: Arc<Gauge>,
 
     /// Submit entry → admission (includes blocking waits for space).
     pub stage_admission: Arc<Histogram>,
@@ -138,8 +149,12 @@ impl ServeMetrics {
             cache_misses: reg.counter("serve_cache_misses_total"),
             jobs_dropped: reg.counter("serve_jobs_dropped_total"),
             jobs_expired: reg.counter("serve_jobs_expired_total"),
+            jobs_failed: reg.counter("serve_jobs_failed_total"),
             rejected_overload: reg.counter("serve_rejected_overload_total"),
+            workers_respawned: reg.counter("serve_workers_respawned_total"),
+            quarantines: reg.counter("serve_quarantines_total"),
             peak_queued: reg.gauge("serve_peak_queued"),
+            health: reg.gauge("serve_health"),
             stage_admission: reg.histogram("stage_admission_micros"),
             stage_queue_wait: reg.histogram("stage_queue_wait_micros"),
             stage_linger: reg.histogram("stage_linger_micros"),

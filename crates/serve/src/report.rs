@@ -183,7 +183,9 @@ impl fmt::Display for Json {
 /// The canonical JSON rendering of a server's counters, shared by every
 /// `gamora` subcommand so reports stay field-compatible. Includes the
 /// overload-hardening counters (`jobs_dropped`, `jobs_expired`,
-/// `rejected_overload`, `peak_queued`) alongside the serving totals.
+/// `rejected_overload`, `peak_queued`) and the self-healing counters
+/// (`jobs_failed`, `workers_respawned`, `quarantines`, `retries`,
+/// `health`) alongside the serving totals.
 pub fn serve_stats_json(stats: &ServeStats) -> Json {
     Json::obj([
         ("jobs_submitted", Json::u64(stats.jobs_submitted)),
@@ -194,8 +196,13 @@ pub fn serve_stats_json(stats: &ServeStats) -> Json {
         ("cache_misses", Json::u64(stats.cache_misses)),
         ("jobs_dropped", Json::u64(stats.jobs_dropped)),
         ("jobs_expired", Json::u64(stats.jobs_expired)),
+        ("jobs_failed", Json::u64(stats.jobs_failed)),
         ("rejected_overload", Json::u64(stats.rejected_overload)),
+        ("workers_respawned", Json::u64(stats.workers_respawned)),
+        ("quarantines", Json::u64(stats.quarantines)),
+        ("retries", Json::u64(stats.retries)),
         ("peak_queued", Json::u64(stats.peak_queued)),
+        ("health", Json::str(stats.health.name())),
     ])
 }
 
@@ -398,8 +405,13 @@ mod tests {
             cache_misses: 4,
             jobs_dropped: 1,
             jobs_expired: 2,
+            jobs_failed: 3,
             rejected_overload: 7,
+            workers_respawned: 4,
+            quarantines: 1,
+            retries: 8,
             peak_queued: 6,
+            health: crate::scheduler::Health::Degraded,
         };
         let rendered = serve_stats_json(&stats).compact();
         for field in [
@@ -407,8 +419,13 @@ mod tests {
             "\"jobs\":9",
             "\"jobs_dropped\":1",
             "\"jobs_expired\":2",
+            "\"jobs_failed\":3",
             "\"rejected_overload\":7",
+            "\"workers_respawned\":4",
+            "\"quarantines\":1",
+            "\"retries\":8",
             "\"peak_queued\":6",
+            "\"health\":\"degraded\"",
         ] {
             assert!(rendered.contains(field), "{field} missing from {rendered}");
         }

@@ -25,12 +25,14 @@
 
 use crate::cache::GraphSignature;
 use crate::scheduler::{
-    AnalysisKind, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server, SubmitError,
+    AnalysisKind, Health, JobOutput, JobTicket, ServeConfig, ServeError, ServeStats, Server,
+    SubmitError,
 };
 use gamora::GamoraReasoner;
 use gamora_aig::hasher::structural_fingerprint;
 use gamora_aig::Aig;
 use gamora_obs::Snapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +45,57 @@ pub struct ShardRouter {
     /// unused by the workers, so routing computes only the whole-graph
     /// fingerprint (one O(nodes) pass, no retained per-node hash vector).
     hashing_enabled: bool,
+    /// Transient-failure retries performed by
+    /// [`ShardRouter::submit_all_retrying`]; folded into
+    /// [`ShardRouter::stats`].
+    retries: AtomicU64,
+}
+
+/// Bounded, deterministic retry policy for
+/// [`ShardRouter::submit_all_retrying`]: transient refusals —
+/// [`SubmitError::Overloaded`] at admission, [`ServeError::JobDropped`]
+/// when a worker died under the job — are retried with exponential
+/// backoff; terminal answers ([`ServeError::AnalysisFailed`],
+/// [`ServeError::DeadlineExpired`]) are returned as-is.
+#[derive(Copy, Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum retries per job on top of its first attempt.
+    pub max_retries: u32,
+    /// Base backoff: retry `k` (0-based) sleeps `backoff_micros << k`
+    /// (deterministic — chaos tests replay identically; no jitter
+    /// source is needed inside one process).
+    pub backoff_micros: u64,
+    /// Absolute give-up time: once reached, no further retry is
+    /// scheduled and the job resolves with what it has. Also shipped to
+    /// the shards as the per-job deadline, so queued work respects it
+    /// too.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_micros: 500,
+            deadline: None,
+        }
+    }
+}
+
+/// Sleeps retry `attempt`'s backoff, clamped to the policy deadline.
+/// Returns `false` — without sleeping — when the deadline has already
+/// passed, telling the caller to stop retrying.
+fn backoff_sleep(policy: &RetryPolicy, attempt: u32) -> bool {
+    let scale = 1u64 << attempt.min(16);
+    let mut pause = Duration::from_micros(policy.backoff_micros.saturating_mul(scale));
+    if let Some(deadline) = policy.deadline {
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            return false;
+        };
+        pause = pause.min(left);
+    }
+    std::thread::sleep(pause);
+    true
 }
 
 /// A routed submission: the target shard plus the signature to ship with
@@ -74,6 +127,7 @@ impl ShardRouter {
         ShardRouter {
             shards,
             hashing_enabled: config.cache_capacity > 0,
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -199,14 +253,131 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Aggregated counters over all shards (sums; `peak_queued` is the
-    /// max across shards).
+    /// One non-blocking admission attempt with Overloaded-retry: routes
+    /// `aig`, tries its shard, and on [`SubmitError::Overloaded`] backs
+    /// off and retries while `attempts` has budget left. `None` means
+    /// the job could not be admitted (budget or deadline exhausted, or
+    /// the fleet is shutting down).
+    fn admit_retrying(
+        &self,
+        aig: &Aig,
+        kind: AnalysisKind,
+        policy: &RetryPolicy,
+        attempts: &mut u32,
+    ) -> Option<JobTicket> {
+        loop {
+            let r = self.route(aig);
+            match self.shards[r.shard].submit_routed(
+                aig.clone(),
+                kind,
+                r.sig,
+                policy.deadline,
+                false,
+            ) {
+                Ok(ticket) => return Some(ticket),
+                Err(SubmitError::Overloaded) => {
+                    if *attempts >= policy.max_retries || !backoff_sleep(policy, *attempts) {
+                        return None;
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    *attempts += 1;
+                }
+                Err(SubmitError::ShuttingDown) => return None,
+            }
+        }
+    }
+
+    /// [`ShardRouter::submit_all`] with per-job outcomes and bounded
+    /// retry around transient failures — the degraded-conditions
+    /// ingress. Unlike `submit_all`, it never fails wholesale: every job
+    /// gets exactly one terminal `Result`, in input order.
+    ///
+    /// * Admission [`SubmitError::Overloaded`] (shed queues, injected
+    ///   admission faults) and [`ServeError::JobDropped`] (the job's
+    ///   worker died mid-batch and was respawned) are *transient*:
+    ///   retried up to [`RetryPolicy::max_retries`] times with
+    ///   deterministic exponential backoff, then reported as
+    ///   [`ServeError::JobDropped`].
+    /// * [`ServeError::AnalysisFailed`] (injected stage error, or the
+    ///   submission is quarantined for killing workers) and
+    ///   [`ServeError::DeadlineExpired`] are *terminal*: retrying a
+    ///   poison job would just respawn-loop the pool.
+    ///
+    /// Jobs are admitted as one pass first (so shards batch the burst)
+    /// and waited on in input order; a retried job re-routes from
+    /// scratch, which matters when its shard is the one that just lost a
+    /// worker.
+    pub fn submit_all_retrying(
+        &self,
+        jobs: Vec<(Aig, AnalysisKind)>,
+        policy: &RetryPolicy,
+    ) -> Vec<Result<JobOutput, ServeError>> {
+        let n = jobs.len();
+        let mut results: Vec<Option<Result<JobOutput, ServeError>>> =
+            (0..n).map(|_| None).collect();
+        // Phase A: admit everything (index, subject, kind, retries spent,
+        // ticket). Jobs that exhaust admission resolve immediately.
+        let mut pending: Vec<(usize, Aig, AnalysisKind, u32, Option<JobTicket>)> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (aig, kind))| (i, aig, kind, 0u32, None))
+            .collect();
+        for slot in &mut pending {
+            let (i, aig, kind, attempts, ticket) = slot;
+            *ticket = self.admit_retrying(aig, *kind, policy, attempts);
+            if ticket.is_none() {
+                results[*i] = Some(Err(ServeError::JobDropped));
+            }
+        }
+        // Phase B: wait in input order; dropped jobs are resubmitted with
+        // whatever retry budget they have left.
+        for (i, aig, kind, mut attempts, ticket) in pending {
+            let Some(mut current) = ticket else { continue };
+            let outcome = loop {
+                match current.wait() {
+                    Ok(out) => break Ok(out),
+                    Err(ServeError::JobDropped) => {
+                        if attempts >= policy.max_retries || !backoff_sleep(policy, attempts) {
+                            break Err(ServeError::JobDropped);
+                        }
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        attempts += 1;
+                        match self.admit_retrying(&aig, kind, policy, &mut attempts) {
+                            Some(ticket) => current = ticket,
+                            None => break Err(ServeError::JobDropped),
+                        }
+                    }
+                    Err(terminal) => break Err(terminal),
+                }
+            };
+            results[i] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job resolved"))
+            .collect()
+    }
+
+    /// Aggregated counters over all shards (sums; `peak_queued` and
+    /// `health` merge by max) plus this router's retry count.
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for shard in &self.shards {
             total.merge(&shard.stats());
         }
+        total.retries += self.retries.load(Ordering::Relaxed);
         total
+    }
+
+    /// Fleet health: the *worst* state across the shards (the same
+    /// max-merge rule as [`ServeStats::merge`] and the `serve_health`
+    /// gauge).
+    pub fn health(&self) -> Health {
+        self.shards
+            .iter()
+            .map(Server::health)
+            .max()
+            .unwrap_or_default()
     }
 
     /// Per-shard counters, in shard order.
@@ -243,9 +414,13 @@ impl ShardRouter {
     /// stats.
     pub fn shutdown(self) -> ServeStats {
         // Flip every shard's flag first so they drain concurrently, then
-        // join them one by one.
+        // join them one by one. The retry counter lives on the router,
+        // not the shards, so fold it in here like `stats()` does.
         self.begin_shutdown();
-        let mut total = ServeStats::default();
+        let mut total = ServeStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            ..ServeStats::default()
+        };
         for shard in self.shards {
             total.merge(&shard.shutdown());
         }

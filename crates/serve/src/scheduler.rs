@@ -32,6 +32,30 @@
 //!   `submit` variant fails fast with [`SubmitError::ShuttingDown`] — a
 //!   job can never be enqueued into a queue no worker will drain.
 //!
+//! The serve loop is also **self-healing** (PR 8):
+//!
+//! * **Worker supervision.** A batch panic kills its worker thread (a
+//!   fresh thread is strictly safer than one whose scratch may be
+//!   half-written); a supervisor thread detects the death and respawns
+//!   the worker with a fresh [`WorkerState`], reusing the `Arc`'d model.
+//!   Respawns are counted in `workers_respawned`.
+//! * **Poison quarantine.** A structural fingerprint present in two
+//!   panicking batches is quarantined for
+//!   [`ServeConfig::quarantine_ttl_micros`]: further submissions of it
+//!   are answered [`ServeError::AnalysisFailed`] without touching the
+//!   model, so one pathological netlist costs a couple of batches, not
+//!   the fleet's throughput. (Attribution is batch-level: innocent
+//!   companions of a poison job can collect a strike; the TTL bounds the
+//!   damage.)
+//! * **Health.** [`Server::health`] derives `Healthy`/`Degraded`/
+//!   `ShuttingDown` from the shutdown flag, active quarantines, and the
+//!   recency of incidents (sheds, panics, respawns).
+//!
+//! Every stage checks a deterministic fail point (`gamora-fault`), so
+//! chaos tests can provoke each of these paths on demand; disarmed, each
+//! check is one relaxed atomic load (guarded by the `fault_overhead`
+//! test).
+//!
 //! Built on `std::thread` + `std::sync::mpsc` channels only (the same
 //! no-external-runtime discipline as `gamora_gnn::parallel`). The server
 //! holds exactly **one** trained reasoner behind an [`Arc`]; inference is
@@ -57,9 +81,11 @@ use gamora::{
 use gamora_aig::hasher::FxHashMap;
 use gamora_aig::Aig;
 use gamora_exact::ExtractedAdder;
+use gamora_fault::FaultPoint;
 use gamora_obs::{Registry, Snapshot, StageTimer};
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -124,6 +150,13 @@ pub struct ServeConfig {
     /// intra-subject parallelism never oversubscribe the machine. `1`
     /// forces fully serial kernels per worker.
     pub intra_threads: usize,
+    /// How long a poisoned fingerprint (two batch panics) stays
+    /// quarantined, in microseconds. While quarantined, submissions of
+    /// that fingerprint are answered [`ServeError::AnalysisFailed`]
+    /// without running the model. Quarantine needs structural hashing
+    /// (`cache_capacity > 0`); in cold mode no fingerprints exist, so
+    /// nothing is ever quarantined.
+    pub quarantine_ttl_micros: u64,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +169,7 @@ impl Default for ServeConfig {
             linger_micros: 200,
             layer_timing: false,
             intra_threads: 0,
+            quarantine_ttl_micros: 5_000_000,
         }
     }
 }
@@ -190,6 +224,13 @@ pub enum ServeError {
     /// [`JobTicket::wait_timeout`] gave up waiting. The job is still
     /// queued or running and may complete later.
     WaitTimeout,
+    /// The analysis could not be produced: the job's fingerprint is
+    /// quarantined after repeated batch panics, or a serve stage failed
+    /// (an injected stage error in chaos runs). Unlike
+    /// [`ServeError::JobDropped`] this is a *definitive* answer —
+    /// resubmitting the same netlist before the quarantine TTL lapses
+    /// fails again.
+    AnalysisFailed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -200,6 +241,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "job deadline expired before a worker reached it")
             }
             ServeError::WaitTimeout => write!(f, "timed out waiting for the job to complete"),
+            ServeError::AnalysisFailed => {
+                write!(f, "analysis failed (stage error or quarantined submission)")
+            }
         }
     }
 }
@@ -258,13 +302,48 @@ pub(crate) struct Job {
     pub(crate) tx: mpsc::Sender<Result<JobOutput, ServeError>>,
 }
 
+/// Server health, derived from the failure counters (see
+/// [`Server::health`]). Ordered by severity so multi-shard views can
+/// take the worst (`max`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Health {
+    /// No shutdown, no active quarantine, no recent incident.
+    #[default]
+    Healthy = 0,
+    /// A fingerprint is quarantined, or an incident (overload shed,
+    /// batch panic, worker respawn) happened within the last
+    /// [`INCIDENT_WINDOW`]. The server still serves.
+    Degraded = 1,
+    /// Shutdown has begun; new submissions fail fast.
+    ShuttingDown = 2,
+}
+
+impl Health {
+    /// Stable lowercase name (used in bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// How long after the last incident (shed, panic, respawn, failed job)
+/// a server still reports [`Health::Degraded`].
+pub const INCIDENT_WINDOW: Duration = Duration::from_millis(500);
+
 /// A point-in-time snapshot of server counters.
 ///
 /// Completion accounting is exact: every admitted job is eventually
 /// counted in exactly one of `jobs` (answered), `jobs_expired` (deadline
-/// rejection) or `jobs_dropped` (batch panic / shutdown), so after a
-/// drained shutdown `jobs_submitted == jobs + jobs_expired + jobs_dropped`
-/// and `jobs == cache_hits + cache_misses`.
+/// rejection), `jobs_failed` (quarantined / stage-failed, answered
+/// [`ServeError::AnalysisFailed`]) or `jobs_dropped` (batch panic /
+/// shutdown), so after a drained shutdown
+/// `jobs_submitted == jobs + jobs_expired + jobs_failed + jobs_dropped`
+/// and `jobs == cache_hits + cache_misses`. Retried submissions (see
+/// [`ShardRouter::submit_all_retrying`](crate::router::ShardRouter::submit_all_retrying))
+/// count as fresh submissions, so the identity holds under retry too.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Jobs admitted into the queue (tickets issued).
@@ -286,12 +365,25 @@ pub struct ServeStats {
     /// Admitted jobs rejected because their deadline expired before a
     /// worker reached them (no forward pass was spent).
     pub jobs_expired: u64,
+    /// Admitted jobs answered [`ServeError::AnalysisFailed`]
+    /// (quarantined fingerprints, injected stage errors).
+    pub jobs_failed: u64,
     /// `try_submit` calls refused at the door with
     /// [`SubmitError::Overloaded`] (these never count as submitted).
     pub rejected_overload: u64,
+    /// Dead worker threads respawned by the supervisor.
+    pub workers_respawned: u64,
+    /// Fingerprints quarantined after repeated batch panics.
+    pub quarantines: u64,
+    /// Resubmissions performed by the retrying router entry point
+    /// (always `0` for a bare [`Server`]; filled in by
+    /// [`ShardRouter::stats`](crate::router::ShardRouter::stats)).
+    pub retries: u64,
     /// High-water mark of the queue depth (bounded by `queue_capacity`
     /// when one is set).
     pub peak_queued: u64,
+    /// Health at snapshot time (multi-shard merges keep the worst).
+    pub health: Health,
 }
 
 impl ServeStats {
@@ -306,8 +398,13 @@ impl ServeStats {
         self.cache_misses += other.cache_misses;
         self.jobs_dropped += other.jobs_dropped;
         self.jobs_expired += other.jobs_expired;
+        self.jobs_failed += other.jobs_failed;
         self.rejected_overload += other.rejected_overload;
+        self.workers_respawned += other.workers_respawned;
+        self.quarantines += other.quarantines;
+        self.retries += other.retries;
         self.peak_queued = self.peak_queued.max(other.peak_queued);
+        self.health = self.health.max(other.health);
     }
 }
 
@@ -316,6 +413,27 @@ impl ServeStats {
 struct QueueState {
     jobs: VecDeque<Job>,
     shutdown: bool,
+}
+
+/// Strike record of a fingerprint seen in panicking batches.
+struct QuarantineEntry {
+    strikes: u32,
+    /// `Some(deadline)` once quarantined; `None` while accumulating
+    /// strikes.
+    until: Option<Instant>,
+    /// Last strike time — lets stale strike-only entries be purged so
+    /// the map cannot grow without bound under sustained chaos.
+    last_strike: Instant,
+}
+
+/// Batch panics before a fingerprint is quarantined.
+const QUARANTINE_STRIKES: u32 = 2;
+
+/// Supervisor-facing lifecycle state: indices of workers that died by
+/// panic (pushed by their [`DeathNotice`] guards) plus the stop flag.
+struct Lifecycle {
+    dead: Vec<usize>,
+    stop: bool,
 }
 
 struct Shared {
@@ -340,12 +458,190 @@ struct Shared {
     /// `0` = unbounded.
     queue_capacity: usize,
     linger: Duration,
+    /// Server start time; incident timestamps are micros since this.
+    started: Instant,
+    /// Micros-since-start of the last incident **plus one** (`0` = no
+    /// incident yet). Drives the `Degraded` health window.
+    last_incident: AtomicU64,
+    /// Fingerprint strike/quarantine records (see [`QuarantineEntry`]).
+    quarantine: Mutex<FxHashMap<u64, QuarantineEntry>>,
+    /// Number of *quarantined* (not merely struck) fingerprints; lets
+    /// the batch path skip the quarantine lock entirely when zero.
+    quarantine_active: AtomicU64,
+    quarantine_ttl: Duration,
+    /// Dead-worker inbox + stop flag for the supervisor.
+    lifecycle: Mutex<Lifecycle>,
+    /// Signalled when a worker dies or shutdown begins.
+    reaper: Condvar,
+}
+
+impl Shared {
+    /// Stamps "something went wrong just now" for the health window.
+    fn note_incident(&self) {
+        let micros = self.started.elapsed().as_micros() as u64;
+        self.last_incident.store(micros + 1, Ordering::Relaxed);
+    }
+
+    /// Whether an incident occurred within [`INCIDENT_WINDOW`].
+    fn recent_incident(&self) -> bool {
+        match self.last_incident.load(Ordering::Relaxed) {
+            0 => false,
+            stamp => {
+                let now = self.started.elapsed().as_micros() as u64;
+                now.saturating_sub(stamp - 1) <= INCIDENT_WINDOW.as_micros() as u64
+            }
+        }
+    }
+
+    /// Drops expired quarantine records and stale strike-only records,
+    /// keeping `quarantine_active` in sync. Caller holds the map lock.
+    fn purge_quarantine(&self, map: &mut FxHashMap<u64, QuarantineEntry>, now: Instant) {
+        let ttl = self.quarantine_ttl;
+        let mut released = 0u64;
+        map.retain(|_, e| match e.until {
+            Some(until) if now >= until => {
+                released += 1;
+                false
+            }
+            Some(_) => true,
+            None => now.saturating_duration_since(e.last_strike) < ttl,
+        });
+        if released > 0 {
+            self.quarantine_active
+                .fetch_sub(released, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one strike against every distinct fingerprint of a
+    /// panicked batch; fingerprints reaching [`QUARANTINE_STRIKES`] are
+    /// quarantined for the TTL.
+    fn strike_fingerprints(&self, fps: &[u64]) {
+        if fps.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut map = self.quarantine.lock().expect("quarantine poisoned");
+        self.purge_quarantine(&mut map, now);
+        let mut seen: Vec<u64> = Vec::with_capacity(fps.len());
+        for &fp in fps {
+            if seen.contains(&fp) {
+                continue;
+            }
+            seen.push(fp);
+            let e = map.entry(fp).or_insert(QuarantineEntry {
+                strikes: 0,
+                until: None,
+                last_strike: now,
+            });
+            e.strikes += 1;
+            e.last_strike = now;
+            if e.strikes >= QUARANTINE_STRIKES && e.until.is_none() {
+                e.until = Some(now + self.quarantine_ttl);
+                self.quarantine_active.fetch_add(1, Ordering::Relaxed);
+                self.metrics.quarantines.inc();
+                self.note_incident();
+            }
+        }
+    }
 }
 
 /// A running inference server over one trained reasoner.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor owns the worker handles; joining it joins (the
+    /// final generation of) every worker.
+    supervisor: Option<JoinHandle<()>>,
+}
+
+/// Drop guard armed inside every worker thread: if the thread unwinds
+/// (a batch panic re-raised after accounting), the guard reports the
+/// worker index to the supervisor so it can join and respawn it. A
+/// normal shutdown exit does not report (nothing to heal).
+struct DeathNotice {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for DeathNotice {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut lc = self.shared.lifecycle.lock().expect("lifecycle poisoned");
+            lc.dead.push(self.index);
+            drop(lc);
+            self.shared.reaper.notify_all();
+        }
+    }
+}
+
+/// Spawns worker `index` over the shared state; used at startup and by
+/// the supervisor when respawning a dead worker (fresh scratch, same
+/// `Arc`'d model).
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    model: &Arc<GamoraReasoner>,
+    intra_threads: usize,
+    index: usize,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let model = Arc::clone(model);
+    std::thread::Builder::new()
+        .name(format!("gamora-serve-{index}"))
+        .spawn(move || {
+            gamora_gnn::parallel::set_intra_threads(intra_threads);
+            let death_notice = DeathNotice {
+                shared: Arc::clone(&shared),
+                index,
+            };
+            let mut state = WorkerState {
+                scratch: model.scratch(),
+                batch_ws: model.batch_scratch(),
+                outs: Vec::new(),
+                batch_fps: Vec::new(),
+            };
+            worker_loop(&shared, &model, &mut state);
+            drop(death_notice);
+        })
+        .expect("spawn serve worker")
+}
+
+/// The supervisor thread: waits for death notices, joins dead workers,
+/// and respawns them into the same slot (unless shutdown has begun).
+/// On stop it joins every remaining worker before exiting, so joining
+/// the supervisor is joining the pool.
+fn supervisor_loop(
+    shared: Arc<Shared>,
+    model: Arc<GamoraReasoner>,
+    intra_threads: usize,
+    mut slots: Vec<Option<JoinHandle<()>>>,
+) {
+    loop {
+        let (dead, stop) = {
+            let mut lc = shared.lifecycle.lock().expect("lifecycle poisoned");
+            while lc.dead.is_empty() && !lc.stop {
+                lc = shared.reaper.wait(lc).expect("lifecycle poisoned");
+            }
+            (std::mem::take(&mut lc.dead), lc.stop)
+        };
+        // Join (and maybe respawn) outside the lock: the dying worker's
+        // DeathNotice needs it, and a respawned worker may die again
+        // while we are still working through this list.
+        for index in dead {
+            if let Some(handle) = slots[index].take() {
+                let _ = handle.join();
+            }
+            if !stop {
+                slots[index] = Some(spawn_worker(&shared, &model, intra_threads, index));
+                shared.metrics.workers_respawned.inc();
+                shared.note_incident();
+            }
+        }
+        if stop {
+            for handle in slots.iter_mut().filter_map(Option::take) {
+                let _ = handle.join();
+            }
+            return;
+        }
+    }
 }
 
 impl Server {
@@ -392,6 +688,16 @@ impl Server {
             max_batch: config.max_batch,
             queue_capacity: config.queue_capacity,
             linger: Duration::from_micros(config.linger_micros),
+            started: Instant::now(),
+            last_incident: AtomicU64::new(0),
+            quarantine: Mutex::new(FxHashMap::default()),
+            quarantine_active: AtomicU64::new(0),
+            quarantine_ttl: Duration::from_micros(config.quarantine_ttl_micros),
+            lifecycle: Mutex::new(Lifecycle {
+                dead: Vec::new(),
+                stop: false,
+            }),
+            reaper: Condvar::new(),
         });
         // Split the machine's thread budget across the pool: N workers
         // each fanning kernels over the full core count would oversubscribe
@@ -401,25 +707,20 @@ impl Server {
         } else {
             (gamora_gnn::parallel::num_threads() / config.workers).max(1)
         };
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let model = Arc::clone(&reasoner);
-                std::thread::Builder::new()
-                    .name(format!("gamora-serve-{i}"))
-                    .spawn(move || {
-                        gamora_gnn::parallel::set_intra_threads(intra_threads);
-                        let mut state = WorkerState {
-                            scratch: model.scratch(),
-                            batch_ws: model.batch_scratch(),
-                            outs: Vec::new(),
-                        };
-                        worker_loop(&shared, &model, &mut state);
-                    })
-                    .expect("spawn serve worker")
-            })
+        let slots: Vec<Option<JoinHandle<()>>> = (0..config.workers)
+            .map(|i| Some(spawn_worker(&shared, &reasoner, intra_threads, i)))
             .collect();
-        Server { shared, workers }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gamora-serve-supervisor".into())
+                .spawn(move || supervisor_loop(shared, reasoner, intra_threads, slots))
+                .expect("spawn serve supervisor")
+        };
+        Server {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 
     /// Enqueues a job, blocking while the queue is at capacity; returns a
@@ -489,6 +790,15 @@ impl Server {
             tx,
         };
         let m = &self.shared.metrics;
+        // Chaos seam: an injected admission fault sheds the submission at
+        // the door, before the queue lock (so a `panic` action can never
+        // poison the queue mutex).
+        if gamora_fault::armed() && admission_fault_fires() {
+            m.rejected_overload.inc();
+            timer.observe(&m.stage_time_to_rejection);
+            self.shared.note_incident();
+            return Err(SubmitError::Overloaded);
+        }
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         loop {
             if queue.shutdown {
@@ -594,6 +904,14 @@ impl Server {
         jobs: Vec<(Aig, AnalysisKind, Option<GraphSignature>)>,
     ) -> Result<(u64, Vec<JobTicket>), SubmitError> {
         let burst = self.shared.burst_counter.fetch_add(1, Ordering::Relaxed);
+        // Chaos seam: a burst is admitted atomically, so the admission
+        // fail point is checked once per burst — an injection rejects the
+        // whole burst before anything is enqueued.
+        if gamora_fault::armed() && admission_fault_fires() {
+            self.shared.metrics.rejected_overload.inc();
+            self.shared.note_incident();
+            return Err(SubmitError::Overloaded);
+        }
         let mut tickets = Vec::with_capacity(jobs.len());
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         for (aig, kind, sig) in jobs {
@@ -648,9 +966,50 @@ impl Server {
             cache_misses: m.cache_misses.get(),
             jobs_dropped: m.jobs_dropped.get(),
             jobs_expired: m.jobs_expired.get(),
+            jobs_failed: m.jobs_failed.get(),
             rejected_overload: m.rejected_overload.get(),
+            workers_respawned: m.workers_respawned.get(),
+            quarantines: m.quarantines.get(),
+            retries: 0,
             peak_queued: m.peak_queued.get(),
+            health: self.health(),
         }
+    }
+
+    /// Current health, derived from the failure state:
+    ///
+    /// * [`Health::ShuttingDown`] once [`Server::begin_shutdown`] ran;
+    /// * [`Health::Degraded`] while any fingerprint is quarantined, or
+    ///   within [`INCIDENT_WINDOW`] of the last incident (overload shed,
+    ///   batch panic, worker respawn, failed job);
+    /// * [`Health::Healthy`] otherwise.
+    ///
+    /// Each read refreshes the `serve_health` gauge (0/1/2), so metric
+    /// snapshots report it too; gauges merge by max, so a fleet snapshot
+    /// shows the worst shard.
+    pub fn health(&self) -> Health {
+        let h = self.compute_health();
+        self.shared.metrics.health.set(h as u64);
+        h
+    }
+
+    fn compute_health(&self) -> Health {
+        if self.shared.queue.lock().expect("queue poisoned").shutdown {
+            return Health::ShuttingDown;
+        }
+        if self.shared.quarantine_active.load(Ordering::Relaxed) > 0 {
+            // Expired quarantines must lapse back to Healthy without
+            // waiting for a batch to purge them.
+            let mut map = self.shared.quarantine.lock().expect("quarantine poisoned");
+            self.shared.purge_quarantine(&mut map, Instant::now());
+            if self.shared.quarantine_active.load(Ordering::Relaxed) > 0 {
+                return Health::Degraded;
+            }
+        }
+        if self.shared.recent_incident() {
+            return Health::Degraded;
+        }
+        Health::Healthy
     }
 
     /// A point-in-time snapshot of every serve metric: the counters behind
@@ -671,6 +1030,14 @@ impl Server {
         self.shared.available.notify_all();
         // Submitters blocked on capacity must wake to observe the flag.
         self.shared.space.notify_all();
+        // Stop the supervisor from respawning: it joins the remaining
+        // workers (drain first, then exit) and returns.
+        self.shared
+            .lifecycle
+            .lock()
+            .expect("lifecycle poisoned")
+            .stop = true;
+        self.shared.reaper.notify_all();
     }
 
     /// Drains outstanding work and stops the workers.
@@ -681,8 +1048,10 @@ impl Server {
 
     fn stop_workers(&mut self) {
         self.begin_shutdown();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // The supervisor joins every worker before exiting, so joining it
+        // joins the whole (current generation of the) pool.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         // Defensive: should anything still sit in the queue once every
         // worker is gone (possible only if a worker died), account for it
@@ -727,6 +1096,11 @@ struct WorkerState {
     scratch: InferenceScratch,
     batch_ws: BatchScratch,
     outs: Vec<Predictions>,
+    /// Fingerprints of the batch currently being executed, recorded right
+    /// after hashing so the post-panic handler can attribute strikes to
+    /// the submissions that were on the worker when it died. Empty in
+    /// cold mode (no hashing → no fingerprints → no quarantine).
+    batch_fps: Vec<u64>,
 }
 
 fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState) {
@@ -787,25 +1161,46 @@ fn worker_loop(shared: &Shared, model: &GamoraReasoner, state: &mut WorkerState)
         };
         // Claimed jobs freed queue space: wake blocked submitters.
         shared.space.notify_all();
-        // A panicking batch (a pathological submission) must not take the
-        // worker down with jobs still queued behind it: the unwinding
-        // batch drops its senders — those clients observe
-        // [`ServeError::JobDropped`] — and the worker keeps draining the
-        // queue. Scratch buffers are resized from scratch on every use,
-        // so a half-written workspace cannot poison later batches.
-        // `accounted` tracks how many of the batch's jobs were finalised
-        // (answered or deadline-rejected) before any panic, so the
-        // dropped-job counter stays exact even for partial batches.
+        // A panicking batch (a pathological submission or an injected
+        // fault) must not strand the jobs behind it: the unwinding batch
+        // drops its senders — those clients observe
+        // [`ServeError::JobDropped`] — and the panic is accounted here
+        // before being re-raised, killing this worker. The supervisor
+        // joins the corpse and respawns a fresh one (fresh scratch, same
+        // `Arc`'d model), so capacity self-heals while the thread-local
+        // damage a panic may have left behind is discarded with the
+        // thread. `accounted` tracks how many of the batch's jobs were
+        // finalised (answered, failed or deadline-rejected) before the
+        // panic, so the dropped-job counter stays exact even for partial
+        // batches; the batch's fingerprints collect strikes so a
+        // submission that kills workers repeatedly is quarantined instead
+        // of respawn-looping the pool.
         let batch_len = batch.len() as u64;
         let accounted = Cell::new(0u64);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_batch(shared, model, state, batch, &accounted);
         }));
-        if outcome.is_err() {
+        if let Err(payload) = outcome {
             shared.metrics.jobs_dropped.add(batch_len - accounted.get());
-            eprintln!("gamora-serve: batch panicked; its unanswered jobs were dropped");
+            shared.strike_fingerprints(&state.batch_fps);
+            shared.note_incident();
+            eprintln!(
+                "gamora-serve: batch panicked; its unanswered jobs were dropped \
+                 and the worker is being respawned"
+            );
+            resume_unwind(payload);
         }
     }
+}
+
+/// Evaluates the admission fail point (armed chaos runs only — callers
+/// gate on [`gamora_fault::armed`]): any injection, an `err` or a
+/// contained `panic`, sheds the submission as `Overloaded`. The panic is
+/// caught *here*, before any queue lock is taken, so an injected
+/// admission panic can neither poison the queue mutex nor unwind into
+/// the client's thread.
+fn admission_fault_fires() -> bool {
+    catch_unwind(|| gamora_fault::hit(FaultPoint::Admission)).map_or(true, |r| r.is_err())
 }
 
 fn run_batch(
@@ -815,6 +1210,10 @@ fn run_batch(
     batch: Vec<Job>,
     accounted: &Cell<u64>,
 ) {
+    // Strikes from a panic are attributed to the batch that was live
+    // when the worker died; fingerprints from the previous batch must
+    // never leak into that attribution.
+    state.batch_fps.clear();
     // Phase 0: deadline admission — expired jobs are rejected before any
     // hashing or model work is spent on them. Queue wait (submission →
     // batch claim) is recorded per live job; expired jobs record their
@@ -839,8 +1238,19 @@ fn run_batch(
     if batch.is_empty() {
         return;
     }
-    m.batches.inc();
-    m.batch_size.record(batch.len() as u64);
+
+    // Signature-hash fail point. Hashing is load-bearing when enabled —
+    // cache keys and quarantine fingerprints both derive from it — so an
+    // injected `err` fails the whole batch rather than guessing at
+    // identities; `panic` unwinds to the worker handler like any batch
+    // panic. Cold mode never hashes, so the point is not checked there.
+    if shared.hashing_enabled && gamora_fault::hit(FaultPoint::SignatureHash).is_err() {
+        shared.note_incident();
+        for job in batch {
+            fail_job(shared, job, accounted);
+        }
+        return;
+    }
 
     // Phase 1: resolve from the cache. The lock covers only the O(1) LRU
     // probe; the O(nodes) verbatim clone / transfer re-indexing runs on
@@ -849,9 +1259,9 @@ fn run_batch(
     // provably unused — skip the O(nodes) hash passes entirely so cold
     // mode measures pure model throughput. Router-submitted jobs carry a
     // precomputed signature; worker-side hashing is the fallback.
-    let signatures: Vec<GraphSignature> = if shared.hashing_enabled {
+    let mut signatures: Vec<GraphSignature> = if shared.hashing_enabled {
         let hash_timer = StageTimer::start();
-        let sigs = batch
+        let sigs: Vec<GraphSignature> = batch
             .iter_mut()
             .map(|j| j.sig.take().unwrap_or_else(|| GraphSignature::of(&j.aig)))
             .collect();
@@ -860,7 +1270,59 @@ fn run_batch(
     } else {
         Vec::new()
     };
-    let mut served: Vec<Option<(Predictions, HitKind)>> = if shared.hashing_enabled {
+    state
+        .batch_fps
+        .extend(signatures.iter().map(|s| s.key.fingerprint));
+
+    // Quarantine gate: submissions whose fingerprint is under an active
+    // quarantine (they killed workers twice) are answered
+    // `AnalysisFailed` without touching the model again. The atomic gate
+    // keeps this a single relaxed load while nothing is quarantined.
+    if shared.hashing_enabled && shared.quarantine_active.load(Ordering::Relaxed) > 0 {
+        let blocked: Vec<bool> = {
+            let mut map = shared.quarantine.lock().expect("quarantine poisoned");
+            shared.purge_quarantine(&mut map, Instant::now());
+            signatures
+                .iter()
+                .map(|s| {
+                    map.get(&s.key.fingerprint)
+                        .is_some_and(|e| e.until.is_some())
+                })
+                .collect()
+        };
+        if blocked.iter().any(|&b| b) {
+            let mut kept_jobs = Vec::with_capacity(batch.len());
+            let mut kept_sigs = Vec::with_capacity(signatures.len());
+            for ((job, sig), &b) in batch.into_iter().zip(signatures).zip(&blocked) {
+                if b {
+                    fail_job(shared, job, accounted);
+                } else {
+                    kept_jobs.push(job);
+                    kept_sigs.push(sig);
+                }
+            }
+            batch = kept_jobs;
+            signatures = kept_sigs;
+            // Strike attribution must track the jobs still live.
+            state.batch_fps.clear();
+            state
+                .batch_fps
+                .extend(signatures.iter().map(|s| s.key.fingerprint));
+            if batch.is_empty() {
+                return;
+            }
+        }
+    }
+    m.batches.inc();
+    m.batch_size.record(batch.len() as u64);
+
+    // Cache-resolve fail point: an injected `err` skips the probe phase
+    // entirely — every job is treated as a miss (results are still
+    // inserted afterwards), so the failure degrades throughput, never
+    // correctness.
+    let cache_usable =
+        shared.hashing_enabled && gamora_fault::hit(FaultPoint::CacheResolve).is_ok();
+    let mut served: Vec<Option<(Predictions, HitKind)>> = if cache_usable {
         let probes: Vec<Option<Arc<CacheEntry>>> = {
             let mut cache = shared.cache.lock().expect("cache poisoned");
             let cache = cache
@@ -913,14 +1375,42 @@ fn run_batch(
                 unique.push(i);
             }
         }
-        let aigs: Vec<&Aig> = unique.iter().map(|&i| &batch[i].aig).collect();
-        let WorkerState {
-            scratch,
-            batch_ws,
-            outs,
-        } = state;
-        let timings =
-            model.predict_batch_into_timed(batch_ws, scratch, &aigs, outs, m.forward_observer());
+        // The model call hosts three fail points (assemble, forward,
+        // split). An injected `err` arrives as a typed [`Injected`]
+        // panic payload — converted here into `AnalysisFailed` for every
+        // job of the batch (none has been answered yet: phase-1 hits fan
+        // out in phase 3), keeping the worker alive. Any other payload
+        // is a genuine crash (or an injected `panic` action rehearsing
+        // one): re-raised so the worker-loop handler accounts it and the
+        // supervisor respawns the thread.
+        let forward = {
+            let aigs: Vec<&Aig> = unique.iter().map(|&i| &batch[i].aig).collect();
+            let WorkerState {
+                scratch,
+                batch_ws,
+                outs,
+                ..
+            } = &mut *state;
+            catch_unwind(AssertUnwindSafe(|| {
+                model.predict_batch_into_timed(batch_ws, scratch, &aigs, outs, m.forward_observer())
+            }))
+        };
+        let timings = match forward {
+            Ok(t) => t,
+            Err(payload) => {
+                if payload.downcast_ref::<gamora_fault::Injected>().is_some() {
+                    // Stamp the incident before fanning out the errors:
+                    // a client that checks health the instant its job
+                    // fails must already see Degraded.
+                    shared.note_incident();
+                    for job in batch {
+                        fail_job(shared, job, accounted);
+                    }
+                    return;
+                }
+                resume_unwind(payload)
+            }
+        };
         m.stage_assemble.record(timings.assemble_micros);
         m.stage_forward.record(timings.forward_micros);
         m.stage_split.record(timings.split_micros);
@@ -930,7 +1420,7 @@ fn run_batch(
             // O(1) LRU insertion happens under it.
             let entries: Vec<Arc<CacheEntry>> = unique
                 .iter()
-                .zip(outs.iter())
+                .zip(state.outs.iter())
                 .map(|(&i, preds)| Arc::new(CacheEntry::new(&signatures[i], preds.clone())))
                 .collect();
             let mut cache = shared.cache.lock().expect("cache poisoned");
@@ -942,7 +1432,7 @@ fn run_batch(
             }
         }
         for (pos, &i) in miss_idx.iter().enumerate() {
-            served[i] = Some((outs[slot_of[pos]].clone(), HitKind::Verbatim));
+            served[i] = Some((state.outs[slot_of[pos]].clone(), HitKind::Verbatim));
         }
     }
 
@@ -984,6 +1474,20 @@ fn run_batch(
         accounted.set(accounted.get() + 1);
         let _ = job.tx.send(Ok(out));
     }
+}
+
+/// Terminal failure path for one job: bumps `jobs_failed`, records the
+/// submission → shed span, accounts the job (so the post-panic drop
+/// arithmetic stays exact) and answers [`ServeError::AnalysisFailed`].
+/// Callers decide whether the failure is an incident worth degrading
+/// health over ([`Shared::note_incident`]).
+fn fail_job(shared: &Shared, job: Job, accounted: &Cell<u64>) {
+    let m = &shared.metrics;
+    m.jobs_failed.inc();
+    m.stage_time_to_rejection
+        .record(job.submitted.elapsed().as_micros() as u64);
+    accounted.set(accounted.get() + 1);
+    let _ = job.tx.send(Err(ServeError::AnalysisFailed));
 }
 
 #[cfg(test)]
@@ -1319,12 +1823,14 @@ mod tests {
         assert_eq!(results[1].as_ref().unwrap_err(), &ServeError::JobDropped);
         assert_eq!(results[2].as_ref().unwrap_err(), &ServeError::JobDropped);
 
-        // The worker survives the panic and keeps serving.
+        // The panic killed the worker; the supervisor respawns it, so the
+        // server keeps serving (and the cache, living in `Shared`, stays
+        // warm across the worker generation).
         let after = server
             .submit(aig.clone(), AnalysisKind::Classify)
             .expect("server still accepts work")
             .wait()
-            .expect("worker survived the panic");
+            .expect("respawned worker serves");
         assert!(after.cache_hit, "cache still warm from the first job");
 
         let stats = server.shutdown();
@@ -1332,9 +1838,14 @@ mod tests {
         assert_eq!(stats.jobs, 2, "completions only");
         assert_eq!(stats.jobs_dropped, 2, "panicked + following job");
         assert_eq!(stats.jobs_expired, 0);
+        assert_eq!(stats.jobs_failed, 0, "nothing was failed terminally");
+        assert!(
+            stats.workers_respawned >= 1,
+            "the panicking batch must have been healed by a respawn"
+        );
         assert_eq!(
             stats.jobs_submitted,
-            stats.jobs + stats.jobs_dropped + stats.jobs_expired,
+            stats.jobs + stats.jobs_dropped + stats.jobs_expired + stats.jobs_failed,
             "every admitted job is accounted exactly once"
         );
         assert_eq!(

@@ -1,0 +1,515 @@
+//! Chaos suite: deterministic fail-point storms through the full
+//! `ShardRouter` stack, exercising the self-healing serve layer end to
+//! end — worker respawn, poison-fingerprint quarantine, deadline-aware
+//! retry, and health reporting.
+//!
+//! Every test arms `gamora-fault` via [`gamora_fault::arm`], whose
+//! process-global gate serialises the tests in this binary, so the
+//! global fail-point registry never sees two specs at once. The
+//! acceptance invariant throughout: **every submitted job gets exactly
+//! one terminal outcome** (a prediction, `JobDropped`, `AnalysisFailed`
+//! or `DeadlineExpired` — never a hang, never two answers), and the
+//! stats equation
+//! `jobs_submitted == jobs + jobs_expired + jobs_dropped + jobs_failed`
+//! balances once the fleet is quiescent. CI runs this file under
+//! `--release` as part of the robustness guard.
+
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_circuits::csa_multiplier;
+use gamora_serve::scheduler::{AnalysisKind, Health, ServeConfig, ServeError, Server, SubmitError};
+use gamora_serve::{RetryPolicy, ShardRouter};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_trained() -> GamoraReasoner {
+    let m = csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 15,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    reasoner
+}
+
+fn assert_balanced(stats: &gamora_serve::scheduler::ServeStats) {
+    assert_eq!(
+        stats.jobs_submitted,
+        stats.jobs + stats.jobs_expired + stats.jobs_dropped + stats.jobs_failed,
+        "every admitted job must be accounted exactly once: {stats:?}"
+    );
+}
+
+/// The acceptance storm: panic probability on *every* stage fail point,
+/// a multi-shard fleet, hundreds of submissions through the retrying
+/// router ingress. Every job resolves exactly once, workers died and
+/// were respawned, the accounting equation balances, and once the storm
+/// passes (faults disarmed, quarantine TTLs and the incident window
+/// lapsed) the fleet reports `Healthy` again.
+#[test]
+fn chaos_storm_every_job_gets_exactly_one_terminal_outcome() {
+    let submissions = if cfg!(debug_assertions) { 64 } else { 256 };
+    let router = ShardRouter::start(
+        Arc::new(tiny_trained()),
+        4,
+        ServeConfig {
+            max_batch: 2,
+            workers: 2,
+            cache_capacity: 32,
+            queue_capacity: 0,
+            linger_micros: 0,
+            quarantine_ttl_micros: 200_000,
+            ..ServeConfig::default()
+        },
+    );
+    let subjects: Vec<_> = (3..=8).map(|b| csa_multiplier(b).aig).collect();
+    let jobs: Vec<_> = (0..submissions)
+        .map(|i| (subjects[i % subjects.len()].clone(), AnalysisKind::Classify))
+        .collect();
+
+    let guard = gamora_fault::arm("all:panic:prob=0.15,seed=11");
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff_micros: 200,
+        deadline: None,
+    };
+    let outcomes = router.submit_all_retrying(jobs, &policy);
+    drop(guard);
+
+    assert_eq!(outcomes.len(), submissions, "one outcome per submission");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(_)
+            | Err(ServeError::JobDropped)
+            | Err(ServeError::AnalysisFailed)
+            | Err(ServeError::DeadlineExpired) => {}
+            Err(e) => panic!("job {i}: non-terminal chaos outcome {e}"),
+        }
+    }
+
+    let mid = router.stats();
+    assert!(
+        mid.workers_respawned > 0,
+        "a 15% all-stage panic storm over {submissions} jobs must kill \
+         (and respawn) at least one worker: {mid:?}"
+    );
+    assert!(
+        mid.retries > 0,
+        "admission faults at 15% must have triggered at least one retry"
+    );
+
+    // Storm over: give the quarantine TTL (200ms) and the incident
+    // window (500ms) time to lapse, then the fleet must self-report
+    // healthy — no operator intervention, no restart.
+    std::thread::sleep(Duration::from_millis(800));
+    assert_eq!(
+        router.health(),
+        Health::Healthy,
+        "the fleet must return to Healthy once faults are disarmed and TTLs lapse"
+    );
+
+    let stats = router.shutdown();
+    assert_balanced(&stats);
+}
+
+/// A fingerprint whose batches kill two workers is quarantined: further
+/// submissions are answered `AnalysisFailed` *without running the
+/// model*, the pool stops respawn-looping, and after the TTL the
+/// fingerprint gets a fresh chance.
+#[test]
+fn poison_fingerprint_is_quarantined_after_two_worker_deaths() {
+    let server = Server::start(
+        tiny_trained(),
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 8,
+            queue_capacity: 0,
+            linger_micros: 0,
+            quarantine_ttl_micros: 300_000,
+            ..ServeConfig::default()
+        },
+    );
+    let poison = csa_multiplier(5).aig;
+
+    let guard = gamora_fault::arm("forward:panic");
+    for strike in 0..2 {
+        let err = server
+            .submit(poison.clone(), AnalysisKind::Classify)
+            .expect("admitted")
+            .wait()
+            .expect_err("the batch panics");
+        assert_eq!(
+            err,
+            ServeError::JobDropped,
+            "strike {strike}: a worker death drops the batch"
+        );
+    }
+    drop(guard);
+
+    // Third submission: the fingerprint now has two strikes, so it is
+    // quarantined at the gate — `AnalysisFailed`, no forward, no death.
+    let err = server
+        .submit(poison.clone(), AnalysisKind::Classify)
+        .expect("admitted")
+        .wait()
+        .expect_err("quarantined");
+    assert_eq!(err, ServeError::AnalysisFailed);
+    assert_eq!(
+        server.health(),
+        Health::Degraded,
+        "an active quarantine reports Degraded"
+    );
+
+    // Other subjects are unaffected: the respawned worker serves them.
+    server
+        .submit(csa_multiplier(4).aig, AnalysisKind::Classify)
+        .expect("admitted")
+        .wait()
+        .expect("healthy subjects still serve during a quarantine");
+
+    // TTL (300ms) + incident window (500ms) lapse: health recovers and
+    // the fingerprint gets a fresh chance — faults are disarmed, so it
+    // now serves.
+    std::thread::sleep(Duration::from_millis(900));
+    assert_eq!(server.health(), Health::Healthy);
+    server
+        .submit(poison, AnalysisKind::Classify)
+        .expect("admitted")
+        .wait()
+        .expect("the quarantine expired; the subject serves normally");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.workers_respawned, 2, "one respawn per strike");
+    assert_eq!(stats.quarantines, 1, "the poison fingerprint, once");
+    assert_eq!(stats.jobs_failed, 1, "the quarantined submission");
+    assert_balanced(&stats);
+}
+
+/// An injected stage *error* (as opposed to a panic) fails the batch
+/// cleanly: the jobs come back `AnalysisFailed`, the worker survives
+/// (no respawn), and serving resumes the moment the fault is disarmed.
+#[test]
+fn injected_stage_error_fails_jobs_without_killing_workers() {
+    let server = Server::start(
+        tiny_trained(),
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 8,
+            queue_capacity: 0,
+            linger_micros: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let subject = csa_multiplier(4).aig;
+
+    let guard = gamora_fault::arm("forward:err");
+    let err = server
+        .submit(subject.clone(), AnalysisKind::Classify)
+        .expect("admitted")
+        .wait()
+        .expect_err("the injected stage error fails the job");
+    assert_eq!(err, ServeError::AnalysisFailed);
+    assert_eq!(
+        server.health(),
+        Health::Degraded,
+        "a just-failed batch is a recent incident"
+    );
+    drop(guard);
+
+    server
+        .submit(subject, AnalysisKind::Classify)
+        .expect("admitted")
+        .wait()
+        .expect("the same worker serves once the fault is disarmed");
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.workers_respawned, 0,
+        "an injected error must not kill the worker"
+    );
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs, 1);
+    assert_balanced(&stats);
+}
+
+/// A failing cache degrades to all-miss serving instead of failing
+/// jobs: predictions stay correct (the model runs), only the shortcut
+/// is lost — and it comes back the moment the fault clears.
+#[test]
+fn cache_fault_degrades_to_miss_serving() {
+    let server = Server::start(
+        tiny_trained(),
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 8,
+            queue_capacity: 0,
+            linger_micros: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let subject = csa_multiplier(4).aig;
+    let serve = |aig: &gamora_aig::Aig| {
+        server
+            .submit(aig.clone(), AnalysisKind::Classify)
+            .expect("admitted")
+            .wait()
+            .expect("served")
+    };
+
+    assert!(!serve(&subject).cache_hit, "cold: a miss");
+    assert!(serve(&subject).cache_hit, "warm: a hit");
+
+    let guard = gamora_fault::arm("cache:err");
+    let degraded = serve(&subject);
+    assert!(
+        !degraded.cache_hit,
+        "with the cache faulted the job is served as a miss — degraded, not failed"
+    );
+    drop(guard);
+
+    assert!(
+        serve(&subject).cache_hit,
+        "the shortcut returns with the cache"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.jobs, 4,
+        "every submission served despite the cache fault"
+    );
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(
+        stats.forward_passes, 2,
+        "cold miss + degraded miss; the two hits were free"
+    );
+    assert_balanced(&stats);
+}
+
+/// Admission faults — error *or* panic — are contained at the door and
+/// shed as `Overloaded`: nothing is enqueued, no worker is involved,
+/// and the caller can retry.
+#[test]
+fn admission_fault_sheds_as_overloaded() {
+    let server = Server::start(
+        tiny_trained(),
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 0,
+            queue_capacity: 0,
+            linger_micros: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let subject = csa_multiplier(4).aig;
+
+    for spec in ["admission:err", "admission:panic"] {
+        let _guard = gamora_fault::arm(spec);
+        assert_eq!(
+            server
+                .try_submit(subject.clone(), AnalysisKind::Classify)
+                .expect_err(spec),
+            SubmitError::Overloaded,
+            "{spec}: an admission fault sheds instead of enqueueing"
+        );
+    }
+
+    // Disarmed: the very next submission is admitted and served.
+    server
+        .submit(subject, AnalysisKind::Classify)
+        .expect("admitted once disarmed")
+        .wait()
+        .expect("served");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_overload, 2);
+    assert_eq!(stats.jobs, 1);
+    assert_balanced(&stats);
+}
+
+/// Shutdown racing a lingering worker while batch assembly is slowed by
+/// an injected delay: the linger aborts promptly, the admitted job is
+/// still served (never dropped), and shutdown completes without waiting
+/// out the full linger window.
+#[test]
+fn shutdown_during_linger_with_injected_assembly_delay() {
+    let server = Server::start(
+        tiny_trained(),
+        ServeConfig {
+            max_batch: 8,
+            workers: 1,
+            cache_capacity: 0,
+            queue_capacity: 0,
+            linger_micros: 2_000_000, // the worker would happily wait 2s for companions
+            ..ServeConfig::default()
+        },
+    );
+    let _guard = gamora_fault::arm("assemble:delay(20000)");
+
+    let start = Instant::now();
+    let ticket = server
+        .submit(csa_multiplier(4).aig, AnalysisKind::Classify)
+        .expect("admitted");
+    // Let the worker claim the lone job and start lingering for batch
+    // companions that will never come, then shut down under its feet.
+    std::thread::sleep(Duration::from_millis(50));
+    server.begin_shutdown();
+
+    ticket
+        .wait_timeout(Duration::from_secs(60))
+        .expect("the admitted job is served despite shutdown-during-linger");
+    let stats = server.shutdown();
+    let elapsed = start.elapsed();
+
+    assert!(
+        elapsed < Duration::from_millis(1_500),
+        "shutdown must abort the 2s linger, not sit it out (took {elapsed:?})"
+    );
+    assert_eq!(stats.jobs, 1);
+    assert_eq!(stats.jobs_dropped, 0, "an admitted job is never abandoned");
+    assert_balanced(&stats);
+}
+
+/// A multi-shard burst interrupted by shutdown while an injected delay
+/// holds the workers: the blocked shard retracts its queued wave, the
+/// router retracts the bursts already admitted to earlier shards, the
+/// caller gets a prompt error — and nobody hangs, nothing leaks.
+#[test]
+fn burst_retract_under_injected_forward_delay() {
+    let router = ShardRouter::start(
+        Arc::new(tiny_trained()),
+        2,
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 16, // hashing on: bursts route by fingerprint
+            queue_capacity: 2,
+            linger_micros: 0,
+            ..ServeConfig::default()
+        },
+    );
+    // Find one subject per shard so the burst spans both: the router
+    // admits shard 0's slice first, then blocks on shard 1's capacity.
+    let mut by_shard: [Option<gamora_aig::Aig>; 2] = [None, None];
+    for bits in 3..16 {
+        let aig = csa_multiplier(bits).aig;
+        let shard = router.shard_of(&aig);
+        if by_shard[shard].is_none() {
+            by_shard[shard] = Some(aig);
+        }
+    }
+    let s0 = by_shard[0].take().expect("a subject routing to shard 0");
+    let s1 = by_shard[1].take().expect("a subject routing to shard 1");
+
+    // Each forward sleeps 100ms, so the 2-slot queues stay backed up and
+    // the 8-job slice for shard 1 must wait through several waves.
+    let _guard = gamora_fault::arm("forward:delay(100000)");
+    let mut jobs = vec![(s0, AnalysisKind::Classify); 2];
+    jobs.extend(vec![(s1, AnalysisKind::Classify); 8]);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let router = &router;
+        let burst = scope.spawn(move || router.submit_all(jobs));
+        // Let the burst admit shard 0 and block mid-wave on shard 1,
+        // then begin shutdown under it.
+        std::thread::sleep(Duration::from_millis(80));
+        router.begin_shutdown();
+        let result = burst.join().expect("burst thread");
+        assert_eq!(
+            result.expect_err("the interrupted burst reports an error"),
+            ServeError::JobDropped,
+            "a burst aborted by shutdown is reported dropped, not hung"
+        );
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "the aborted burst must return promptly (took {elapsed:?})"
+    );
+
+    let stats = router.shutdown();
+    assert!(
+        stats.jobs_dropped > 0,
+        "the retracted waves are accounted as dropped: {stats:?}"
+    );
+    assert_balanced(&stats);
+}
+
+/// The retry policy's deadline bounds the total wait: against a fleet
+/// wedged by an injected forward delay, a deadline turns what would be
+/// an unbounded retry loop into a prompt, typed resolution for every
+/// job.
+#[test]
+fn retry_deadline_bounds_total_wait() {
+    let router = ShardRouter::start(
+        Arc::new(tiny_trained()),
+        1,
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            cache_capacity: 16,
+            queue_capacity: 1,
+            linger_micros: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let subject = csa_multiplier(5).aig;
+    let _guard = gamora_fault::arm("forward:delay(200000)");
+
+    // Wedge the shard: one job on the worker (sleeping 200ms per
+    // forward), one filling the single queue slot.
+    let wedge: Vec<_> = (0..2)
+        .map(|_| {
+            router
+                .submit(subject.clone(), AnalysisKind::Classify)
+                .expect("wedge admitted")
+        })
+        .collect();
+
+    let start = Instant::now();
+    let policy = RetryPolicy {
+        max_retries: 50, // without the deadline this budget would retry for minutes
+        backoff_micros: 50_000,
+        deadline: Some(start + Duration::from_millis(150)),
+    };
+    let outcomes =
+        router.submit_all_retrying(vec![(subject.clone(), AnalysisKind::Classify); 4], &policy);
+    let elapsed = start.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the 150ms deadline must bound the retry loop (took {elapsed:?})"
+    );
+    let mut gave_up = 0;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(_) => {}
+            Err(ServeError::JobDropped) | Err(ServeError::DeadlineExpired) => gave_up += 1,
+            Err(e) => panic!("job {i}: unexpected outcome {e}"),
+        }
+    }
+    assert!(
+        gave_up > 0,
+        "a wedged single-slot shard cannot serve all four extra jobs within 150ms"
+    );
+
+    for t in wedge {
+        t.wait_timeout(Duration::from_secs(60))
+            .expect("the wedge jobs themselves are served");
+    }
+    let stats = router.shutdown();
+    assert_balanced(&stats);
+}
