@@ -1,0 +1,261 @@
+//! Per-node canonical *cone descriptors* — the admission-time keys of the
+//! cone-level prediction cache in `gamora-serve`.
+//!
+//! A descriptor condenses a node's local 2-deep cut (its fanins expanded one
+//! level, the strash idiom) into two independent 64-bit channels:
+//!
+//! * **`base`** — a structural word folding the node's feature bits
+//!   (AND flag + fanin complement edges, exactly what the GNN feature
+//!   encoder sees) with the truth table of the cut cone over its sorted
+//!   leaves, evaluated with the standard variable words from [`crate::tt`].
+//! * **`sim`** — the same cone evaluated on deterministic seeded simulation
+//!   words ([`crate::sim::seeded_word`]), fraig-style. Structurally a second
+//!   hash channel: a collision in the structural channel is almost surely
+//!   disambiguated here, so a cone-cache key carries both words.
+//!
+//! Descriptors are deliberately **position-independent**: an input
+//! contributes no input-position information, so the same adder cone at bit
+//! 3 of one multiplier and bit 17 of another produces identical
+//! descriptors. The serve layer turns descriptors into sound cache keys by
+//! Weisfeiler-Leman refinement over the *actual* batch graph
+//! (`gamora_gnn::Graph::refine_keys`) for as many rounds as the model has
+//! message-passing layers — equal refined keys then imply bit-identical
+//! embedding rows, because each GNN layer reads exactly the node's own
+//! state plus its CSR-ordered neighbourhood.
+
+use crate::hasher::{combine, mix64};
+use crate::sim::seeded_word;
+use crate::{tt, Aig, Lit, NodeKind};
+
+/// Default seed of the simulation-signature channel. Serving keys must be
+/// produced with one fixed seed per cache (both sides of a probe must
+/// agree), so the serve layer uses this constant.
+pub const DEFAULT_CONE_SEED: u64 = 0xC0DE_5EED_0000_0001;
+
+const CONE_INPUT_TAG: u64 = 0x1EAF_0000_0000_0011;
+const CONE_CONST_TAG: u64 = 0xC057_1EAF_0000_0012;
+const CONE_AND_TAG: u64 = 0x0A2D_0000_0000_0013;
+
+/// Widest possible 2-deep cut: both fanins expand to two leaves each.
+const MAX_LEAVES: usize = 4;
+
+/// The two key channels of one node's cone. See the module docs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ConeDescriptor {
+    /// Structural channel: feature bits + cut truth table (pre-refinement).
+    pub base: u64,
+    /// Seeded simulation-signature channel (never refined; cone-local).
+    pub sim: u64,
+}
+
+/// Computes every node's [`ConeDescriptor`]; see [`cone_descriptors_into`].
+pub fn cone_descriptors(aig: &Aig, seed: u64) -> Vec<ConeDescriptor> {
+    let mut out = Vec::new();
+    cone_descriptors_into(aig, seed, &mut out);
+    out
+}
+
+/// Computes every node's [`ConeDescriptor`] into a caller buffer —
+/// allocation-free once `out` has warmed to the subject's node count, so
+/// the serve-path cone probe obeys the alloc-regression contract.
+///
+/// O(1) work per node: the 2-deep cut needs no cut enumeration, and both
+/// channel words come from one inline evaluation of the at-most-3-AND cone.
+pub fn cone_descriptors_into(aig: &Aig, seed: u64, out: &mut Vec<ConeDescriptor>) {
+    out.clear();
+    out.resize(aig.num_nodes(), ConeDescriptor::default());
+    let sim_leaf_words: [u64; MAX_LEAVES] = std::array::from_fn(|k| seeded_word(seed, k as u64));
+    let sim_const_word = mix64(seed ^ CONE_CONST_TAG);
+    for n in aig.node_ids() {
+        out[n.index()] = match aig.kind(n) {
+            NodeKind::Input => ConeDescriptor {
+                base: mix64(CONE_INPUT_TAG),
+                sim: mix64(seed ^ CONE_INPUT_TAG),
+            },
+            NodeKind::Const0 => ConeDescriptor {
+                base: mix64(CONE_CONST_TAG),
+                sim: sim_const_word,
+            },
+            NodeKind::And => {
+                let (f0, f1) = aig.fanins(n);
+
+                // Sorted, deduplicated leaf set of the 2-deep cut: an AND
+                // fanin contributes its own fanin variables, anything else
+                // contributes itself.
+                let mut leaves = [u32::MAX; MAX_LEAVES];
+                let mut len = 0usize;
+                for f in [f0, f1] {
+                    let v = f.var();
+                    if aig.is_and(v) {
+                        let (g0, g1) = aig.fanins(v);
+                        push_leaf(&mut leaves, &mut len, g0.var().as_u32());
+                        push_leaf(&mut leaves, &mut len, g1.var().as_u32());
+                    } else {
+                        push_leaf(&mut leaves, &mut len, v.as_u32());
+                    }
+                }
+                let leaves = &leaves[..len];
+
+                let tt_word = eval_cone(aig, f0, f1, leaves, |rank, v| {
+                    if aig.kind(v) == NodeKind::Const0 {
+                        0
+                    } else {
+                        tt::var(rank)
+                    }
+                });
+                let sim_word = eval_cone(aig, f0, f1, leaves, |rank, v| {
+                    if aig.kind(v) == NodeKind::Const0 {
+                        sim_const_word
+                    } else {
+                        sim_leaf_words[rank]
+                    }
+                });
+
+                // Feature bits mirror the GNN's node features exactly:
+                // is-AND plus the two fanin complement edges.
+                let feature_bits = 1u64
+                    | (u64::from(f0.is_complement()) << 1)
+                    | (u64::from(f1.is_complement()) << 2);
+                ConeDescriptor {
+                    base: combine(CONE_AND_TAG ^ ((len as u64) << 3) ^ feature_bits, tt_word),
+                    sim: sim_word,
+                }
+            }
+        };
+    }
+}
+
+/// Sorted insert with dedup into the fixed leaf array.
+#[inline]
+fn push_leaf(leaves: &mut [u32; MAX_LEAVES], len: &mut usize, v: u32) {
+    let mut i = 0;
+    while i < *len {
+        if leaves[i] == v {
+            return;
+        }
+        if leaves[i] > v {
+            break;
+        }
+        i += 1;
+    }
+    debug_assert!(*len < MAX_LEAVES);
+    leaves.copy_within(i..*len, i + 1);
+    leaves[i] = v;
+    *len += 1;
+}
+
+/// Evaluates the 2-deep cone of an AND node on arbitrary leaf words.
+/// `word_of(rank, var)` supplies the word of the leaf with the given rank
+/// in the sorted leaf set.
+#[inline]
+fn eval_cone(
+    aig: &Aig,
+    f0: Lit,
+    f1: Lit,
+    leaves: &[u32],
+    word_of: impl Fn(usize, crate::NodeId) -> u64,
+) -> u64 {
+    let eval_leaf = |l: Lit| -> u64 {
+        let v = l.var();
+        let rank = leaves.iter().position(|&x| x == v.as_u32()).unwrap_or(0);
+        let w = word_of(rank, v);
+        if l.is_complement() {
+            !w
+        } else {
+            w
+        }
+    };
+    let eval_fanin = |f: Lit| -> u64 {
+        let v = f.var();
+        let w = if aig.is_and(v) {
+            let (g0, g1) = aig.fanins(v);
+            eval_leaf(g0) & eval_leaf(g1)
+        } else {
+            let rank = leaves.iter().position(|&x| x == v.as_u32()).unwrap_or(0);
+            word_of(rank, v)
+        };
+        if f.is_complement() {
+            !w
+        } else {
+            w
+        }
+    };
+    eval_fanin(f0) & eval_fanin(f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    /// One full adder rooted at fresh inputs; `extra` leading inputs shift
+    /// every input position without changing local structure.
+    fn adder_with_offset(extra: usize) -> (Aig, usize) {
+        let mut aig = Aig::new();
+        aig.add_inputs(extra);
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let c = aig.add_input().lit();
+        let first_new = aig.num_nodes();
+        let (s, co) = aig.full_adder(a, b, c);
+        aig.add_output(s);
+        aig.add_output(co);
+        (aig, first_new)
+    }
+
+    #[test]
+    fn descriptors_are_input_position_independent() {
+        let (a, a0) = adder_with_offset(0);
+        let (b, b0) = adder_with_offset(7);
+        let da = cone_descriptors(&a, DEFAULT_CONE_SEED);
+        let db = cone_descriptors(&b, DEFAULT_CONE_SEED);
+        // The adder bodies are node-for-node identical despite different
+        // input positions and node numbering offsets.
+        assert_eq!(da.len() - a0, db.len() - b0);
+        for i in 0..(da.len() - a0) {
+            assert_eq!(da[a0 + i], db[b0 + i], "adder node {i} diverged");
+        }
+    }
+
+    #[test]
+    fn descriptors_distinguish_structure_and_complements() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let and = aig.and(a, b);
+        let nor = aig.and(!a, !b);
+        let x = aig.xor(a, b);
+        aig.add_output(and);
+        aig.add_output(nor);
+        aig.add_output(x);
+        let d = cone_descriptors(&aig, DEFAULT_CONE_SEED);
+        let (dand, dnor, dx) = (
+            d[and.var().index()],
+            d[nor.var().index()],
+            d[x.var().index()],
+        );
+        assert_ne!(dand.base, dnor.base, "complement edges must differ");
+        assert_ne!(dand.base, dx.base, "xor root must differ from and");
+        assert_ne!(dand.sim, dnor.sim);
+        assert_ne!(dand.sim, dx.sim);
+    }
+
+    #[test]
+    fn sim_channel_is_seed_sensitive_and_reuse_is_stable() {
+        let (aig, _) = adder_with_offset(0);
+        let d1 = cone_descriptors(&aig, 11);
+        let d2 = cone_descriptors(&aig, 12);
+        let bases1: Vec<u64> = d1.iter().map(|d| d.base).collect();
+        let bases2: Vec<u64> = d2.iter().map(|d| d.base).collect();
+        assert_eq!(bases1, bases2, "structural channel is seed-independent");
+        assert!(
+            d1.iter().zip(&d2).any(|(x, y)| x.sim != y.sim),
+            "sim channel must vary with the seed"
+        );
+        // Buffer reuse with stale longer contents.
+        let mut buf = cone_descriptors(&aig, 11);
+        buf.resize(500, ConeDescriptor::default());
+        cone_descriptors_into(&aig, 11, &mut buf);
+        assert_eq!(buf, d1);
+    }
+}

@@ -37,6 +37,7 @@
 
 mod aig;
 pub mod aiger;
+pub mod cone;
 pub mod cut;
 pub mod dot;
 pub mod hasher;

@@ -98,6 +98,15 @@ impl BatchScratch {
         &self.offsets
     }
 
+    /// The merged per-node predictions buffer. The cone-tier serve path
+    /// scatters cache-served rows here between
+    /// `GamoraReasoner::assemble_batch_timed` (which sizes it to the
+    /// batch's total node count) and the row-masked forward pass that
+    /// fills the remaining rows.
+    pub fn merged_mut(&mut self) -> &mut crate::reasoner::Predictions {
+        &mut self.merged
+    }
+
     fn fill_offsets(&mut self, sizes: impl Iterator<Item = usize>) -> usize {
         self.offsets.clear();
         let mut base = 0usize;

@@ -463,6 +463,131 @@ impl GamoraReasoner {
         }
     }
 
+    /// First phase of the cone-tier split pipeline: assembles the merged
+    /// batch graph/features into `batch` (timed, behind the same
+    /// `assemble` chaos seam as the one-shot path) and pre-sizes the
+    /// merged [`Predictions`] to the batch's total node count so the
+    /// caller can scatter cache-served rows in place before
+    /// [`GamoraReasoner::predict_assembled_rows_into_timed`] fills the
+    /// rest. Returns the assembly wall time in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aigs` is empty.
+    pub fn assemble_batch_timed(&self, batch: &mut BatchScratch, aigs: &[&Aig]) -> u64 {
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::BatchAssemble);
+        let assemble_start = Instant::now();
+        assemble_batch_into(aigs, self.config.feature_mode, self.config.direction, batch);
+        let total: usize = aigs.iter().map(|a| a.num_nodes()).sum();
+        let merged = batch.merged_mut();
+        merged.root_leaf.clear();
+        merged.root_leaf.resize(total, 0);
+        merged.is_xor.clear();
+        merged.is_xor.resize(total, false);
+        merged.is_maj.clear();
+        merged.is_maj.resize(total, false);
+        assemble_start.elapsed().as_micros() as u64
+    }
+
+    /// Second phase of the cone-tier split pipeline: row-masked inference
+    /// over a batch already assembled by
+    /// [`GamoraReasoner::assemble_batch_timed`]. Only the merged-graph
+    /// rows listed in `rows` are pushed through the shared linear, the
+    /// heads and the argmax decode (the SAGE trunk necessarily runs on
+    /// the full graph — any node can sit in a kept row's receptive
+    /// field); all other rows of the merged predictions are left exactly
+    /// as the caller scattered them. The merged predictions are then
+    /// split per netlist like the one-shot path, behind the same `split`
+    /// chaos seam.
+    ///
+    /// Kept rows decode bit-identically to the full pass
+    /// (`MultiTaskSage::infer_rows_observed` is per-row bit-stable), so
+    /// with `rows` = all rows this *is* `predict_batch_into_timed` minus
+    /// assembly. With `rows` empty no forward pass runs at all.
+    ///
+    /// Allocation-free after warmup like the one-shot path; the returned
+    /// timings carry `assemble_micros: 0` (phase one reports it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aigs` is empty, if `batch` was not assembled from
+    /// exactly `aigs`, or if a row index is out of range.
+    pub fn predict_assembled_rows_into_timed(
+        &self,
+        batch: &mut BatchScratch,
+        scratch: &mut InferenceScratch,
+        aigs: &[&Aig],
+        rows: &[u32],
+        outs: &mut Vec<Predictions>,
+        observer: Option<&dyn ForwardObserver>,
+    ) -> BatchTimings {
+        assert!(!aigs.is_empty(), "empty batch");
+        while outs.len() > aigs.len() {
+            batch.spare.push(outs.pop().expect("len checked"));
+        }
+        while outs.len() < aigs.len() {
+            outs.push(batch.spare.pop().unwrap_or_default());
+        }
+        let BatchScratch {
+            graph,
+            features,
+            offsets,
+            merged,
+            ..
+        } = batch;
+        let total: usize = aigs.iter().map(|a| a.num_nodes()).sum();
+        assert_eq!(merged.root_leaf.len(), total, "batch not pre-assembled");
+        let (mut forward_micros, mut decode_micros) = (0, 0);
+        if !rows.is_empty() {
+            let forward_start = Instant::now();
+            let logits = self
+                .model
+                .infer_rows_observed(graph, features, rows, scratch, observer);
+            forward_micros = forward_start.elapsed().as_micros() as u64;
+            let decode_start = Instant::now();
+            self.decode_logit_rows(logits, rows, merged);
+            decode_micros = decode_start.elapsed().as_micros() as u64;
+        }
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::PredictionSplit);
+        let scatter_start = Instant::now();
+        for ((out, &aig), &start) in outs.iter_mut().zip(aigs).zip(offsets.iter()) {
+            let end = start + aig.num_nodes();
+            out.root_leaf.clear();
+            out.root_leaf
+                .extend_from_slice(&merged.root_leaf[start..end]);
+            out.is_xor.clear();
+            out.is_xor.extend_from_slice(&merged.is_xor[start..end]);
+            out.is_maj.clear();
+            out.is_maj.extend_from_slice(&merged.is_maj[start..end]);
+        }
+        BatchTimings {
+            assemble_micros: 0,
+            forward_micros,
+            split_micros: decode_micros + scatter_start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Argmax-decodes compacted logits (row `k` = merged row `rows[k]`)
+    /// into the listed rows of the merged predictions.
+    fn decode_logit_rows(&self, logits: &[Matrix], rows: &[u32], merged: &mut Predictions) {
+        if self.config.multi_task {
+            for (k, &r) in rows.iter().enumerate() {
+                let r = r as usize;
+                merged.root_leaf[r] = argmax(logits[0].row(k)) as u32;
+                merged.is_xor[r] = argmax(logits[1].row(k)) == 1;
+                merged.is_maj[r] = argmax(logits[2].row(k)) == 1;
+            }
+        } else {
+            for (k, &r) in rows.iter().enumerate() {
+                let r = r as usize;
+                let (rl, xor, maj) = decode_joint(argmax(logits[0].row(k)) as u32);
+                merged.root_leaf[r] = rl;
+                merged.is_xor[r] = xor == 1;
+                merged.is_maj[r] = maj == 1;
+            }
+        }
+    }
+
     /// Number of SAGE trunk layers in the underlying model (sizing the
     /// per-layer forward-timing histograms in the serve layer).
     pub fn num_layers(&self) -> usize {
@@ -543,6 +668,97 @@ mod tests {
             task_weights: vec![0.8, 1.0, 1.0],
             log_every: 0,
         }
+    }
+
+    /// The two-phase cone pipeline (assemble, scatter, row-masked
+    /// predict) reproduces the one-shot batch path exactly: with all rows
+    /// kept it is bit-identical, and with a subset kept the remaining
+    /// rows pass through whatever the caller scattered.
+    #[test]
+    fn assembled_rows_pipeline_matches_one_shot_batch() {
+        let m3 = csa_multiplier(3);
+        let m4 = csa_multiplier(4);
+        let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+            depth: ModelDepth::Custom {
+                layers: 2,
+                hidden: 8,
+            },
+            ..ReasonerConfig::default()
+        });
+        reasoner.fit(&[&m3.aig], &quick_cfg());
+        let aigs: [&Aig; 2] = [&m3.aig, &m4.aig];
+        let total: usize = aigs.iter().map(|a| a.num_nodes()).sum();
+
+        let mut batch = BatchScratch::default();
+        let mut scratch = InferenceScratch::default();
+        let mut expected = Vec::new();
+        reasoner.predict_batch_into(&mut batch, &mut scratch, &aigs, &mut expected);
+
+        // All rows kept == the one-shot path.
+        let mut outs = Vec::new();
+        let all_rows: Vec<u32> = (0..total as u32).collect();
+        reasoner.assemble_batch_timed(&mut batch, &aigs);
+        reasoner.predict_assembled_rows_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &all_rows,
+            &mut outs,
+            None,
+        );
+        assert_eq!(outs, expected);
+
+        // Odd rows kept, even rows scattered from the known-good merged
+        // predictions (simulating cone-cache hits): output still exact.
+        reasoner.assemble_batch_timed(&mut batch, &aigs);
+        {
+            let merged = batch.merged_mut();
+            let mut row = 0usize;
+            for p in &expected {
+                for i in 0..p.root_leaf.len() {
+                    if row.is_multiple_of(2) {
+                        merged.root_leaf[row] = p.root_leaf[i];
+                        merged.is_xor[row] = p.is_xor[i];
+                        merged.is_maj[row] = p.is_maj[i];
+                    }
+                    row += 1;
+                }
+            }
+        }
+        let odd_rows: Vec<u32> = (0..total as u32).filter(|r| r % 2 == 1).collect();
+        reasoner.predict_assembled_rows_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &odd_rows,
+            &mut outs,
+            None,
+        );
+        assert_eq!(outs, expected);
+
+        // No rows kept: everything comes from the scattered values.
+        reasoner.assemble_batch_timed(&mut batch, &aigs);
+        {
+            let merged = batch.merged_mut();
+            let mut row = 0usize;
+            for p in &expected {
+                for i in 0..p.root_leaf.len() {
+                    merged.root_leaf[row] = p.root_leaf[i];
+                    merged.is_xor[row] = p.is_xor[i];
+                    merged.is_maj[row] = p.is_maj[i];
+                    row += 1;
+                }
+            }
+        }
+        reasoner.predict_assembled_rows_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &[],
+            &mut outs,
+            None,
+        );
+        assert_eq!(outs, expected);
     }
 
     #[test]

@@ -354,3 +354,125 @@ fn sectioned_assembly_serial_dispatch_is_allocation_free_after_warmup() {
     );
     assert_eq!(outs, expected);
 }
+
+/// The cone-tier split pipeline — `assemble_batch_timed` followed by a
+/// caller-side scatter into the merged predictions and the row-masked
+/// `predict_assembled_rows_into_timed` — must be exactly as
+/// allocation-free after warmup as the one-shot batch path it refactors.
+/// This is the serve worker's hot path whenever the cone cache is on,
+/// including the all-hit case where no forward pass runs at all.
+#[test]
+fn masked_assembled_rows_path_is_allocation_free_after_warmup() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let m3 = csa_multiplier(3);
+    let m4 = csa_multiplier(4);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 3,
+            hidden: 16,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m3.aig],
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let reasoner = reasoner;
+
+    let aigs: Vec<&Aig> = vec![&m4.aig, &m3.aig];
+    let total: usize = aigs.iter().map(|a| a.num_nodes()).sum();
+    let mut batch = reasoner.batch_scratch();
+    let mut scratch = reasoner.scratch();
+    let mut outs: Vec<Predictions> = Vec::new();
+    // A fixed residual-row mask (every third row) stands in for the cone
+    // cache's miss rows; preallocated like the serve worker's ConeState.
+    let rows: Vec<u32> = (0..total as u32).filter(|r| r % 3 == 0).collect();
+
+    // Warmup: assembly, merged-prediction sizing, the row-gather matrix
+    // inside the inference scratch, and the per-netlist outputs all grow
+    // to their high-water marks.
+    reasoner.assemble_batch_timed(&mut batch, &aigs);
+    reasoner.predict_assembled_rows_into_timed(
+        &mut batch,
+        &mut scratch,
+        &aigs,
+        &rows,
+        &mut outs,
+        None,
+    );
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..32 {
+        reasoner.assemble_batch_timed(&mut batch, &aigs);
+        reasoner.predict_assembled_rows_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &rows,
+            &mut outs,
+            None,
+        );
+    }
+    // The all-hit fast path (empty row mask: scatter + split only, no
+    // forward) must be allocation-free too.
+    for _ in 0..8 {
+        reasoner.assemble_batch_timed(&mut batch, &aigs);
+        reasoner.predict_assembled_rows_into_timed(
+            &mut batch,
+            &mut scratch,
+            &aigs,
+            &[],
+            &mut outs,
+            None,
+        );
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state assemble + row-masked predict (the cone-tier serve \
+         path) must not allocate"
+    );
+
+    // The masked rows decode identically to the one-shot batch path.
+    let mut full_batch = reasoner.batch_scratch();
+    let mut full_outs: Vec<Predictions> = Vec::new();
+    reasoner.predict_batch_into(&mut full_batch, &mut scratch, &aigs, &mut full_outs);
+    let offsets: Vec<usize> = {
+        let mut base = 0;
+        aigs.iter()
+            .map(|a| {
+                let o = base;
+                base += a.num_nodes();
+                o
+            })
+            .collect()
+    };
+    reasoner.assemble_batch_timed(&mut batch, &aigs);
+    reasoner.predict_assembled_rows_into_timed(
+        &mut batch,
+        &mut scratch,
+        &aigs,
+        &rows,
+        &mut outs,
+        None,
+    );
+    for &r in &rows {
+        let r = r as usize;
+        let (i, off) = offsets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &off)| off <= r)
+            .map(|(i, &off)| (i, off))
+            .expect("row within batch");
+        assert_eq!(outs[i].root_leaf[r - off], full_outs[i].root_leaf[r - off]);
+        assert_eq!(outs[i].is_xor[r - off], full_outs[i].is_xor[r - off]);
+        assert_eq!(outs[i].is_maj[r - off], full_outs[i].is_maj[r - off]);
+    }
+}

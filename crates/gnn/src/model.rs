@@ -41,6 +41,9 @@ pub struct InferenceScratch {
     h_out: Matrix,
     z: Matrix,
     logits: Vec<Matrix>,
+    /// Compacted embedding rows for the row-masked epilogue
+    /// ([`MultiTaskSage::infer_rows_observed`]).
+    gather: Matrix,
 }
 
 /// Hyper-parameters of a [`MultiTaskSage`].
@@ -240,6 +243,84 @@ impl MultiTaskSage {
         {
             let InferenceScratch { h_in, z, .. } = &mut *scratch;
             self.shared.forward_into(h_in, z);
+        }
+        if let (Some(obs), Some(t)) = (observer, started) {
+            obs.record_stage(ForwardStage::Shared, t.elapsed().as_micros() as u64);
+        }
+        let started = observer.map(|_| std::time::Instant::now());
+        {
+            let InferenceScratch { z, logits, .. } = &mut *scratch;
+            if logits.len() != self.heads.len() {
+                logits.resize_with(self.heads.len(), Matrix::default);
+            }
+            for (head, out) in self.heads.iter().zip(logits.iter_mut()) {
+                head.forward_into(z, out);
+            }
+        }
+        if let (Some(obs), Some(t)) = (observer, started) {
+            obs.record_stage(ForwardStage::Heads, t.elapsed().as_micros() as u64);
+        }
+        &scratch.logits
+    }
+
+    /// Row-masked inference: the trunk runs on the **full** graph (message
+    /// passing cannot skip rows — every node's embedding may feed a kept
+    /// row's neighborhood), but the shared linear and the per-task heads
+    /// run only on the embedding rows listed in `rows`, compacted through
+    /// the same fused GEMM kernels. Logit row `k` corresponds to node
+    /// `rows[k]`.
+    ///
+    /// Per-row results are bit-identical to the full
+    /// [`MultiTaskSage::infer_observed`] pass: the fused kernels are
+    /// per-row bit-stable under row regrouping (the `kernel_equivalence`
+    /// CI guard), so gathering rows before the epilogue GEMMs cannot
+    /// change any kept row. This is the partial-forward entry the
+    /// cone-level prediction cache uses to skip head work for rows whose
+    /// predictions were served from cache.
+    ///
+    /// Allocation-free after warmup, like the full pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong feature width or row count, or if any
+    /// row index is out of range.
+    pub fn infer_rows_observed<'a>(
+        &self,
+        graph: &Graph,
+        x: &Matrix,
+        rows: &[u32],
+        scratch: &'a mut InferenceScratch,
+        observer: Option<&dyn ForwardObserver>,
+    ) -> &'a [Matrix] {
+        // Same chaos seam as the full pass: the cone tier must not dodge
+        // forward-stage fault injection.
+        gamora_fault::hit_or_panic(gamora_fault::FaultPoint::GnnForward);
+        assert_eq!(x.cols(), self.config.in_dim, "feature width mismatch");
+        assert_eq!(x.rows(), graph.num_nodes(), "one feature row per node");
+        for (l, layer) in self.sage.iter().enumerate() {
+            let started = observer.map(|_| std::time::Instant::now());
+            {
+                let InferenceScratch {
+                    ws, h_in, h_out, ..
+                } = &mut *scratch;
+                let input = if l == 0 { x } else { &*h_in };
+                layer.forward_into(graph, input, ws, h_out);
+            }
+            std::mem::swap(&mut scratch.h_in, &mut scratch.h_out);
+            if let (Some(obs), Some(t)) = (observer, started) {
+                obs.record_stage(ForwardStage::Sage(l), t.elapsed().as_micros() as u64);
+            }
+        }
+        let started = observer.map(|_| std::time::Instant::now());
+        {
+            let InferenceScratch {
+                h_in, gather, z, ..
+            } = &mut *scratch;
+            gather.reset(rows.len(), h_in.cols());
+            for (k, &r) in rows.iter().enumerate() {
+                gather.row_mut(k).copy_from_slice(h_in.row(r as usize));
+            }
+            self.shared.forward_into(gather, z);
         }
         if let (Some(obs), Some(t)) = (observer, started) {
             obs.record_stage(ForwardStage::Shared, t.elapsed().as_micros() as u64);
@@ -467,6 +548,35 @@ mod tests {
         let la = a.forward(&graph, &x);
         let lb = b.forward(&graph, &x);
         assert_eq!(la[0].as_slice(), lb[0].as_slice());
+    }
+
+    /// Row-masked inference returns, for every requested row, logits
+    /// bit-identical to the corresponding row of the full pass — for
+    /// strict subsets, the full set, and the empty set.
+    #[test]
+    fn infer_rows_matches_full_pass_bitwise() {
+        let model = tiny_model();
+        let graph = tiny_graph();
+        let mut x = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            x.set(r, r % 3, 1.0);
+        }
+        let full = model.forward(&graph, &x);
+        let mut scratch = InferenceScratch::default();
+        for rows in [vec![0u32, 2, 5], vec![3], (0..6u32).collect(), vec![]] {
+            let masked = model.infer_rows_observed(&graph, &x, &rows, &mut scratch, None);
+            assert_eq!(masked.len(), full.len());
+            for (task, (m, f)) in masked.iter().zip(&full).enumerate() {
+                assert_eq!(m.rows(), rows.len());
+                for (k, &r) in rows.iter().enumerate() {
+                    assert_eq!(
+                        m.row(k),
+                        f.row(r as usize),
+                        "task {task} row {r} diverged under masking"
+                    );
+                }
+            }
+        }
     }
 
     /// A reused scratch produces logits bit-identical to the allocating

@@ -35,10 +35,12 @@
 //! as single-call conveniences for unlocked (single-owner) use.
 
 use gamora::Predictions;
+use gamora_aig::cone::{cone_descriptors_into, ConeDescriptor, DEFAULT_CONE_SEED};
 use gamora_aig::hasher::{
-    fingerprint_from_node_hashes, identity_fingerprint, structural_node_hashes, FxHashMap,
+    fingerprint_from_node_hashes, identity_fingerprint, structural_node_hashes_parallel, FxHashMap,
 };
 use gamora_aig::Aig;
+use gamora_gnn::Graph;
 use gamora_obs::{Counter, Histogram, Registry, StageTimer};
 use std::sync::Arc;
 
@@ -62,6 +64,20 @@ pub struct CacheMetrics {
     /// Probed entries that refused to resolve (duplicate cones or a
     /// genuine fingerprint collision) — honest misses.
     pub resolve_misses: Arc<Counter>,
+    /// Merged-batch rows probed against the cone tier.
+    pub cone_rows_probed: Arc<Counter>,
+    /// Cone-tier row hits — exactly the forward rows skipped by the
+    /// row-masked epilogue.
+    pub cone_rows_hit: Arc<Counter>,
+    /// Rows inserted into the cone tier after a forward pass.
+    pub cone_inserts: Arc<Counter>,
+    /// Per-batch cone key computation latency (descriptors + WL
+    /// refinement, outside any lock).
+    pub cone_keys_micros: Arc<Histogram>,
+    /// Per-batch cone probe latency (all rows, one lock hold).
+    pub cone_probe_micros: Arc<Histogram>,
+    /// Per-batch cone insert latency (miss rows, one lock hold).
+    pub cone_insert_micros: Arc<Histogram>,
 }
 
 impl CacheMetrics {
@@ -74,6 +90,12 @@ impl CacheMetrics {
             hits_transferred: reg.counter("cache_hits_transferred_total"),
             probe_misses: reg.counter("cache_probe_misses_total"),
             resolve_misses: reg.counter("cache_resolve_misses_total"),
+            cone_rows_probed: reg.counter("cache_cone_rows_probed_total"),
+            cone_rows_hit: reg.counter("cache_cone_rows_hit_total"),
+            cone_inserts: reg.counter("cache_cone_inserts_total"),
+            cone_keys_micros: reg.histogram("cache_cone_keys_micros"),
+            cone_probe_micros: reg.histogram("cache_cone_probe_micros"),
+            cone_insert_micros: reg.histogram("cache_cone_insert_micros"),
         }
     }
 }
@@ -105,8 +127,15 @@ pub struct GraphSignature {
 
 impl GraphSignature {
     /// Computes the signature of an AIG.
+    ///
+    /// The per-node hash pass runs as a levelized wavefront over scoped
+    /// threads for large subjects, under the caller's `intra_threads`
+    /// budget (`gamora_gnn::parallel::num_threads()` reads the worker's
+    /// thread-local allowance) — bit-identical to the serial pass, so
+    /// fingerprints computed on admission threads, worker threads and in
+    /// tests always agree.
     pub fn of(aig: &Aig) -> GraphSignature {
-        let node_hashes = structural_node_hashes(aig);
+        let node_hashes = structural_node_hashes_parallel(aig, gamora_gnn::parallel::num_threads());
         GraphSignature {
             key: CacheKey {
                 fingerprint: fingerprint_from_node_hashes(aig, &node_hashes),
@@ -430,6 +459,162 @@ impl PredictionCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cone tier
+// ---------------------------------------------------------------------------
+
+/// Key of one node's cone in the cone-level cache tier: the
+/// WL-refined structural channel plus the independent seeded
+/// simulation-signature channel. Both must match for a hit — a structural
+/// collision with a differing sim signature is an honest miss, never a
+/// false hit.
+pub type ConeKey = (u64, u64);
+
+/// Packs a per-node prediction into one cone-cache value word.
+#[inline]
+pub fn pack_prediction(root_leaf: u32, is_xor: bool, is_maj: bool) -> u32 {
+    (root_leaf << 2) | (u32::from(is_xor)) | (u32::from(is_maj) << 1)
+}
+
+/// Inverse of [`pack_prediction`].
+#[inline]
+pub fn unpack_prediction(packed: u32) -> (u32, bool, bool) {
+    (packed >> 2, packed & 1 != 0, packed & 2 != 0)
+}
+
+/// The cone-level cache tier: canonical cone key -> packed per-node
+/// prediction.
+///
+/// Eviction is two-generation segmented (the classic "S4LRU lite"): an
+/// insert that would grow the *current* generation past half the capacity
+/// demotes current to *previous* and discards the old previous wholesale.
+/// Every entry therefore survives at least half-a-capacity of inserts, the
+/// total never exceeds `capacity`, and — unlike a per-entry LRU list —
+/// both [`ConeCache::probe`] (pure map reads, `&self`) and
+/// [`ConeCache::insert`] stay O(1) with *zero* steady-state allocations:
+/// generation rotation is a pointer swap plus a `clear()` that keeps the
+/// map's buckets.
+pub struct ConeCache {
+    capacity: usize,
+    current: FxHashMap<ConeKey, u32>,
+    previous: FxHashMap<ConeKey, u32>,
+}
+
+impl ConeCache {
+    /// Creates a cone cache holding at most `capacity` node predictions
+    /// across both generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ConeCache {
+        assert!(capacity > 0, "cone cache capacity must be positive");
+        ConeCache {
+            capacity,
+            current: FxHashMap::default(),
+            previous: FxHashMap::default(),
+        }
+    }
+
+    /// Number of cached cone predictions (both generations).
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up one cone key: current generation first, then previous.
+    /// Read-only and allocation-free — the serve path probes a whole
+    /// batch's rows under one short lock hold.
+    #[inline]
+    pub fn probe(&self, key: ConeKey) -> Option<u32> {
+        self.current
+            .get(&key)
+            .or_else(|| self.previous.get(&key))
+            .copied()
+    }
+
+    /// Inserts (or refreshes) one cone prediction, rotating generations
+    /// when the current one reaches half the capacity.
+    pub fn insert(&mut self, key: ConeKey, packed: u32) {
+        let half = self.capacity.div_ceil(2);
+        if !self.current.contains_key(&key) && self.current.len() >= half {
+            std::mem::swap(&mut self.current, &mut self.previous);
+            // Keeps the bucket allocation: steady-state rotation is free.
+            self.current.clear();
+        }
+        self.current.insert(key, packed);
+    }
+}
+
+/// Reusable per-worker scratch for cone-key computation: per-subject
+/// descriptors, the merged per-row key/sim channels, and the WL ping-pong
+/// buffer. Everything is allocation-free once warmed to the largest batch
+/// seen.
+#[derive(Default)]
+pub struct ConeState {
+    descs: Vec<ConeDescriptor>,
+    /// Structural channel per merged-batch row, WL-refined over the
+    /// actual batch graph after [`ConeState::compute_keys`].
+    pub keys: Vec<u64>,
+    /// Simulation-signature channel per merged-batch row (cone-local,
+    /// never refined).
+    pub sims: Vec<u64>,
+    wl: Vec<u64>,
+    /// Merged-batch rows whose cone key missed — the row mask handed to
+    /// the partial forward pass.
+    pub miss_rows: Vec<u32>,
+}
+
+impl ConeState {
+    /// Computes every merged-batch row's [`ConeKey`] for a batch of
+    /// subjects laid out consecutively in `graph` (the merged batch graph
+    /// the forward pass will run on): per-node cone descriptors per
+    /// subject, then `rounds` Weisfeiler-Leman refinement rounds of the
+    /// structural channel over the merged graph.
+    ///
+    /// `rounds` must be the model's message-passing layer count: equal
+    /// refined keys then imply bit-identical embedding rows (see
+    /// [`Graph::refine_keys`]), which is what makes serving a cached
+    /// prediction for an equal key sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subjects' node counts do not sum to the graph's.
+    pub fn compute_keys(&mut self, aigs: &[&Aig], graph: &Graph, rounds: usize) {
+        self.keys.clear();
+        self.sims.clear();
+        for aig in aigs {
+            cone_descriptors_into(aig, DEFAULT_CONE_SEED, &mut self.descs);
+            for d in &self.descs {
+                self.keys.push(d.base);
+                self.sims.push(d.sim);
+            }
+        }
+        assert_eq!(
+            self.keys.len(),
+            graph.num_nodes(),
+            "subjects must tile the batch graph"
+        );
+        graph.refine_keys(&mut self.keys, &mut self.wl, rounds);
+    }
+
+    /// The cone key of merged-batch row `r` (valid after
+    /// [`ConeState::compute_keys`]).
+    #[inline]
+    pub fn key(&self, r: usize) -> ConeKey {
+        (self.keys[r], self.sims[r])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +784,134 @@ mod tests {
         let mut cache = PredictionCache::new(4);
         cache.insert(&GraphSignature::of(&a), toy_predictions(&a));
         assert!(cache.lookup(&GraphSignature::of(&b)).is_none());
+    }
+
+    /// ISSUE 9 collision guard: two cones with the same structural channel
+    /// but different simulation signatures must never serve each other.
+    #[test]
+    fn cone_key_collision_on_sim_channel_misses() {
+        let mut cache = ConeCache::new(16);
+        let structural = 0xDEAD_BEEF_u64;
+        cache.insert((structural, 0x1111), pack_prediction(2, true, false));
+        // Same cut-hash channel, different sim signature: honest miss.
+        assert_eq!(cache.probe((structural, 0x2222)), None);
+        // Exact key: hit, and the packed prediction round-trips.
+        let hit = cache.probe((structural, 0x1111)).expect("exact key hits");
+        assert_eq!(unpack_prediction(hit), (2, true, false));
+        // Symmetrically, same sim with a different structural channel.
+        assert_eq!(cache.probe((0xFEED_F00D, 0x1111)), None);
+    }
+
+    #[test]
+    fn cone_cache_two_generation_eviction_is_bounded() {
+        let mut cache = ConeCache::new(8);
+        for i in 0..100u64 {
+            cache.insert((i, i), pack_prediction(i as u32 % 4, false, false));
+            assert!(cache.len() <= 8, "capacity exceeded at insert {i}");
+        }
+        // The most recent insert always survives.
+        assert!(cache.probe((99, 99)).is_some());
+        // An entry inserted into the current generation survives at least
+        // half-a-capacity of further inserts.
+        let mut cache = ConeCache::new(8);
+        cache.insert((1000, 1000), 7);
+        for i in 0..3u64 {
+            cache.insert((i, i), 0);
+        }
+        assert_eq!(cache.probe((1000, 1000)), Some(7));
+        // Refreshing a key does not rotate generations spuriously.
+        cache.insert((1000, 1000), 9);
+        assert_eq!(cache.probe((1000, 1000)), Some(9));
+    }
+
+    /// Cone keys computed on a merged batch graph equal the keys computed
+    /// on each subject alone (disjoint sections), and identical cones in
+    /// different subjects produce identical keys.
+    #[test]
+    fn cone_keys_are_batch_composition_independent() {
+        use gamora::dataset::{build_graph_into, inference_graph};
+        use gamora::{BatchScratch, FeatureMode};
+        use gamora_gnn::Direction;
+
+        let a = toy_aig(false);
+        let b = {
+            let mut aig = Aig::new();
+            let ins = aig.add_inputs(2);
+            let x = aig.xor(ins[0], ins[1]);
+            aig.add_output(x);
+            aig
+        };
+        let rounds = 2;
+
+        // Per-subject keys.
+        let mut solo = ConeState::default();
+        let mut solo_keys = Vec::new();
+        for aig in [&a, &b] {
+            let (graph, _) = inference_graph(
+                aig,
+                FeatureMode::StructuralFunctional,
+                Direction::Bidirectional,
+            );
+            solo.compute_keys(&[aig], &graph, rounds);
+            solo_keys.extend((0..aig.num_nodes()).map(|r| solo.key(r)));
+        }
+
+        // Merged-batch keys.
+        let mut ws = BatchScratch::default();
+        gamora::dataset::batch_graphs_into(
+            &[
+                (
+                    &a,
+                    &inference_graph(
+                        &a,
+                        FeatureMode::StructuralFunctional,
+                        Direction::Bidirectional,
+                    )
+                    .1,
+                ),
+                (
+                    &b,
+                    &inference_graph(
+                        &b,
+                        FeatureMode::StructuralFunctional,
+                        Direction::Bidirectional,
+                    )
+                    .1,
+                ),
+            ],
+            Direction::Bidirectional,
+            &mut ws,
+        );
+        let mut batched = ConeState::default();
+        batched.compute_keys(&[&a, &b], ws.graph(), rounds);
+        let batch_keys: Vec<ConeKey> = (0..a.num_nodes() + b.num_nodes())
+            .map(|r| batched.key(r))
+            .collect();
+        assert_eq!(batch_keys, solo_keys);
+
+        // Two copies of the same subject in one batch: identical key runs.
+        let mut twin = BatchScratch::default();
+        let xa = inference_graph(
+            &a,
+            FeatureMode::StructuralFunctional,
+            Direction::Bidirectional,
+        )
+        .1;
+        gamora::dataset::batch_graphs_into(
+            &[(&a, &xa), (&a, &xa)],
+            Direction::Bidirectional,
+            &mut twin,
+        );
+        let mut twin_state = ConeState::default();
+        twin_state.compute_keys(&[&a, &a], twin.graph(), rounds);
+        let n = a.num_nodes();
+        for r in 0..n {
+            assert_eq!(twin_state.key(r), twin_state.key(n + r), "row {r}");
+        }
+        // Guard against accidental direct unused import removal.
+        let mut g = gamora_gnn::Graph::default();
+        build_graph_into(&a, Direction::Bidirectional, &mut g);
+        assert_eq!(g.num_nodes(), a.num_nodes());
     }
 
     #[test]

@@ -72,7 +72,10 @@
 //! For multi-shard serving (one ingress per cache) see
 //! [`ShardRouter`](crate::router::ShardRouter).
 
-use crate::cache::{CacheEntry, GraphSignature, HitKind, PredictionCache};
+use crate::cache::{
+    pack_prediction, unpack_prediction, CacheEntry, ConeCache, ConeState, GraphSignature, HitKind,
+    PredictionCache,
+};
 use crate::metrics::ServeMetrics;
 use gamora::{
     extract_from_predictions, lsb_correction, BatchScratch, GamoraReasoner, InferenceScratch,
@@ -157,6 +160,16 @@ pub struct ServeConfig {
     /// (`cache_capacity > 0`); in cold mode no fingerprints exist, so
     /// nothing is ever quarantined.
     pub quarantine_ttl_micros: u64,
+    /// Capacity of the cone-level prediction cache tier, in *node*
+    /// predictions across all subjects (a 16-bit multiplier is ~1.5k
+    /// nodes). `0` (the default) disables the tier: whole-graph misses
+    /// run the plain full forward pass, exactly as before this tier
+    /// existed. When enabled, whole-graph misses compute canonical
+    /// per-cone keys, serve rows whose cone was seen before straight from
+    /// the cache, and push only the remaining rows through the shared
+    /// linear + heads (the SAGE trunk always runs on the full merged
+    /// graph — message passing cannot skip rows).
+    pub cone_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -170,6 +183,7 @@ impl Default for ServeConfig {
             layer_timing: false,
             intra_threads: 0,
             quarantine_ttl_micros: 5_000_000,
+            cone_capacity: 0,
         }
     }
 }
@@ -446,6 +460,11 @@ struct Shared {
     burst_counter: AtomicU64,
     /// `None` when caching is disabled (`cache_capacity == 0`).
     cache: Mutex<Option<PredictionCache>>,
+    /// The cone-level tier; `None` when disabled (`cone_capacity == 0`).
+    cone: Mutex<Option<ConeCache>>,
+    /// Whether the cone tier is on (`cone_capacity > 0`); lets the batch
+    /// path pick the one-shot predict without touching the cone lock.
+    cone_enabled: bool,
     /// Whether structural-hash shortcuts (cache + intra-batch dedup) are on.
     hashing_enabled: bool,
     /// Every counter/gauge/histogram the serve path records into. The
@@ -596,6 +615,7 @@ fn spawn_worker(
                 scratch: model.scratch(),
                 batch_ws: model.batch_scratch(),
                 outs: Vec::new(),
+                cone: ConeState::default(),
                 batch_fps: Vec::new(),
             };
             worker_loop(&shared, &model, &mut state);
@@ -682,6 +702,10 @@ impl Server {
             cache: Mutex::new(
                 (config.cache_capacity > 0).then(|| PredictionCache::new(config.cache_capacity)),
             ),
+            cone: Mutex::new(
+                (config.cone_capacity > 0).then(|| ConeCache::new(config.cone_capacity)),
+            ),
+            cone_enabled: config.cone_capacity > 0,
             hashing_enabled: config.cache_capacity > 0,
             metrics,
             registry,
@@ -1096,6 +1120,9 @@ struct WorkerState {
     scratch: InferenceScratch,
     batch_ws: BatchScratch,
     outs: Vec<Predictions>,
+    /// Cone-key scratch (descriptors, WL keys, miss-row mask) for the
+    /// cone-tier probe path; unused (and empty) when the tier is off.
+    cone: ConeState,
     /// Fingerprints of the batch currently being executed, recorded right
     /// after hashing so the post-panic handler can attribute strikes to
     /// the submissions that were on the worker when it died. Empty in
@@ -1389,13 +1416,97 @@ fn run_batch(
                 scratch,
                 batch_ws,
                 outs,
+                cone,
                 ..
             } = &mut *state;
+            let cone_enabled = shared.cone_enabled;
             catch_unwind(AssertUnwindSafe(|| {
-                model.predict_batch_into_timed(batch_ws, scratch, &aigs, outs, m.forward_observer())
+                if !cone_enabled {
+                    let t = model.predict_batch_into_timed(
+                        batch_ws,
+                        scratch,
+                        &aigs,
+                        outs,
+                        m.forward_observer(),
+                    );
+                    return (t, true);
+                }
+                // Cone tier: assemble first, compute canonical cone keys
+                // over the merged batch graph, scatter every key the tier
+                // already knows into the merged predictions, then run the
+                // row-masked forward over the residual rows only. Keys
+                // are WL-refined through as many rounds as the model has
+                // message-passing layers, so an equal key implies a
+                // bit-identical embedding row — serving the cached
+                // prediction is exact, not heuristic.
+                let assemble_micros = model.assemble_batch_timed(batch_ws, &aigs);
+                let keys_timer = StageTimer::start();
+                cone.compute_keys(&aigs, batch_ws.graph(), model.num_layers());
+                keys_timer.observe(&m.cache.cone_keys_micros);
+                let total = batch_ws.graph().num_nodes();
+                cone.miss_rows.clear();
+                let probe_timer = StageTimer::start();
+                {
+                    let guard = shared.cone.lock().expect("cone cache poisoned");
+                    let tier = guard.as_ref().expect(
+                        "cone_enabled implies a cone cache (both derive from cone_capacity > 0)",
+                    );
+                    let merged = batch_ws.merged_mut();
+                    for r in 0..total {
+                        match tier.probe(cone.key(r)) {
+                            Some(packed) => {
+                                let (leaf, xor, maj) = unpack_prediction(packed);
+                                merged.root_leaf[r] = leaf;
+                                merged.is_xor[r] = xor;
+                                merged.is_maj[r] = maj;
+                            }
+                            None => cone.miss_rows.push(r as u32),
+                        }
+                    }
+                }
+                probe_timer.observe(&m.cache.cone_probe_micros);
+                m.cache.cone_rows_probed.add(total as u64);
+                m.cache
+                    .cone_rows_hit
+                    .add((total - cone.miss_rows.len()) as u64);
+                let mut t = model.predict_assembled_rows_into_timed(
+                    batch_ws,
+                    scratch,
+                    &aigs,
+                    &cone.miss_rows,
+                    outs,
+                    m.forward_observer(),
+                );
+                t.assemble_micros = assemble_micros;
+                // Insert only after the forward succeeded: a panicking
+                // batch (injected or genuine) unwinds before this point,
+                // so a poisoned submission never publishes rows into the
+                // tier it could later be served from.
+                if !cone.miss_rows.is_empty() {
+                    let insert_timer = StageTimer::start();
+                    {
+                        let mut guard = shared.cone.lock().expect("cone cache poisoned");
+                        let tier = guard.as_mut().expect("cone cache present when enabled");
+                        let merged = batch_ws.merged_mut();
+                        for &r in &cone.miss_rows {
+                            let r = r as usize;
+                            tier.insert(
+                                cone.key(r),
+                                pack_prediction(
+                                    merged.root_leaf[r],
+                                    merged.is_xor[r],
+                                    merged.is_maj[r],
+                                ),
+                            );
+                        }
+                    }
+                    insert_timer.observe(&m.cache.cone_insert_micros);
+                    m.cache.cone_inserts.add(cone.miss_rows.len() as u64);
+                }
+                (t, !cone.miss_rows.is_empty())
             }))
         };
-        let timings = match forward {
+        let (timings, forward_ran) = match forward {
             Ok(t) => t,
             Err(payload) => {
                 if payload.downcast_ref::<gamora_fault::Injected>().is_some() {
@@ -1414,7 +1525,9 @@ fn run_batch(
         m.stage_assemble.record(timings.assemble_micros);
         m.stage_forward.record(timings.forward_micros);
         m.stage_split.record(timings.split_micros);
-        m.forward_passes.inc();
+        if forward_ran {
+            m.forward_passes.inc();
+        }
         if shared.hashing_enabled {
             // Build the O(nodes) hash indexes outside the lock; only the
             // O(1) LRU insertion happens under it.
