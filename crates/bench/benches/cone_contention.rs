@@ -1,0 +1,149 @@
+//! Cone-cache mutex contention micro-bench: the cone tier is a single
+//! `Mutex<ConeCache>` shared by every serve worker, so each batch's
+//! per-row probes and post-forward inserts serialise on one lock. This
+//! bench measures how much probe throughput 2 and 4 workers keep,
+//! comparing the shipped discipline — one lock hold per *batch* of rows
+//! (`probe` is `&self` and allocation-free, so the hold is short) —
+//! against a naive lock-per-row discipline, and adds the scheduler's
+//! real write mix (a miss batch inserts its rows after the forward
+//! pass).
+//!
+//! Regenerate: `cargo bench -p gamora-bench --bench cone_contention`
+
+use gamora_bench::{time, Scale, Table};
+use gamora_serve::cache::{pack_prediction, ConeCache, ConeKey};
+use std::sync::Mutex;
+
+/// Deterministic synthetic cone keys: the structural and simulation
+/// channels of real keys are 64-bit hashes, so spreading integers with
+/// an odd multiplier reproduces their bucket behaviour.
+fn key(i: usize) -> ConeKey {
+    let i = i as u64;
+    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), !i)
+}
+
+/// Runs `iters` batches of `rows` probes per thread against one shared
+/// cone cache. `batched` holds the lock once per batch (the shipped
+/// scheduler); otherwise every row re-locks. `insert_every > 0` turns
+/// each `insert_every`-th batch into a miss batch that inserts its rows,
+/// reproducing the serve path's write traffic. Returns rows/second.
+fn hammer(
+    cache: &Mutex<ConeCache>,
+    population: usize,
+    threads: usize,
+    iters: usize,
+    rows: usize,
+    batched: bool,
+    insert_every: usize,
+) -> f64 {
+    let (_, secs) = time(|| {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    let mut hits = 0usize;
+                    for i in 0..iters {
+                        // Stride the key window per thread and batch so
+                        // the probes spread over the population the way
+                        // distinct subjects do.
+                        let base = (t * 7919 + i * rows) % population;
+                        if insert_every > 0 && i % insert_every == 0 {
+                            let mut c = cache.lock().expect("cone cache poisoned");
+                            for r in 0..rows {
+                                c.insert(key(base + r), pack_prediction(1, false, true));
+                            }
+                        } else if batched {
+                            let c = cache.lock().expect("cone cache poisoned");
+                            for r in 0..rows {
+                                hits += c.probe(key(base + r)).is_some() as usize;
+                            }
+                        } else {
+                            for r in 0..rows {
+                                let c = cache.lock().expect("cone cache poisoned");
+                                hits += c.probe(key(base + r)).is_some() as usize;
+                            }
+                        }
+                    }
+                    std::hint::black_box(hits);
+                });
+            }
+        });
+    });
+    (threads * iters * rows) as f64 / secs
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // One "batch" probes as many rows as a merged serve batch has nodes.
+    let rows = scale.pick(512, 2048, 8192);
+    let iters = scale.pick(200, 800, 2000);
+    let capacity = 1 << 20;
+    let population = 4 * rows;
+
+    println!(
+        "\n=== Cone-cache mutex contention: {rows} rows/batch, {iters} batches/thread, \
+         capacity {capacity} ==="
+    );
+    let mut table = Table::new(&[
+        "workload",
+        "threads",
+        "per-row lock (rows/s)",
+        "batched lock (rows/s)",
+        "batched/per-row",
+        "scaling vs 1T",
+    ]);
+    let mut measured: Vec<(&str, usize, f64, f64)> = Vec::new();
+    for (label, insert_every) in [("probe-only", 0usize), ("1/16 insert", 16)] {
+        let mut batched_1t = 0.0;
+        for threads in [1usize, 2, 4] {
+            let cache = Mutex::new(ConeCache::new(capacity));
+            {
+                // Pre-populate every probed key: hit-path contention is
+                // the question, not miss handling.
+                let mut c = cache.lock().unwrap();
+                for i in 0..population + rows {
+                    c.insert(key(i), pack_prediction(2, true, false));
+                }
+            }
+            let per_row = hammer(
+                &cache,
+                population,
+                threads,
+                iters,
+                rows,
+                false,
+                insert_every,
+            );
+            let batched = hammer(&cache, population, threads, iters, rows, true, insert_every);
+            if threads == 1 {
+                batched_1t = batched;
+            }
+            measured.push((label, threads, per_row, batched));
+            table.row(vec![
+                label.to_string(),
+                threads.to_string(),
+                format!("{per_row:.0}"),
+                format!("{batched:.0}"),
+                format!("{:.2}x", batched / per_row),
+                format!("{:.2}x", batched / batched_1t),
+            ]);
+        }
+    }
+    // The report must cover both workloads at all three pool sizes with
+    // non-degenerate numbers — a refactor that breaks a path shows up
+    // here instead of shipping an empty table.
+    for label in ["probe-only", "1/16 insert"] {
+        let rows_for: Vec<_> = measured.iter().filter(|(l, ..)| *l == label).collect();
+        assert_eq!(
+            rows_for.len(),
+            3,
+            "{label} workload missing from the report"
+        );
+        assert!(
+            rows_for
+                .iter()
+                .all(|&&(_, _, per_row, batched)| per_row > 0.0 && batched > 0.0),
+            "{label} produced empty measurements"
+        );
+    }
+    table.print();
+}

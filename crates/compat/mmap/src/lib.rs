@@ -1,0 +1,201 @@
+//! Vendored minimal read-only memory mapping (offline stand-in for the
+//! `memmap2` crate).
+//!
+//! Exactly one operation is supported: mapping a whole file read-only and
+//! private ([`Mmap::map`]), the way `gamora` serves `.gsnap` snapshots out
+//! of the page cache. The mapping dereferences to `&[u8]`, is `Send +
+//! Sync` (read-only pages), and is unmapped on drop.
+//!
+//! On non-Unix targets — or whenever the raw `mmap(2)` call fails —
+//! [`Mmap::map`] returns an error and callers fall back to reading the
+//! file into owned memory; nothing here panics on platform limits.
+//!
+//! No `libc` crate is available offline; `std` already links the platform
+//! C library, so the two syscall wrappers are declared directly.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    // Prototypes of the libc wrappers std links anyway. On 64-bit Unix
+    // `off_t` is 8 bytes, so the `i64` offset matches the ABI.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+/// A read-only, private, whole-file memory mapping.
+///
+/// The kernel backs the pages with the file's page-cache copy, so N
+/// processes mapping the same file share one physical copy of its bytes
+/// until someone writes (which `PROT_READ` forbids).
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime and
+// owned exclusively by this value, so shared references from any thread
+// only ever observe frozen bytes.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only and private, covering its current length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unsupported targets, on files whose length does not fit
+    /// in `usize`, and when the underlying `mmap(2)` call fails. Callers
+    /// are expected to fall back to `std::fs::read`.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        Self::map_len(file, len)
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn map_len(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty file needs no
+            // pages at all.
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        // SAFETY: a fresh private read-only mapping of a file we hold
+        // open; the kernel validates the fd and length and we check for
+        // MAP_FAILED before using the pointer.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    fn map_len(_file: &File, _len: usize) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not supported on this target",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live PROT_READ mapping (or a
+        // dangling pointer with len 0, which from_raw_parts permits).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if self.len > 0 {
+            // SAFETY: exactly the region returned by mmap in map_len.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmap-shim-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_read_only() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).expect("mapping a regular file works");
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 4096])
+            .unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -155,6 +155,15 @@ impl GamoraReasoner {
         GamoraReasoner { config, model }
     }
 
+    /// Creates a zero-weight skeleton with the right shapes for `config`
+    /// — for snapshot loaders, which fill (or borrow) every weight and
+    /// must not pay the Glorot initialisation of [`GamoraReasoner::new`]
+    /// on the cold-start path.
+    pub(crate) fn new_zeroed(config: ReasonerConfig) -> GamoraReasoner {
+        let model = MultiTaskSage::new_zeroed(config.model_config());
+        GamoraReasoner { config, model }
+    }
+
     /// The reasoner's configuration.
     pub fn config(&self) -> &ReasonerConfig {
         &self.config

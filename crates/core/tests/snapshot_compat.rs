@@ -1,16 +1,18 @@
 //! Back-compatibility guard for the `.gsnap` snapshot formats.
 //!
-//! The v2 reader must keep serving **v1** files — snapshots written by
-//! pre-quantisation builds — bit-exactly. An unquantised reasoner still
-//! *writes* the v1 layout, so the guard works by independently
-//! re-deriving the documented v1 byte layout from first principles (walk
-//! every field, recompute the trailing Fx checksum) and asserting the
-//! current writer has not drifted from it; a reader that loads today's
-//! f32 output therefore loads any pre-change file. A second test pins
-//! the serving side: load -> predictions bit-identical to the saved
-//! instance. Run under `--release` in CI.
+//! The v3 reader must keep serving **v1/v2** files — snapshots written
+//! by earlier builds — bit-exactly. The legacy writer is kept alive
+//! precisely so this guard can manufacture those files; the tests walk
+//! the documented byte layouts from first principles (every field, the
+//! per-write-call Fx checksum granularity) and assert neither the
+//! legacy writer nor the reader has drifted. A third test pins the
+//! **v3** mmap-ready layout the current writer emits: section table,
+//! 64-byte alignment, split header/payload checksums. Run under
+//! `--release` in CI.
 
-use gamora::snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
+use gamora::snapshot::{
+    read_snapshot, write_snapshot, write_snapshot_legacy, SNAPSHOT_ALIGN, SNAPSHOT_MAGIC,
+};
 use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
 use gamora_aig::hasher::FxHasher;
 use gamora_circuits::csa_multiplier;
@@ -37,9 +39,9 @@ fn trained_reasoner() -> GamoraReasoner {
 }
 
 /// Walks a snapshot byte stream field by field, feeding the checksum
-/// hasher with exactly one `write` per field — the granularity the v1
-/// writer uses (the Fx checksum folds 8-byte chunks *per write call*, so
-/// the field boundaries are part of the format).
+/// hasher with exactly one `write` per field — the granularity the v1/v2
+/// writers use (the Fx checksum folds 8-byte chunks *per write call*, so
+/// the field boundaries are part of those formats).
 struct Walker<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -62,12 +64,13 @@ impl<'a> Walker<'a> {
 /// Walks the documented v1 layout field by field: magic, version 1, the
 /// 20-byte config block, `count` tensors of `{len u32, len * f32}`, and
 /// a trailing Fx checksum over everything before it. Any drift in the
-/// writer (which would orphan pre-change snapshots) fails here.
+/// legacy writer (which would orphan pre-change snapshots the reader is
+/// tested against) fails here.
 #[test]
 fn f32_snapshot_still_uses_the_exact_v1_layout() {
     let reasoner = trained_reasoner();
     let mut buf = Vec::new();
-    write_snapshot(&reasoner, &mut buf).unwrap();
+    write_snapshot_legacy(&reasoner, &mut buf).unwrap();
 
     let mut w = Walker {
         buf: &buf,
@@ -75,7 +78,7 @@ fn f32_snapshot_still_uses_the_exact_v1_layout() {
         hasher: FxHasher::default(),
     };
     assert_eq!(w.take(4), SNAPSHOT_MAGIC, "magic");
-    assert_eq!(w.u32(), 1, "an unquantised reasoner must stay on v1");
+    assert_eq!(w.u32(), 1, "an unquantised legacy save must stay on v1");
     // Config block: depth tag u8 + layers u32 + hidden u32 +
     // feature_mode u8 + direction u8 + multi_task u8 + seed u64.
     let depth_tag = w.take(1)[0];
@@ -108,14 +111,15 @@ fn f32_snapshot_still_uses_the_exact_v1_layout() {
     assert_eq!(stored, w.hasher.finish(), "checksum definition unchanged");
 }
 
-/// A v1 snapshot loads under the v2 reader and serves bit-identically:
-/// same config, same scalar count, and bit-equal predictions on a fresh
-/// workload — the "old snapshot keeps serving" guarantee.
+/// A v1 snapshot loads under the current reader and serves
+/// bit-identically: same config, same scalar count, and bit-equal
+/// predictions on a fresh workload — the "old snapshot keeps serving"
+/// guarantee.
 #[test]
 fn v1_snapshot_loads_and_serves_bit_identically() {
     let reasoner = trained_reasoner();
     let mut buf = Vec::new();
-    write_snapshot(&reasoner, &mut buf).unwrap();
+    write_snapshot_legacy(&reasoner, &mut buf).unwrap();
     assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 1);
 
     let back = read_snapshot(&buf[..]).unwrap();
@@ -127,15 +131,15 @@ fn v1_snapshot_loads_and_serves_bit_identically() {
     assert_eq!(
         reasoner.predict(&subject.aig),
         back.predict(&subject.aig),
-        "a v1 snapshot must keep serving bit-exactly under the v2 reader"
+        "a v1 snapshot must keep serving bit-exactly under the current reader"
     );
 
-    // And a quantised save/load of the same model coexists: the two
-    // formats round-trip independently.
+    // And a quantised legacy save/load of the same model coexists: the
+    // v2 format round-trips independently.
     let mut quant = back.clone();
     quant.quantise();
     let mut v2 = Vec::new();
-    write_snapshot(&quant, &mut v2).unwrap();
+    write_snapshot_legacy(&quant, &mut v2).unwrap();
     assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
     let quant_back = read_snapshot(&v2[..]).unwrap();
     assert_eq!(
@@ -143,4 +147,83 @@ fn v1_snapshot_loads_and_serves_bit_identically() {
         quant_back.predict(&subject.aig),
         "v2 round trip serves bit-exactly too"
     );
+}
+
+/// Walks the documented **v3** layout from first principles: fixed
+/// header, section table, 64-byte-aligned payload, and the two split
+/// checksums — each defined as ONE `FxHasher::write` over a contiguous
+/// range (unlike v1/v2's per-field folding). Pins the mmap contract:
+/// every offset the reader will borrow from is aligned and in-bounds.
+#[test]
+fn v3_snapshot_uses_the_exact_documented_layout() {
+    let reasoner = trained_reasoner();
+    let mut buf = Vec::new();
+    write_snapshot(&reasoner, &mut buf).unwrap();
+
+    let u32_at = |at: usize| u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+    let u64_at = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+
+    assert_eq!(&buf[0..4], SNAPSHOT_MAGIC, "magic");
+    assert_eq!(u32_at(4), 3, "current writer emits v3");
+    // [8..28] is the same 20-byte config block as v1/v2.
+    assert_eq!(buf[8], 2, "custom depth tag");
+    assert_eq!(u32_at(9), 2, "layers");
+    assert_eq!(u32_at(13), 8, "hidden");
+
+    const ENTRY: usize = 1 + 4 + 4 + 8 + 8; // tag, rows, cols, offset, len
+    let count = u32_at(28) as usize;
+    let table = 32;
+    let tail = table + ENTRY * count;
+    let payload_base = u64_at(tail) as usize;
+    let payload_len = u64_at(tail + 8) as usize;
+    let payload_hash = u64_at(tail + 16);
+    let header_hash = u64_at(tail + 24);
+    let header_len = tail + 32;
+
+    assert_eq!(
+        payload_base,
+        header_len.div_ceil(SNAPSHOT_ALIGN) * SNAPSHOT_ALIGN,
+        "payload starts at the first aligned offset past the header"
+    );
+    assert_eq!(payload_base + payload_len, buf.len(), "payload ends at EOF");
+    assert!(
+        buf[header_len..payload_base].iter().all(|&b| b == 0),
+        "header/payload padding is zeroed"
+    );
+
+    // Section table: an unquantised model stores {weights, bias} per
+    // linear, all tag 0 (f32), at ascending 64-aligned offsets.
+    assert_eq!(count % 2, 0, "two sections per f32 linear");
+    let mut scalars = 0usize;
+    let mut cursor = 0usize;
+    for i in 0..count {
+        let at = table + ENTRY * i;
+        let (tag, rows, cols) = (buf[at], u32_at(at + 1) as usize, u32_at(at + 5) as usize);
+        let (offset, len) = (u64_at(at + 9) as usize, u64_at(at + 17) as usize);
+        assert_eq!(tag, 0, "f32 sections only in an unquantised snapshot");
+        assert_eq!(len, rows * cols * 4, "section length matches its shape");
+        assert_eq!(offset % SNAPSHOT_ALIGN, 0, "section offset is aligned");
+        assert_eq!(
+            offset,
+            cursor.div_ceil(SNAPSHOT_ALIGN) * SNAPSHOT_ALIGN,
+            "sections are densely packed at canonical offsets"
+        );
+        assert!(offset + len <= payload_len, "section stays in the payload");
+        cursor = offset + len;
+        scalars += rows * cols;
+    }
+    assert_eq!(cursor, payload_len, "no trailing payload bytes");
+    assert_eq!(
+        scalars,
+        reasoner.num_params(),
+        "v3 stores every parameter scalar exactly once"
+    );
+
+    // Both checksums are a SINGLE hasher write over a contiguous range.
+    let mut h = FxHasher::default();
+    h.write(&buf[payload_base..]);
+    assert_eq!(h.finish(), payload_hash, "payload checksum definition");
+    let mut h = FxHasher::default();
+    h.write(&buf[..header_len - 8]);
+    assert_eq!(h.finish(), header_hash, "header checksum definition");
 }

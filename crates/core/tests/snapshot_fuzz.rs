@@ -4,16 +4,23 @@
 //! sized by attacker-controlled header fields (length fields are
 //! validated against the model skeleton *before* any buffer is sized).
 //!
-//! Why every single-byte corruption must fail: fields that survive
-//! semantic validation (e.g. the stored seed) are still covered by the
-//! trailing Fx checksum, whose per-field fold is bijective in each
-//! 8-byte chunk — equal-shaped streams that differ anywhere hash
-//! differently, so the checksum mismatch is the backstop. Run under
-//! `--release` in CI alongside the snapshot back-compat guard.
+//! Why every single-byte corruption must fail: in v1/v2 every field is
+//! covered by the trailing Fx checksum, whose per-field fold is
+//! bijective in each 8-byte chunk — equal-shaped streams that differ
+//! anywhere hash differently. In v3 the header hash covers the header,
+//! the payload hash covers the payload, and the inter-region padding is
+//! required to be zero, so the three cases tile the whole file. Beyond
+//! blind flips, v3 headers are also fuzzed *re-signed* (valid checksum,
+//! lying fields): the reader recomputes every section's canonical
+//! tag/shape/offset/length from the model skeleton, so a signature
+//! alone never buys a deviant layout. Run under `--release` in CI
+//! alongside the snapshot back-compat guard.
 
-use gamora::snapshot::{read_snapshot, write_snapshot};
+use gamora::snapshot::{read_snapshot, write_snapshot, write_snapshot_legacy};
 use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_aig::hasher::FxHasher;
 use proptest::prelude::*;
+use std::hash::Hasher;
 use std::sync::OnceLock;
 
 fn trained_reasoner() -> GamoraReasoner {
@@ -36,26 +43,37 @@ fn trained_reasoner() -> GamoraReasoner {
     reasoner
 }
 
-/// A valid v1 (f32) snapshot byte stream, built once.
+/// A valid v1 (f32, legacy writer) snapshot byte stream, built once.
 fn v1_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| {
         let mut buf = Vec::new();
-        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        write_snapshot_legacy(&trained_reasoner(), &mut buf).unwrap();
         assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 1);
         buf
     })
 }
 
-/// A valid v2 (section-tagged, quantised) snapshot byte stream.
+/// A valid v2 (section-tagged, quantised, legacy writer) byte stream.
 fn v2_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| {
         let mut reasoner = trained_reasoner();
         reasoner.quantise();
         let mut buf = Vec::new();
-        write_snapshot(&reasoner, &mut buf).unwrap();
+        write_snapshot_legacy(&reasoner, &mut buf).unwrap();
         assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 2);
+        buf
+    })
+}
+
+/// A valid v3 (mmap-ready, current writer) byte stream.
+fn v3_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut buf = Vec::new();
+        write_snapshot(&trained_reasoner(), &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 3);
         buf
     })
 }
@@ -76,6 +94,19 @@ fn assert_mutation_rejected(base: &[u8], pos: usize, value: u8, what: &str) {
     );
 }
 
+/// Recomputes and installs the v3 header hash so tampered header fields
+/// carry a *valid* signature — the canonical-layout checks, not the
+/// checksum, must then be what rejects the stream.
+fn resign_v3(buf: &mut [u8]) {
+    const ENTRY: usize = 1 + 4 + 4 + 8 + 8;
+    let count = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+    let hash_pos = 32 + ENTRY * count + 24;
+    let mut h = FxHasher::default();
+    h.write(&buf[..hash_pos]);
+    let sig = h.finish();
+    buf[hash_pos..hash_pos + 8].copy_from_slice(&sig.to_le_bytes());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -93,10 +124,48 @@ proptest! {
         assert_mutation_rejected(base, pos as usize % base.len(), value, "v2");
     }
 
+    /// Any single corrupted byte in a v3 stream yields `Err`, not a
+    /// panic — header bytes trip the header hash, padding bytes trip the
+    /// zero check, payload bytes trip the payload hash.
+    #[test]
+    fn v3_single_byte_corruption_is_rejected(pos in any::<u64>(), value in any::<u8>()) {
+        let base = v3_bytes();
+        assert_mutation_rejected(base, pos as usize % base.len(), value, "v3");
+    }
+
+    /// A corrupted-then-RE-SIGNED v3 section table is still rejected:
+    /// the header checksum verifies, but the canonical section walk
+    /// (tag/rows/cols/offset/len recomputed from the skeleton) does not
+    /// accept any deviation, so a lying header can never size an
+    /// allocation or a borrow.
+    #[test]
+    fn v3_resigned_table_corruption_is_rejected(pos in any::<u64>(), value in any::<u8>()) {
+        const ENTRY: usize = 1 + 4 + 4 + 8 + 8;
+        let base = v3_bytes();
+        let count = u32::from_le_bytes(base[28..32].try_into().unwrap()) as usize;
+        // Mutate inside the section table only (count stays intact so
+        // the re-sign helper and the reader agree on the header extent).
+        let pos = 32 + pos as usize % (ENTRY * count);
+        if base[pos] == value {
+            return;
+        }
+        let mut bytes = base.to_vec();
+        bytes[pos] = value;
+        resign_v3(&mut bytes);
+        prop_assert!(
+            read_snapshot(&bytes[..]).is_err(),
+            "re-signed table byte {pos} set to {value:#04x} must still be rejected"
+        );
+    }
+
     /// Any strict prefix of a valid stream is rejected as truncated.
     #[test]
-    fn truncated_snapshots_are_rejected(cut in any::<u64>(), v2 in any::<bool>()) {
-        let base = if v2 { v2_bytes() } else { v1_bytes() };
+    fn truncated_snapshots_are_rejected(cut in any::<u64>(), version in 0u8..3) {
+        let base = match version {
+            0 => v1_bytes(),
+            1 => v2_bytes(),
+            _ => v3_bytes(),
+        };
         let cut = cut as usize % base.len(); // strictly shorter than the full stream
         let result = read_snapshot(&base[..cut]);
         prop_assert!(result.is_err(), "truncation at {cut}/{} must be rejected", base.len());
@@ -106,7 +175,7 @@ proptest! {
 /// Header fields that size reads are validated against the model
 /// skeleton before any allocation: a 4-billion entry tensor count or
 /// scalar length comes back `Corrupt` immediately instead of attempting
-/// a multi-gigabyte `Vec`.
+/// a multi-gigabyte `Vec`. The v3 section count gets the same cap.
 #[test]
 fn huge_header_lengths_fail_before_allocating() {
     let base = v1_bytes();
@@ -122,18 +191,31 @@ fn huge_header_lengths_fail_before_allocating() {
             "{what}: expected a Corrupt error, got: {msg}"
         );
     }
+    // v3: the section count at 28 is capped by the file size before the
+    // table is allocated or walked.
+    let mut bytes = v3_bytes().to_vec();
+    bytes[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = read_snapshot(&bytes[..]).expect_err("v3 section count");
+    assert!(err.to_string().contains("corrupt"), "{err}");
 }
 
-/// Cross-version confusion: relabelling a v1 stream as v2 (and vice
-/// versa) must fail the section parse or the shape checks, never panic.
+/// Cross-version confusion: relabelling a stream as a different version
+/// must fail the section parse, the shape checks, or a checksum — never
+/// panic, never load.
 #[test]
 fn version_relabel_is_rejected() {
-    for (base, version) in [(v1_bytes(), 2u32), (v2_bytes(), 1u32)] {
+    for (base, version) in [
+        (v1_bytes(), 2u32),
+        (v2_bytes(), 1u32),
+        (v1_bytes(), 3u32),
+        (v3_bytes(), 1u32),
+        (v3_bytes(), 2u32),
+    ] {
         let mut bytes = base.to_vec();
         bytes[4..8].copy_from_slice(&version.to_le_bytes());
         assert!(
             read_snapshot(&bytes[..]).is_err(),
-            "a version-relabelled stream must be rejected"
+            "a stream relabelled to v{version} must be rejected"
         );
     }
 }

@@ -60,6 +60,21 @@ impl Linear {
         }
     }
 
+    /// Creates a zero-initialised layer skeleton: correct shapes, no RNG
+    /// draw. Snapshot loaders overwrite (or borrow) every weight anyway,
+    /// so the Glorot pass of [`Linear::new`] would be wasted cold-start
+    /// work.
+    pub fn new_zeroed(in_dim: usize, out_dim: usize, relu: bool) -> Linear {
+        Linear {
+            w: Matrix::zeros(in_dim, out_dim),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+            relu,
+            qw: None,
+        }
+    }
+
     /// Builds (or refreshes) the i8-quantised inference weight store from
     /// the current `f32` weights. Call after training/weight updates;
     /// inference forwards use the store from then on.
@@ -87,6 +102,27 @@ impl Linear {
             "quantised store shape mismatch"
         );
         self.w = q.dequantise();
+        self.qw = Some(q);
+    }
+
+    /// Installs a quantised store for **serving only**: unlike
+    /// [`Linear::install_quantised`] the `f32` weights are *not*
+    /// refreshed from the dequantised values, so the install is O(1) in
+    /// the weight count — the point of the memory-mapped cold-start path.
+    /// Inference forwards read the store exclusively; the training-path
+    /// `w` keeps whatever (skeleton) values it had, so do not train or
+    /// re-serialise a model loaded this way without re-installing via
+    /// [`Linear::install_quantised`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s shape differs from the layer's weight matrix.
+    pub fn install_quantised_serving(&mut self, q: QuantisedMatrix) {
+        assert_eq!(
+            (q.rows(), q.cols()),
+            (self.w.rows(), self.w.cols()),
+            "quantised store shape mismatch"
+        );
         self.qw = Some(q);
     }
 
@@ -214,11 +250,13 @@ impl Linear {
 
     /// Resident weight-store bytes: the quantised store when installed
     /// (i8 payload + scales), the `f32` weights otherwise, plus the
-    /// `f32` bias either way.
+    /// `f32` bias either way. Counts only process-owned storage — weight
+    /// spans borrowed from a shared region (memory-mapped snapshots)
+    /// count zero.
     pub fn resident_weight_bytes(&self) -> usize {
         let weights = match &self.qw {
             Some(q) => q.resident_bytes(),
-            None => self.w.rows() * self.w.cols() * 4,
+            None => self.w.resident_bytes(),
         };
         weights + self.b.len() * 4
     }
@@ -250,6 +288,15 @@ impl SageLayer {
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> SageLayer {
         SageLayer {
             lin: Linear::new(2 * in_dim, out_dim, true, rng),
+            in_dim,
+        }
+    }
+
+    /// Creates a zero-initialised layer skeleton for snapshot loaders
+    /// (see [`Linear::new_zeroed`]).
+    pub fn new_zeroed(in_dim: usize, out_dim: usize) -> SageLayer {
+        SageLayer {
+            lin: Linear::new_zeroed(2 * in_dim, out_dim, true),
             in_dim,
         }
     }

@@ -54,5 +54,5 @@ pub use layers::{Linear, LinearTape, SageLayer, SageScratch};
 pub use model::{
     ForwardObserver, ForwardStage, InferenceScratch, ModelConfig, MultiTaskSage, Tape,
 };
-pub use tensor::{Matrix, QuantisedMatrix};
+pub use tensor::{Matrix, QuantisedMatrix, StorageError, WeightRegion};
 pub use trainer::{evaluate, train, GraphData, TrainConfig, TrainReport};

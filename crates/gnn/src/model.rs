@@ -127,19 +127,49 @@ impl MultiTaskSage {
     ///
     /// Panics if `layers == 0` or `task_classes` is empty.
     pub fn new(config: ModelConfig) -> MultiTaskSage {
+        Self::build(config, true)
+    }
+
+    /// Builds a zero-initialised model skeleton: correct shapes for every
+    /// layer, no RNG draws. Snapshot loaders fill (or borrow) every
+    /// weight anyway, so this keeps cold starts O(header) instead of
+    /// paying a full Glorot pass over the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `task_classes` is empty.
+    pub fn new_zeroed(config: ModelConfig) -> MultiTaskSage {
+        Self::build(config, false)
+    }
+
+    fn build(config: ModelConfig, glorot: bool) -> MultiTaskSage {
         assert!(config.layers > 0, "at least one SAGE layer");
         assert!(!config.task_classes.is_empty(), "at least one task");
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let mut sage = Vec::with_capacity(config.layers);
         for l in 0..config.layers {
             let in_dim = if l == 0 { config.in_dim } else { config.hidden };
-            sage.push(SageLayer::new(in_dim, config.hidden, &mut rng));
+            sage.push(if glorot {
+                SageLayer::new(in_dim, config.hidden, &mut rng)
+            } else {
+                SageLayer::new_zeroed(in_dim, config.hidden)
+            });
         }
-        let shared = Linear::new(config.hidden, config.shared_dim, true, &mut rng);
+        let shared = if glorot {
+            Linear::new(config.hidden, config.shared_dim, true, &mut rng)
+        } else {
+            Linear::new_zeroed(config.hidden, config.shared_dim, true)
+        };
         let heads = config
             .task_classes
             .iter()
-            .map(|&c| Linear::new(config.shared_dim, c, false, &mut rng))
+            .map(|&c| {
+                if glorot {
+                    Linear::new(config.shared_dim, c, false, &mut rng)
+                } else {
+                    Linear::new_zeroed(config.shared_dim, c, false)
+                }
+            })
             .collect();
         MultiTaskSage {
             config,

@@ -23,17 +23,216 @@
 //! K-panel loop and applies the column scales once in the epilogue —
 //! mathematically the dequantised product, at a quarter of the resident
 //! weight bytes, with no layer or model code aware of the difference.
+//!
+//! Orthogonally to the *element* storage class, both tensor types hide a
+//! second seam: **where the elements live**. The default is an owned
+//! `Vec`; [`Matrix::from_region`] / [`QuantisedMatrix::from_region`]
+//! instead borrow a span of a shared read-only byte region (a
+//! [`WeightRegion`], e.g. a memory-mapped snapshot), with bounds and
+//! alignment checked once at construction. Read paths are identical for
+//! both storages; mutation promotes a borrowed span to an owned copy
+//! (copy-on-write), and overwrite-style entry points simply swap in owned
+//! storage. Layers, models and kernels never observe the difference.
 
 use crate::parallel;
 use rand::Rng;
 use std::fmt;
+use std::sync::Arc;
+
+/// A shared, immutable byte region that can back borrowed tensor storage
+/// — the seam between tensors and a memory-mapped snapshot payload.
+///
+/// Implementations guarantee that [`WeightRegion::bytes`] returns the
+/// same pointer and length for the whole lifetime of the value (the
+/// region is frozen at construction), which is what makes the per-call
+/// slice derivation in borrowed storage sound.
+pub trait WeightRegion: Send + Sync {
+    /// The region's bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+// A plain byte buffer is a valid (trivially "mapped") region — handy for
+// tests and for read-to-owned mmap fallbacks that still want one shared
+// allocation.
+impl WeightRegion for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Error from constructing borrowed tensor storage over a
+/// [`WeightRegion`] span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested span does not fit inside the region (or its byte
+    /// length overflows `usize`).
+    OutOfBounds {
+        /// Byte offset of the span start within the region.
+        offset: usize,
+        /// Byte length of the span (`usize::MAX` when the length
+        /// computation itself overflowed).
+        len: usize,
+        /// Total region length in bytes.
+        region: usize,
+    },
+    /// The span's start address is not aligned for the element type.
+    Misaligned {
+        /// Byte offset of the span start within the region.
+        offset: usize,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfBounds {
+                offset,
+                len,
+                region,
+            } => write!(
+                f,
+                "weight span {offset}+{len} escapes its {region}-byte region"
+            ),
+            StorageError::Misaligned { offset, align } => {
+                write!(f, "weight span at byte {offset} is not {align}-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Element storage of one tensor: an owned `Vec` or a borrowed span of a
+/// shared [`WeightRegion`]. Private — everything outside this module sees
+/// slices.
+#[derive(Clone)]
+enum Store<T> {
+    Owned(Vec<T>),
+    Borrowed {
+        region: Arc<dyn WeightRegion>,
+        /// Byte offset of the element span inside the region.
+        offset: usize,
+        /// Element count (not bytes).
+        len: usize,
+    },
+}
+
+impl<T> Default for Store<T> {
+    fn default() -> Self {
+        Store::Owned(Vec::new())
+    }
+}
+
+impl<T: WeightElem> Store<T> {
+    /// Validates bounds and alignment once; after this, per-call slice
+    /// derivation in [`Store::as_slice`] cannot fail.
+    fn borrowed(
+        region: Arc<dyn WeightRegion>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Store<T>, StorageError> {
+        let bytes = region.bytes();
+        let oob = |len| StorageError::OutOfBounds {
+            offset,
+            len,
+            region: bytes.len(),
+        };
+        let byte_len = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or(oob(usize::MAX))?;
+        let end = offset.checked_add(byte_len).ok_or(oob(byte_len))?;
+        if end > bytes.len() {
+            return Err(oob(byte_len));
+        }
+        let align = std::mem::align_of::<T>();
+        if !(bytes.as_ptr() as usize + offset).is_multiple_of(align) {
+            return Err(StorageError::Misaligned { offset, align });
+        }
+        Ok(Store::Borrowed {
+            region,
+            offset,
+            len,
+        })
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Store::Owned(v) => v,
+            Store::Borrowed {
+                region,
+                offset,
+                len,
+            } => {
+                let bytes = region.bytes();
+                debug_assert!(offset + len * std::mem::size_of::<T>() <= bytes.len());
+                // SAFETY: `Store::borrowed` checked bounds and alignment
+                // against this region, whose bytes are immutable and
+                // pointer-stable for its lifetime (the `WeightRegion`
+                // contract); `T` is one of the closed `WeightElem` set
+                // (f32 / i8), for which every bit pattern is a valid
+                // value.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(*offset) as *const T, *len) }
+            }
+        }
+    }
+
+    /// Mutable access, promoting a borrowed span to an owned copy first
+    /// (copy-on-write). Free for already-owned storage.
+    fn make_owned(&mut self) -> &mut Vec<T> {
+        if matches!(self, Store::Borrowed { .. }) {
+            let copied = self.as_slice().to_vec();
+            *self = Store::Owned(copied);
+        }
+        match self {
+            Store::Owned(v) => v,
+            Store::Borrowed { .. } => unreachable!("promoted above"),
+        }
+    }
+
+    /// Mutable access for callers about to overwrite every element:
+    /// borrowed contents are dropped, not copied. Free for already-owned
+    /// storage (and preserves its capacity).
+    fn owned_for_overwrite(&mut self) -> &mut Vec<T> {
+        if matches!(self, Store::Borrowed { .. }) {
+            *self = Store::Owned(Vec::new());
+        }
+        match self {
+            Store::Owned(v) => v,
+            Store::Borrowed { .. } => unreachable!("replaced above"),
+        }
+    }
+
+    /// Bytes owned by this process (borrowed spans live in the shared
+    /// region and count zero).
+    fn owned_bytes(&self) -> usize {
+        match self {
+            Store::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            Store::Borrowed { .. } => 0,
+        }
+    }
+
+    fn is_borrowed(&self) -> bool {
+        matches!(self, Store::Borrowed { .. })
+    }
+}
 
 /// A row-major `rows x cols` matrix of `f32`.
-#[derive(Clone, PartialEq, Default)]
+#[derive(Clone, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Store<f32>,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Matrix) -> bool {
+        // Storage-blind: a borrowed matrix equals an owned one with the
+        // same shape and elements (bit-wise f32 comparison, as before).
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -48,7 +247,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Store::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -59,7 +258,11 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
         assert_eq!(data.len(), rows * cols);
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Store::Owned(data),
+        }
     }
 
     /// Glorot/Xavier-uniform initialisation.
@@ -68,7 +271,52 @@ impl Matrix {
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-limit..limit))
             .collect();
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Store::Owned(data),
+        }
+    }
+
+    /// Borrows a `rows x cols` span of a shared read-only byte region
+    /// (e.g. a memory-mapped snapshot payload) starting at byte `offset`.
+    ///
+    /// Bounds and `f32` alignment are validated here, once; afterwards
+    /// the matrix reads exactly like an owned one (and compares equal to
+    /// an owned matrix with the same elements). Mutating entry points
+    /// promote to an owned copy first (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the span escapes the region or its
+    /// start is misaligned for `f32`.
+    pub fn from_region(
+        rows: usize,
+        cols: usize,
+        region: &Arc<dyn WeightRegion>,
+        offset: usize,
+    ) -> Result<Matrix, StorageError> {
+        let len = rows.checked_mul(cols).ok_or(StorageError::OutOfBounds {
+            offset,
+            len: usize::MAX,
+            region: region.bytes().len(),
+        })?;
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Store::borrowed(Arc::clone(region), offset, len)?,
+        })
+    }
+
+    /// Bytes of element data owned by this process: the full payload for
+    /// owned storage, zero for spans borrowed from a shared region.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.owned_bytes()
+    }
+
+    /// Whether the elements are borrowed from a shared [`WeightRegion`].
+    pub fn is_borrowed(&self) -> bool {
+        self.data.is_borrowed()
     }
 
     /// Number of rows.
@@ -82,43 +330,50 @@ impl Matrix {
     }
 
     /// The underlying row-major slice.
+    #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// The underlying mutable row-major slice.
+    /// The underlying mutable row-major slice (copy-on-write for
+    /// borrowed storage).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_owned()
     }
 
     /// Row `r` as a slice.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Row `r` as a mutable slice.
+    /// Row `r` as a mutable slice (copy-on-write for borrowed storage).
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data.make_owned()[r * cols..(r + 1) * cols]
     }
 
     /// Element access.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
-    /// Element assignment.
+    /// Element assignment (copy-on-write for borrowed storage).
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data.make_owned()[idx] = v;
     }
 
     /// Reshapes to `rows x cols` and zero-fills, reusing the existing
     /// allocation whenever capacity allows — the workhorse of the
-    /// allocation-free inference path.
+    /// allocation-free inference path. Borrowed storage is dropped, not
+    /// copied (the contents are discarded anyway).
     pub fn reset(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        self.data.clear();
-        self.data.resize(rows * cols, 0.0);
+        let data = self.data.owned_for_overwrite();
+        data.clear();
+        data.resize(rows * cols, 0.0);
     }
 
     /// Reshapes to `rows x cols` *without* zeroing retained elements —
@@ -127,7 +382,7 @@ impl Matrix {
     fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        self.data.resize(rows * cols, 0.0);
+        self.data.owned_for_overwrite().resize(rows * cols, 0.0);
     }
 
     /// Becomes a copy of `src`, reusing the existing allocation whenever
@@ -135,8 +390,9 @@ impl Matrix {
     pub fn copy_from(&mut self, src: &Matrix) {
         self.rows = src.rows;
         self.cols = src.cols;
-        self.data.clear();
-        self.data.extend_from_slice(&src.data);
+        let data = self.data.owned_for_overwrite();
+        data.clear();
+        data.extend_from_slice(src.as_slice());
     }
 
     /// `self @ other` with parallel row blocks.
@@ -161,7 +417,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         fused_gemm_into(
             self,
-            Weights::F32(&other.data),
+            Weights::F32(other.as_slice()),
             None,
             Epilogue::default(),
             other.cols,
@@ -185,9 +441,9 @@ impl Matrix {
             "matmul_add_into accumulator shape mismatch"
         );
         let n = other.cols;
-        parallel::for_each_row_block(&mut out.data, n.max(1), MR, |row0, block| {
+        parallel::for_each_row_block(out.data.make_owned(), n.max(1), MR, |row0, block| {
             let rows = block.len() / n.max(1);
-            gemm_tile(self, row0, rows, other.data.as_slice(), n, block);
+            gemm_tile(self, row0, rows, other.as_slice(), n, block);
         });
     }
 
@@ -226,7 +482,7 @@ impl Matrix {
         });
         let mut out = Matrix::zeros(m, n);
         for p in partials {
-            for (o, v) in out.data.iter_mut().zip(p.data) {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(p.as_slice()) {
                 *o += v;
             }
         }
@@ -243,7 +499,7 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose shape mismatch");
         let n = other.rows;
         let mut out = Matrix::zeros(self.rows, n);
-        parallel::for_each_row(&mut out.data, n.max(1), |r, out_row| {
+        parallel::for_each_row(out.data.make_owned(), n.max(1), |r, out_row| {
             let a_row = self.row(r);
             for (c, o) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(c);
@@ -305,9 +561,9 @@ impl Matrix {
         out
     }
 
-    /// Element-wise ReLU, in place.
+    /// Element-wise ReLU, in place (copy-on-write for borrowed storage).
     pub fn relu_in_place(&mut self) {
-        for v in &mut self.data {
+        for v in self.data.make_owned().iter_mut() {
             *v = v.max(0.0);
         }
     }
@@ -320,7 +576,7 @@ impl Matrix {
     pub fn relu_backward(&self, activated: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (activated.rows, activated.cols));
         let mut out = self.clone();
-        for (o, &a) in out.data.iter_mut().zip(&activated.data) {
+        for (o, &a) in out.as_mut_slice().iter_mut().zip(activated.as_slice()) {
             if a <= 0.0 {
                 *o = 0.0;
             }
@@ -360,14 +616,14 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (o, &v) in self.data.iter_mut().zip(&other.data) {
+        for (o, &v) in self.data.make_owned().iter_mut().zip(other.as_slice()) {
             *o += scale * v;
         }
     }
 
     /// Frobenius norm (diagnostics and gradient-check tests).
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 }
 
@@ -381,12 +637,23 @@ impl Matrix {
 /// than the `f32` weights it replaces and is consumed directly by the
 /// fused GEMM kernel: raw i8 products are accumulated in `f32` and the
 /// column scale is applied once in the epilogue.
-#[derive(Clone, PartialEq, Default)]
+#[derive(Clone, Default)]
 pub struct QuantisedMatrix {
     rows: usize,
     cols: usize,
-    data: Vec<i8>,
-    scales: Vec<f32>,
+    data: Store<i8>,
+    scales: Store<f32>,
+}
+
+impl PartialEq for QuantisedMatrix {
+    fn eq(&self, other: &QuantisedMatrix) -> bool {
+        // Storage-blind, like `Matrix`: shape + elements, regardless of
+        // where they live.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.values() == other.values()
+            && self.scales() == other.scales()
+    }
 }
 
 impl fmt::Debug for QuantisedMatrix {
@@ -418,8 +685,8 @@ impl QuantisedMatrix {
         QuantisedMatrix {
             rows,
             cols,
-            data,
-            scales,
+            data: Store::Owned(data),
+            scales: Store::Owned(scales),
         }
     }
 
@@ -439,18 +706,55 @@ impl QuantisedMatrix {
         QuantisedMatrix {
             rows,
             cols,
-            data,
-            scales,
+            data: Store::Owned(data),
+            scales: Store::Owned(scales),
         }
+    }
+
+    /// Borrows a quantised store from a shared read-only byte region: the
+    /// `rows * cols` i8 values at `values_offset` and the `cols` `f32`
+    /// scales at `scales_offset`.
+    ///
+    /// Bounds and alignment are validated once, here (i8 values accept
+    /// any offset; scales must be 4-byte-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when either span escapes the region or
+    /// the scale span is misaligned.
+    pub fn from_region(
+        rows: usize,
+        cols: usize,
+        region: &Arc<dyn WeightRegion>,
+        values_offset: usize,
+        scales_offset: usize,
+    ) -> Result<QuantisedMatrix, StorageError> {
+        let len = rows.checked_mul(cols).ok_or(StorageError::OutOfBounds {
+            offset: values_offset,
+            len: usize::MAX,
+            region: region.bytes().len(),
+        })?;
+        Ok(QuantisedMatrix {
+            rows,
+            cols,
+            data: Store::borrowed(Arc::clone(region), values_offset, len)?,
+            scales: Store::borrowed(Arc::clone(region), scales_offset, cols)?,
+        })
+    }
+
+    /// Whether the store is borrowed from a shared [`WeightRegion`].
+    pub fn is_borrowed(&self) -> bool {
+        self.data.is_borrowed() || self.scales.is_borrowed()
     }
 
     /// Expands back to `f32` (`q * scale`, exact in `f32`: the product of
     /// an integer in ±127 and an `f32` scale rounds once).
     pub fn dequantise(&self) -> Matrix {
+        let (values, scales) = (self.values(), self.scales());
         let mut data = Vec::with_capacity(self.rows * self.cols);
         for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (&q, &s) in row.iter().zip(&self.scales) {
+            let row = &values[r * self.cols..(r + 1) * self.cols];
+            for (&q, &s) in row.iter().zip(scales) {
                 data.push(q as f32 * s);
             }
         }
@@ -468,18 +772,21 @@ impl QuantisedMatrix {
     }
 
     /// The raw row-major i8 values.
+    #[inline]
     pub fn values(&self) -> &[i8] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// The per-output-column dequantisation scales.
+    #[inline]
     pub fn scales(&self) -> &[f32] {
-        &self.scales
+        self.scales.as_slice()
     }
 
-    /// Resident bytes of the store (i8 payload + f32 scales).
+    /// Bytes of the store owned by this process (i8 payload + f32
+    /// scales); spans borrowed from a shared region count zero.
     pub fn resident_bytes(&self) -> usize {
-        self.data.len() + self.scales.len() * 4
+        self.data.owned_bytes() + self.scales.owned_bytes()
     }
 }
 
@@ -562,6 +869,9 @@ fn gemm_tile<E: WeightElem>(
     out: &mut [f32],
 ) {
     let k_total = x.cols;
+    // Resolve the activation storage once: the inner loops index a plain
+    // slice, so borrowed (region-backed) matrices pay nothing per row.
+    let a_all = x.as_slice();
     debug_assert_eq!(b.len(), k_total * n);
     debug_assert_eq!(out.len(), rows * n);
     let mut kb = 0;
@@ -574,7 +884,7 @@ fn gemm_tile<E: WeightElem>(
             let b2 = &b[(k + 2) * n..(k + 3) * n];
             let b3 = &b[(k + 3) * n..(k + 4) * n];
             for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
-                let a_row = x.row(row0 + i);
+                let a_row = &a_all[(row0 + i) * k_total..(row0 + i + 1) * k_total];
                 let a0 = a_row[k];
                 let a1 = a_row[k + 1];
                 let a2 = a_row[k + 2];
@@ -595,7 +905,7 @@ fn gemm_tile<E: WeightElem>(
         while k < kend {
             let bk = &b[k * n..(k + 1) * n];
             for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
-                let a = x.row(row0 + i)[k];
+                let a = a_all[(row0 + i) * k_total + k];
                 if a != 0.0 {
                     for (o, &v) in out_row.iter_mut().zip(bk) {
                         *o += a * v.promote();
@@ -697,7 +1007,7 @@ pub(crate) fn fused_gemm_into(
         assert_eq!(b.len(), n, "bias width mismatch");
     }
     out.reshape_for_overwrite(x1.rows, n);
-    parallel::for_each_row_block(&mut out.data, n.max(1), MR, |row0, block| {
+    parallel::for_each_row_block(out.data.make_owned(), n.max(1), MR, |row0, block| {
         block.fill(0.0);
         let rows = block.len() / n.max(1);
         gemm_tile_dyn(x1, row0, rows, w1, n, block);
@@ -718,6 +1028,41 @@ mod tests {
     fn small(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         Matrix::glorot(rows, cols, &mut rng)
+    }
+
+    /// Capacity and base pointer of a matrix's owned storage (panics on
+    /// borrowed storage — the allocation-reuse tests only make sense for
+    /// owned buffers).
+    fn owned_parts(m: &Matrix) -> (usize, *const f32) {
+        match &m.data {
+            Store::Owned(v) => (v.capacity(), v.as_ptr()),
+            Store::Borrowed { .. } => panic!("expected owned storage"),
+        }
+    }
+
+    /// A test [`WeightRegion`] with a guaranteed 8-byte-aligned base, so
+    /// alignment outcomes are deterministic (a `Vec<u8>` base only has
+    /// alignment 1 on paper).
+    struct AlignedRegion(Vec<u64>);
+
+    impl AlignedRegion {
+        fn from_bytes(bytes: &[u8]) -> AlignedRegion {
+            let mut words = vec![0u64; bytes.len().div_ceil(8)];
+            // SAFETY: u64 -> u8 reinterpretation of an owned buffer; the
+            // byte length never exceeds the allocation.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, bytes.len())
+            };
+            dst.copy_from_slice(bytes);
+            AlignedRegion(words)
+        }
+    }
+
+    impl WeightRegion for AlignedRegion {
+        fn bytes(&self) -> &[u8] {
+            // SAFETY: in-bounds u64 -> u8 reinterpretation.
+            unsafe { std::slice::from_raw_parts(self.0.as_ptr() as *const u8, self.0.len() * 8) }
+        }
     }
 
     fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -884,16 +1229,14 @@ mod tests {
         let mut out = Matrix::default();
         a.matmul_into(&b, &mut out);
         assert_close(&out, &a.matmul(&b));
-        let cap = out.data.capacity();
-        let ptr = out.data.as_ptr();
+        let (cap, ptr) = owned_parts(&out);
         // Same shape again: no growth, same buffer.
         a.matmul_into(&b, &mut out);
-        assert_eq!(out.data.capacity(), cap);
-        assert_eq!(out.data.as_ptr(), ptr);
+        assert_eq!(owned_parts(&out), (cap, ptr));
         // Smaller product fits in the same buffer.
         let c = small(5, 9, 3);
         c.matmul_into(&b, &mut out);
-        assert_eq!(out.data.capacity(), cap);
+        assert_eq!(owned_parts(&out).0, cap);
         assert_close(&out, &c.matmul(&b));
 
         let mut cat = Matrix::default();
@@ -1048,5 +1391,133 @@ mod tests {
         assert_eq!(a, b, "deterministic under the same seed");
         let limit = (6.0 / 96.0f32).sqrt();
         assert!(a.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    /// Region-borrowed storage reads (and GEMMs) bit-identically to the
+    /// owned matrix it was serialised from, promotes to an owned copy on
+    /// mutation, and leaves the shared region untouched.
+    #[test]
+    fn borrowed_storage_reads_and_promotes_on_write() {
+        let src = small(4, 3, 101);
+        let mut bytes = vec![0u8; 4 + 12 * 4];
+        for (i, v) in src.as_slice().iter().enumerate() {
+            bytes[4 + i * 4..8 + i * 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let region: Arc<dyn WeightRegion> = Arc::new(AlignedRegion::from_bytes(&bytes));
+        let mut m = Matrix::from_region(4, 3, &region, 4).unwrap();
+        assert!(m.is_borrowed());
+        assert_eq!(m.resident_bytes(), 0);
+        assert_eq!(m, src, "borrowed == owned, element for element");
+        // GEMM over borrowed weights is bit-identical to owned weights.
+        let x = small(5, 4, 102);
+        assert_eq!(x.matmul(&m), x.matmul(&src));
+        // Mutation promotes (copy-on-write); the region is unaffected.
+        m.set(0, 0, 9.0);
+        assert!(!m.is_borrowed());
+        assert_eq!(m.resident_bytes(), 12 * 4);
+        assert_eq!(m.get(0, 0), 9.0);
+        assert_eq!(Matrix::from_region(4, 3, &region, 4).unwrap(), src);
+    }
+
+    /// Overwrite-style entry points swap borrowed storage for owned
+    /// without copying the discarded contents.
+    #[test]
+    fn overwrite_paths_drop_borrowed_storage() {
+        let src = small(4, 3, 103);
+        let mut bytes = vec![0u8; 12 * 4];
+        for (i, v) in src.as_slice().iter().enumerate() {
+            bytes[i * 4..(i + 1) * 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let region: Arc<dyn WeightRegion> = Arc::new(AlignedRegion::from_bytes(&bytes));
+        let mut m = Matrix::from_region(4, 3, &region, 0).unwrap();
+        m.reset(2, 2);
+        assert!(!m.is_borrowed());
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+
+        let mut m = Matrix::from_region(4, 3, &region, 0).unwrap();
+        m.copy_from(&small(2, 2, 104));
+        assert!(!m.is_borrowed());
+        assert_eq!(m, small(2, 2, 104));
+    }
+
+    /// Bad region spans are typed [`StorageError`]s at construction, not
+    /// panics (and certainly not unchecked slices).
+    #[test]
+    fn bad_region_spans_are_typed_errors() {
+        let region: Arc<dyn WeightRegion> = Arc::new(AlignedRegion(vec![0u64; 4])); // 32 bytes
+        assert_eq!(
+            Matrix::from_region(2, 2, &region, 2).unwrap_err(),
+            StorageError::Misaligned {
+                offset: 2,
+                align: 4
+            }
+        );
+        assert_eq!(
+            Matrix::from_region(3, 3, &region, 0).unwrap_err(),
+            StorageError::OutOfBounds {
+                offset: 0,
+                len: 36,
+                region: 32
+            }
+        );
+        assert!(matches!(
+            Matrix::from_region(usize::MAX, 2, &region, 0).unwrap_err(),
+            StorageError::OutOfBounds { .. }
+        ));
+        assert!(matches!(
+            Matrix::from_region(2, 2, &region, usize::MAX - 2).unwrap_err(),
+            StorageError::OutOfBounds { .. }
+        ));
+        // i8 values have alignment 1, so odd offsets are fine; bounds
+        // still hold, and the f32 scales still need alignment.
+        assert!(QuantisedMatrix::from_region(3, 3, &region, 1, 12).is_ok());
+        assert!(QuantisedMatrix::from_region(3, 3, &region, 1, 30).is_err());
+        assert!(matches!(
+            QuantisedMatrix::from_region(3, 3, &region, 1, 10).unwrap_err(),
+            StorageError::Misaligned { .. }
+        ));
+    }
+
+    /// A borrowed quantised store behaves exactly like the owned one it
+    /// was serialised from.
+    #[test]
+    fn borrowed_quantised_store_matches_owned() {
+        let w = small(8, 5, 111);
+        let q = QuantisedMatrix::quantise(&w);
+        // Layout: 40 i8 values at 0, five f32 scales at 40 (4-aligned).
+        let mut bytes = vec![0u8; 60];
+        for (i, &v) in q.values().iter().enumerate() {
+            bytes[i] = v as u8;
+        }
+        for (i, &s) in q.scales().iter().enumerate() {
+            bytes[40 + i * 4..44 + i * 4].copy_from_slice(&s.to_le_bytes());
+        }
+        let region: Arc<dyn WeightRegion> = Arc::new(AlignedRegion::from_bytes(&bytes));
+        let qb = QuantisedMatrix::from_region(8, 5, &region, 0, 40).unwrap();
+        assert!(qb.is_borrowed());
+        assert_eq!(qb.resident_bytes(), 0);
+        assert_eq!(qb, q);
+        assert_eq!(qb.dequantise(), q.dequantise());
+        // The quantised GEMM consumes borrowed and owned stores
+        // identically.
+        let x = small(6, 8, 112);
+        let mut owned = Matrix::default();
+        let mut borrowed = Matrix::default();
+        for (src, out) in [(&q, &mut owned), (&qb, &mut borrowed)] {
+            fused_gemm_into(
+                &x,
+                Weights::I8(src.values()),
+                None,
+                Epilogue {
+                    scales: Some(src.scales()),
+                    bias: None,
+                    relu: false,
+                },
+                5,
+                out,
+            );
+        }
+        assert_eq!(owned, borrowed);
     }
 }

@@ -6,6 +6,8 @@
 //!   through the micro-batching scheduler, emitting a JSON report.
 //! * `gamora bench-serve` — measure serving throughput (AIGs/sec) across
 //!   batch sizes, cold (cache off) and hot (cache on).
+//! * `gamora mmap-demo`   — N concurrent `infer --mmap` processes over one
+//!   snapshot: /proc/self/smaps shows a single physical weight copy.
 //!
 //! Argument parsing is hand-rolled (no external dependencies).
 
@@ -32,19 +34,36 @@ USAGE:
     gamora train --out MODEL.gsnap [--bits 3,4,5,6,7,8] [--epochs 300]
                  [--kind csa|booth|dadda] [--depth shallow|deep|LxH]
                  [--seed N]
-    gamora infer --model MODEL.gsnap [--extract] [--score] [--batch N]
+    gamora infer --model MODEL.gsnap [--mmap] [--extract] [--score] [--batch N]
                  [--workers N] [--cache N] [--cone-capacity N] [--queue-cap N]
                  [--linger MICROS]
                  [--quant] [--compact] [--layer-times] [--metrics-out PATH]
                  [--intra-threads N] FILE.aag [FILE.aig ...]
                  (--cache 0 disables the structural-hash cache)
     gamora bench-serve --model MODEL.gsnap [--bits 16 | --bits N1,N2,...]
-                       [--kind csa|booth|dadda] [--count 64]
+                       [--kind csa|booth|dadda] [--count 64] [--mmap]
                        [--batches 1,8,64] [--workers N] [--shards N]
                        [--linger MICROS] [--queue-cap N] [--deadline MICROS]
                        [--quant] [--layer-times] [--metrics-out PATH]
                        [--intra-threads N] [--chaos SPEC] [--faults SPEC]
                        [--overlap N] [--cone-capacity N]
+    gamora mmap-demo --model MODEL.gsnap [--procs 4] [--bits 8]
+                     [--kind csa|booth|dadda]
+
+--mmap memory-maps a v3 snapshot instead of reading it: the reader
+validates the header in O(header) and borrows every weight tensor
+straight out of the mapping (zero copies, biases excepted), so cold
+start is decoupled from model size and concurrent processes share one
+physical weight copy through the page cache. Legacy v1/v2 files fall
+back to the owned reader transparently (`cold_start.mapped` reports
+which path served the load). Reports gain a `cold_start` block: load
+microseconds, resident (owned) weight bytes, first-inference latency —
+and, when mapped, a `weight_mapping` block with the /proc/self/smaps
+shared/private page split of the snapshot mapping.
+
+mmap-demo spawns N concurrent `gamora infer --mmap` children over the
+same snapshot and aggregates their `weight_mapping` blocks: the shared
+page counts show the weight payload resident once, not N times.
 
 --quant serves the i8-quantised weight store (per-output-column scales,
 f32 accumulation): ~4x smaller resident weights, argmax predictions
@@ -116,6 +135,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("mmap-demo") => cmd_mmap_demo(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -161,6 +181,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--chaos",
     "--overlap",
     "--cone-capacity",
+    "--procs",
 ];
 const SWITCH_FLAGS: &[&str] = &[
     "--extract",
@@ -169,6 +190,7 @@ const SWITCH_FLAGS: &[&str] = &[
     "--quiet",
     "--quant",
     "--layer-times",
+    "--mmap",
 ];
 
 impl Flags {
@@ -351,6 +373,118 @@ fn write_metrics_out(flags: &Flags, snapshot: &Snapshot) -> Result<(), String> {
     Ok(())
 }
 
+/// The cold-start observations of one model load (everything except the
+/// first-inference latency, which the caller fills in once it has served
+/// something).
+struct ColdStart {
+    mmap: bool,
+    mapped: bool,
+    file_bytes: u64,
+    load_micros: u64,
+}
+
+/// Loads the model, honouring `--mmap`: the zero-copy v3 path (with its
+/// transparent owned fallback for legacy files) or the classic owned
+/// reader, both timed the same way.
+fn load_model(path: &str, use_mmap: bool) -> Result<(GamoraReasoner, ColdStart), String> {
+    if use_mmap {
+        let (reasoner, stats) =
+            GamoraReasoner::load_mmap(path).map_err(|e| format!("loading '{path}': {e}"))?;
+        Ok((
+            reasoner,
+            ColdStart {
+                mmap: true,
+                mapped: stats.mapped,
+                file_bytes: stats.file_bytes,
+                load_micros: stats.load_micros,
+            },
+        ))
+    } else {
+        let t0 = Instant::now();
+        let reasoner = GamoraReasoner::load(path).map_err(|e| format!("loading '{path}': {e}"))?;
+        Ok((
+            reasoner,
+            ColdStart {
+                mmap: false,
+                mapped: false,
+                file_bytes: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+                load_micros: t0.elapsed().as_micros() as u64,
+            },
+        ))
+    }
+}
+
+/// The `cold_start` report block: how the model came up, what it cost,
+/// and what the first real forward pass paid (under `--mmap` that first
+/// pass absorbs the page faults the O(header) load deferred).
+fn cold_start_json(
+    cs: &ColdStart,
+    resident_weight_bytes: usize,
+    first_micros: Option<u64>,
+) -> Json {
+    Json::obj([
+        ("mmap", Json::Bool(cs.mmap)),
+        ("mapped", Json::Bool(cs.mapped)),
+        ("file_bytes", Json::u64(cs.file_bytes)),
+        ("load_micros", Json::u64(cs.load_micros)),
+        ("resident_weight_bytes", Json::uint(resident_weight_bytes)),
+        (
+            "first_inference_micros",
+            first_micros.map_or(Json::Null, Json::u64),
+        ),
+    ])
+}
+
+/// Sums the /proc/self/smaps fields of every current-process mapping
+/// backed by `path` — the snapshot mapping, under `--mmap`. The
+/// shared/private split is the demo's evidence: weight pages touched by
+/// several concurrent processes count as `Shared_Clean`, so N servers
+/// keep one physical copy. `Json::Null` off Linux or when unmapped.
+fn weight_mapping_json(path: &str) -> Json {
+    let Ok(full) = std::fs::canonicalize(path) else {
+        return Json::Null;
+    };
+    let needle = full.to_string_lossy().into_owned();
+    let Ok(text) = std::fs::read_to_string("/proc/self/smaps") else {
+        return Json::Null;
+    };
+    let mut fields = [
+        ("size_kb", "Size:", 0u64),
+        ("rss_kb", "Rss:", 0),
+        ("shared_clean_kb", "Shared_Clean:", 0),
+        ("shared_dirty_kb", "Shared_Dirty:", 0),
+        ("private_clean_kb", "Private_Clean:", 0),
+        ("private_dirty_kb", "Private_Dirty:", 0),
+    ];
+    let (mut in_target, mut found) = (false, false);
+    for line in text.lines() {
+        let first = line.split_whitespace().next().unwrap_or("");
+        // Mapping headers start with the hex address range; everything
+        // else is a `Field:  N kB` attribute of the current mapping.
+        if first.contains('-') && first.chars().all(|c| c.is_ascii_hexdigit() || c == '-') {
+            in_target = line.ends_with(needle.as_str());
+            found |= in_target;
+        } else if in_target {
+            for (_, prefix, acc) in fields.iter_mut() {
+                if let Some(rest) = line.strip_prefix(*prefix) {
+                    if let Some(v) = rest.trim().strip_suffix("kB") {
+                        *acc += v.trim().parse::<u64>().unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    if !found {
+        return Json::Null;
+    }
+    Json::Obj(
+        fields
+            .iter()
+            .map(|&(key, _, v)| (key.to_string(), Json::u64(v)))
+            .collect(),
+    )
+}
+
 fn class_histogram(preds: &Predictions) -> Json {
     let mut counts = [0usize; 4];
     for &c in &preds.root_leaf {
@@ -396,12 +530,12 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     };
 
     arm_faults(&flags)?;
-    let mut reasoner =
-        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    let (mut reasoner, cold_start) = load_model(model_path, flags.has("--mmap"))?;
     if flags.has("--quant") {
         reasoner.quantise();
     }
     let quantised = reasoner.is_quantised();
+    let resident_weight_bytes = reasoner.resident_weight_bytes();
     let server = Server::start(
         reasoner,
         ServeConfig {
@@ -416,6 +550,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             cone_capacity: flags.usize_or("--cone-capacity", defaults.cone_capacity)?,
         },
     );
+    server.record_snapshot_load(cold_start.load_micros);
 
     let aigs: Vec<Aig> = flags
         .positional
@@ -464,6 +599,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         ));
     }
     let snapshot = server.metrics();
+    // Sample smaps while the server (and with it the snapshot mapping)
+    // is still alive — shutdown drops the model and unmaps the file.
+    let weight_mapping = cold_start.mapped.then(|| weight_mapping_json(model_path));
     let stats = server.shutdown();
     let Json::Obj(mut serving) = serve_stats_json(&stats) else {
         unreachable!("serve_stats_json returns an object")
@@ -471,13 +609,22 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     serving.push(("wall_seconds".to_string(), Json::Num(wall.as_secs_f64())));
     serving.push(("stages".to_string(), stages_json(&snapshot)));
     write_metrics_out(&flags, &snapshot)?;
-    let json = Json::obj([
+    let first_micros = outputs.first().map(|o| o.latency_micros);
+    let mut fields = vec![
         ("command", Json::str("infer")),
         ("model", Json::str(model_path)),
         ("quantised", Json::Bool(quantised)),
-        ("files", Json::Arr(files)),
-        ("serving", Json::Obj(serving)),
-    ]);
+        (
+            "cold_start",
+            cold_start_json(&cold_start, resident_weight_bytes, first_micros),
+        ),
+    ];
+    if let Some(mapping) = weight_mapping {
+        fields.push(("weight_mapping", mapping));
+    }
+    fields.push(("files", Json::Arr(files)));
+    fields.push(("serving", Json::Obj(serving)));
+    let json = Json::obj(fields);
     if flags.has("--compact") {
         println!("{}", json.compact());
     } else {
@@ -535,6 +682,16 @@ impl Ingress {
         }
     }
 
+    /// Reports the snapshot load time into the ingress's metrics (once,
+    /// whichever ingress observed the load first — see
+    /// `Server::record_snapshot_load`).
+    fn record_snapshot_load(&self, micros: u64) {
+        match self {
+            Ingress::Single(s) => s.record_snapshot_load(micros),
+            Ingress::Sharded(r) => r.record_snapshot_load(micros),
+        }
+    }
+
     /// The merged metric snapshot (all shards, for a sharded ingress).
     fn metrics(&self) -> Snapshot {
         match self {
@@ -588,8 +745,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
 
     // One model instance serves every configuration: workers share it
     // through the `Arc`, no per-worker (or per-configuration) clones.
-    let mut loaded =
-        GamoraReasoner::load(model_path).map_err(|e| format!("loading '{model_path}': {e}"))?;
+    let (mut loaded, cold_start) = load_model(model_path, flags.has("--mmap"))?;
     let quant = flags.has("--quant");
     // Under --quant, keep the f32 twin around to measure how often the
     // quantised store flips an argmax decision.
@@ -598,7 +754,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         loaded.quantise();
     }
     let reasoner = Arc::new(loaded);
+    let resident_weight_bytes = reasoner.resident_weight_bytes();
     let subject = generate_multiplier(kind, bits);
+    // The first forward pass after a cold start: under --mmap this is
+    // where the deferred page faults land, so it belongs in the report
+    // (and it equalises page-cache state with the owned-load runs before
+    // any throughput row is timed).
+    let t_first = Instant::now();
+    reasoner.predict(&subject.aig);
+    let first_micros = t_first.elapsed().as_micros() as u64;
     eprintln!(
         "bench-serve: {count} submissions of a {bits}-bit {kind} multiplier ({} nodes), \
          {shards} shard(s){} ...",
@@ -620,6 +784,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     // questions — model cost vs cache cost).
     let mut cold_metrics = Snapshot::default();
     let mut hot_metrics = Snapshot::default();
+    let mut load_recorded = false;
     for &batch in &batch_sizes {
         // Cold: cache disabled, every submission runs the model.
         let ingress = Ingress::start(
@@ -631,6 +796,12 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 ..base
             },
         );
+        if !load_recorded {
+            // One load happened for the whole bench: the stage histogram
+            // gets exactly one observation, in the first cold snapshot.
+            ingress.record_snapshot_load(cold_start.load_micros);
+            load_recorded = true;
+        }
         let t0 = Instant::now();
         for chunk_start in (0..count).step_by(batch) {
             let n = batch.min(count - chunk_start);
@@ -696,6 +867,10 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         ("workers", Json::uint(workers)),
         ("shards", Json::uint(shards)),
         ("quantised", Json::Bool(quant)),
+        (
+            "cold_start",
+            cold_start_json(&cold_start, resident_weight_bytes, Some(first_micros)),
+        ),
         ("rows", Json::Arr(rows)),
         (
             "latency",
@@ -1326,4 +1501,143 @@ fn bench_saturation(
     };
     obj.push(("stats".to_string(), serve_stats_json(&stats)));
     Ok(Json::Obj(obj))
+}
+
+/// Scans a compact JSON text for `"key": <integer>` — enough to lift the
+/// smaps numbers out of a child's report without a JSON parser.
+fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Multi-process zero-copy demo: N concurrent `gamora infer --mmap`
+/// children serve the same snapshot; each reports the /proc/self/smaps
+/// shared/private split of its weight mapping. Weight pages touched by
+/// several processes at once count as shared — the evidence that the
+/// payload is resident once, not once per process. Children disable the
+/// prediction cache and submit the subject several times so their
+/// mappings stay alive long enough to overlap.
+fn cmd_mmap_demo(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags
+        .get("--model")
+        .ok_or("mmap-demo requires --model MODEL.gsnap")?;
+    let procs = flags.usize_or("--procs", 4)?;
+    let bits = flags.usize_or("--bits", 8)?;
+    let kind = parse_kind(flags.get("--kind").unwrap_or("csa"))?;
+    if procs == 0 {
+        return Err("--procs must be at least 1".into());
+    }
+
+    // One subject file for every child.
+    let subject = generate_multiplier(kind, bits);
+    let aag = std::env::temp_dir().join(format!("gamora-mmap-demo-{}.aag", std::process::id()));
+    let file = std::fs::File::create(&aag).map_err(|e| format!("writing subject: {e}"))?;
+    aiger::write_ascii(&subject.aig, std::io::BufWriter::new(file))
+        .map_err(|e| format!("writing subject: {e}"))?;
+    let cleanup = || {
+        std::fs::remove_file(&aag).ok();
+    };
+
+    let exe = std::env::current_exe().map_err(|e| format!("locating gamora binary: {e}"))?;
+    eprintln!(
+        "mmap-demo: {procs} concurrent `gamora infer --mmap` processes over '{model_path}' \
+         ({}-bit {kind} subject, {} nodes) ...",
+        bits,
+        subject.aig.num_nodes()
+    );
+    let mut children = Vec::new();
+    for _ in 0..procs {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args([
+            "infer",
+            "--model",
+            model_path,
+            "--mmap",
+            "--compact",
+            "--cache",
+            "0",
+        ]);
+        for _ in 0..8 {
+            cmd.arg(&aag);
+        }
+        let child = cmd
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning child: {e}"))?;
+        children.push(child);
+    }
+
+    let mut rows = Vec::new();
+    let (mut shared_sum, mut private_sum, mut rss_sum) = (0u64, 0u64, 0u64);
+    let mut all_mapped = true;
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("waiting for child {i}: {e}"))?;
+        if !out.status.success() {
+            cleanup();
+            return Err(format!("child {i} failed with {}", out.status));
+        }
+        let text = String::from_utf8_lossy(&out.stdout);
+        let mapped = text.contains("\"mapped\":true");
+        all_mapped &= mapped;
+        let field = |key| json_u64_field(&text, key).unwrap_or(0);
+        let shared = field("shared_clean_kb") + field("shared_dirty_kb");
+        let private = field("private_clean_kb") + field("private_dirty_kb");
+        let rss = field("rss_kb");
+        let load_micros = json_u64_field(&text, "load_micros");
+        eprintln!(
+            "  process {i}: mapped {mapped}, mapping rss {rss} kB \
+             (shared {shared} kB, private {private} kB)"
+        );
+        shared_sum += shared;
+        private_sum += private;
+        rss_sum += rss;
+        rows.push(Json::obj([
+            ("process", Json::uint(i)),
+            ("mapped", Json::Bool(mapped)),
+            ("rss_kb", Json::u64(rss)),
+            ("shared_kb", Json::u64(shared)),
+            ("private_kb", Json::u64(private)),
+            ("load_micros", load_micros.map_or(Json::Null, Json::u64)),
+        ]));
+    }
+    cleanup();
+
+    let file_kb = std::fs::metadata(model_path).map(|m| m.len()).unwrap_or(0) / 1024;
+    // One physical copy means each process's mapping is (almost) all
+    // shared pages: total resident ≈ file size, not procs * file size.
+    let shared_fraction = if rss_sum > 0 {
+        shared_sum as f64 / rss_sum as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "mmap-demo: {procs} processes, snapshot {file_kb} kB; summed mapping rss {rss_sum} kB, \
+         {:.1}% shared — one physical weight copy",
+        100.0 * shared_fraction
+    );
+    let json = Json::obj([
+        ("command", Json::str("mmap-demo")),
+        ("model", Json::str(model_path)),
+        ("processes", Json::uint(procs)),
+        ("subject_bits", Json::uint(bits)),
+        ("subject_nodes", Json::uint(subject.aig.num_nodes())),
+        ("snapshot_kb", Json::u64(file_kb)),
+        ("all_mapped", Json::Bool(all_mapped)),
+        ("per_process", Json::Arr(rows)),
+        ("shared_kb_total", Json::u64(shared_sum)),
+        ("private_kb_total", Json::u64(private_sum)),
+        ("rss_kb_total", Json::u64(rss_sum)),
+        ("shared_fraction", Json::Num(shared_fraction)),
+    ]);
+    println!("{json}");
+    Ok(())
 }

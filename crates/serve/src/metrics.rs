@@ -11,6 +11,7 @@
 //!
 //! | metric | span |
 //! |---|---|
+//! | `stage_snapshot_load_micros` | snapshot open → model ready (cold start; recorded once per load by the binary via [`Server::record_snapshot_load`](crate::scheduler::Server::record_snapshot_load)) |
 //! | `stage_admission_micros` | submit call entry → job admitted into the queue (includes blocking waits for queue space) |
 //! | `stage_queue_wait_micros` | admission → a worker claims the job into a batch |
 //! | `stage_linger_micros` | time a short batch waited for companions |
@@ -104,6 +105,10 @@ pub struct ServeMetrics {
     /// by max, so a fleet snapshot reports the *worst* shard.
     pub health: Arc<Gauge>,
 
+    /// Snapshot open → model ready (cold start). Not on the per-job path:
+    /// the binary records it once per load so the cold-start cost shows up
+    /// in the same stage table / Prometheus text as the serving stages.
+    pub stage_snapshot_load: Arc<Histogram>,
     /// Submit entry → admission (includes blocking waits for space).
     pub stage_admission: Arc<Histogram>,
     /// Admission → batch claim.
@@ -155,6 +160,7 @@ impl ServeMetrics {
             quarantines: reg.counter("serve_quarantines_total"),
             peak_queued: reg.gauge("serve_peak_queued"),
             health: reg.gauge("serve_health"),
+            stage_snapshot_load: reg.histogram("stage_snapshot_load_micros"),
             stage_admission: reg.histogram("stage_admission_micros"),
             stage_queue_wait: reg.histogram("stage_queue_wait_micros"),
             stage_linger: reg.histogram("stage_linger_micros"),

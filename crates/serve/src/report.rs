@@ -254,6 +254,7 @@ pub fn histogram_json(h: &HistogramSnapshot) -> Json {
 /// stage (all in microseconds), in pipeline order. Shared by the JSON
 /// reports so `bench-serve` and `infer` stay field-compatible.
 pub const STAGE_METRICS: &[(&str, &str)] = &[
+    ("snapshot_load", "stage_snapshot_load_micros"),
     ("admission", "stage_admission_micros"),
     ("queue_wait", "stage_queue_wait_micros"),
     ("linger", "stage_linger_micros"),

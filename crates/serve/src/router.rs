@@ -136,6 +136,14 @@ impl ShardRouter {
         self.shards.len()
     }
 
+    /// Records the snapshot load time once, into shard 0's registry (one
+    /// model was loaded for the whole fleet, so the merged metric view
+    /// reports exactly one observation). See
+    /// [`Server::record_snapshot_load`].
+    pub fn record_snapshot_load(&self, micros: u64) {
+        self.shards[0].record_snapshot_load(micros);
+    }
+
     /// The shard a netlist routes to (stable across submissions and
     /// renumbering: it is a function of the canonical fingerprint only).
     pub fn shard_of(&self, aig: &Aig) -> usize {

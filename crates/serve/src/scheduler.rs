@@ -747,6 +747,16 @@ impl Server {
         }
     }
 
+    /// Records how long loading the model snapshot took, as the
+    /// `stage_snapshot_load_micros` cold-start stage. The server cannot
+    /// observe the load itself (it receives an already-built reasoner),
+    /// so the loading caller reports it once here and the value then
+    /// flows through the same stage table, JSON reports and Prometheus
+    /// text as the per-job stages.
+    pub fn record_snapshot_load(&self, micros: u64) {
+        self.shared.metrics.stage_snapshot_load.record(micros);
+    }
+
     /// Enqueues a job, blocking while the queue is at capacity; returns a
     /// ticket to wait on. Fails fast with [`SubmitError::ShuttingDown`]
     /// once shutdown has begun.

@@ -1,0 +1,140 @@
+//! Release guard for zero-copy snapshot serving (PR 10).
+//!
+//! An mmap-loaded model borrows every weight tensor straight out of the
+//! snapshot mapping; the storage seam promises the kernels cannot tell
+//! (same slices, same accumulation order). This suite checks that end to
+//! end through the real server: predictions served from an mmap-loaded
+//! model must be **bit-identical** to predictions served from the classic
+//! owned load — f32 and quantised, single- and multi-worker, shared
+//! through one `Arc` — and the cold-start stage metric must surface in
+//! the same report plumbing as the per-job stages.
+
+use gamora::snapshot::MmapLoadStats;
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_aig::Aig;
+use gamora_circuits::{csa_multiplier, dadda_multiplier};
+use gamora_serve::report::stages_json;
+use gamora_serve::scheduler::{AnalysisKind, ServeConfig, Server};
+use std::sync::Arc;
+
+fn trained_reasoner(quantised: bool) -> GamoraReasoner {
+    let m = csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 15,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    if quantised {
+        reasoner.quantise();
+    }
+    reasoner
+}
+
+fn subjects() -> Vec<Aig> {
+    vec![
+        csa_multiplier(3).aig,
+        csa_multiplier(5).aig,
+        dadda_multiplier(4).aig,
+        csa_multiplier(6).aig,
+    ]
+}
+
+/// Serves every subject through a real server (cache off: every answer
+/// is a forward pass) and returns the outputs' prediction vectors.
+fn serve_all(reasoner: Arc<GamoraReasoner>, workers: usize) -> Vec<gamora::Predictions> {
+    let server = Server::start_shared(
+        reasoner,
+        ServeConfig {
+            max_batch: 2,
+            workers,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let outputs = server
+        .submit_all(
+            subjects()
+                .into_iter()
+                .map(|a| (a, AnalysisKind::Classify))
+                .collect(),
+        )
+        .expect("serving failed");
+    server.shutdown();
+    outputs.into_iter().map(|o| o.predictions).collect()
+}
+
+fn save_to_temp(reasoner: &GamoraReasoner, tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "gamora-mmap-e2e-{tag}-{}.gsnap",
+        std::process::id()
+    ));
+    reasoner.save(&path).expect("save snapshot");
+    path
+}
+
+/// The core guarantee: an mmap-loaded model serves bit-identically to an
+/// owned load of the same v3 snapshot, for both weight stores, through
+/// single- and multi-worker pools sharing one instance.
+#[test]
+fn mmap_served_predictions_are_bit_identical_to_owned() {
+    for quantised in [false, true] {
+        let reasoner = trained_reasoner(quantised);
+        let path = save_to_temp(&reasoner, if quantised { "quant" } else { "f32" });
+        let owned = GamoraReasoner::load(&path).expect("owned load");
+        let (mapped, stats) = GamoraReasoner::load_mmap(&path).expect("mmap load");
+        std::fs::remove_file(&path).ok();
+        assert!(stats.file_bytes > 0);
+        if cfg!(all(unix, target_pointer_width = "64")) {
+            assert!(stats.mapped, "expected the zero-copy path on this target");
+        }
+
+        let baseline = serve_all(Arc::new(owned), 1);
+        let via_map = Arc::new(mapped);
+        for workers in [1usize, 2] {
+            let served = serve_all(Arc::clone(&via_map), workers);
+            assert_eq!(
+                served, baseline,
+                "mmap-served predictions diverged (quantised {quantised}, {workers} workers)"
+            );
+        }
+    }
+}
+
+/// The cold-start stage flows through the same plumbing as the per-job
+/// stages: `record_snapshot_load` lands in `stage_snapshot_load_micros`,
+/// which the stage table keys as `snapshot_load` and the Prometheus text
+/// exports by its metric name.
+#[test]
+fn snapshot_load_stage_surfaces_in_reports() {
+    let reasoner = trained_reasoner(false);
+    let path = save_to_temp(&reasoner, "stage");
+    let (loaded, stats): (GamoraReasoner, MmapLoadStats) =
+        GamoraReasoner::load_mmap(&path).expect("mmap load");
+    std::fs::remove_file(&path).ok();
+
+    let server = Server::start(loaded, ServeConfig::default());
+    server.record_snapshot_load(stats.load_micros.max(1));
+    let snapshot = server.metrics();
+    server.shutdown();
+
+    let h = snapshot
+        .histogram("stage_snapshot_load_micros")
+        .expect("snapshot-load stage registered");
+    assert_eq!(h.count(), 1, "exactly one load recorded");
+    assert!(snapshot.prometheus().contains("stage_snapshot_load_micros"));
+    let rendered = stages_json(&snapshot).compact();
+    assert!(
+        rendered.contains("\"snapshot_load\""),
+        "stage table missing snapshot_load: {rendered}"
+    );
+}
