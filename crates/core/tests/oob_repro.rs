@@ -1,0 +1,62 @@
+//! Repro: re-signed v3 header with shrunk payload_len should be a typed
+//! error, not a panic.
+
+use gamora::snapshot::{read_snapshot, write_snapshot};
+use gamora::{GamoraReasoner, ModelDepth, ReasonerConfig, TrainConfig};
+use gamora_aig::hasher::FxHasher;
+use gamora_circuits::csa_multiplier;
+use std::hash::Hasher;
+
+const SECTION_ENTRY_BYTES: usize = 1 + 4 + 4 + 8 + 8;
+
+fn resign_v3(buf: &mut [u8]) {
+    let count = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+    let hash_pos = 32 + SECTION_ENTRY_BYTES * count + 24;
+    let mut h = FxHasher::default();
+    h.write(&buf[..hash_pos]);
+    let sig = h.finish();
+    buf[hash_pos..hash_pos + 8].copy_from_slice(&sig.to_le_bytes());
+}
+
+#[test]
+fn resigned_shrunk_payload_is_typed_error_not_panic() {
+    let m = csa_multiplier(3);
+    let mut reasoner = GamoraReasoner::new(ReasonerConfig {
+        depth: ModelDepth::Custom {
+            layers: 2,
+            hidden: 8,
+        },
+        ..ReasonerConfig::default()
+    });
+    reasoner.fit(
+        &[&m.aig],
+        &TrainConfig {
+            epochs: 1,
+            log_every: 0,
+            ..TrainConfig::default()
+        },
+    );
+    let mut buf = Vec::new();
+    write_snapshot(&reasoner, &mut buf).unwrap();
+    let count = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+    let tail = 32 + SECTION_ENTRY_BYTES * count;
+    // Shrink payload_len by 64 and truncate the file to match, then
+    // re-sign the header so the checksum is valid.
+    let plen = u64::from_le_bytes(buf[tail + 8..tail + 16].try_into().unwrap());
+    buf[tail + 8..tail + 16].copy_from_slice(&(plen - 64).to_le_bytes());
+    buf.truncate(buf.len() - 64);
+    // Re-sign the payload hash over the truncated payload too (FxHash,
+    // no secret), then the header hash.
+    let base = u64::from_le_bytes(buf[tail..tail + 8].try_into().unwrap()) as usize;
+    let mut ph = FxHasher::default();
+    ph.write(&buf[base..]);
+    let payload_sig = ph.finish();
+    buf[tail + 16..tail + 24].copy_from_slice(&payload_sig.to_le_bytes());
+    resign_v3(&mut buf);
+    let result = std::panic::catch_unwind(|| read_snapshot(&buf[..]));
+    match result {
+        Ok(Err(e)) => println!("typed error as expected: {e}"),
+        Ok(Ok(_)) => panic!("lying header loaded cleanly"),
+        Err(_) => panic!("READER PANICKED on re-signed shrunk payload"),
+    }
+}
